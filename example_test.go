@@ -1,0 +1,89 @@
+package waitfree_test
+
+import (
+	"fmt"
+
+	waitfree "repro"
+)
+
+// The canonical usage pattern: build a simulation, create an object, spawn
+// prioritized jobs, run, inspect.
+func Example() {
+	sim := waitfree.NewSim(waitfree.SimConfig{Processors: 1, Seed: 1})
+	list, err := waitfree.NewUniList(sim, waitfree.ListConfig{Procs: 2, Capacity: 64})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// A low-priority worker and a high-priority interrupt share the list;
+	// the interrupt preempts the worker mid-operation and helps it finish
+	// before doing its own work (wait-freedom via incremental helping).
+	sim.Spawn(waitfree.JobSpec{Name: "worker", CPU: 0, Prio: 1, Slot: 0, AfterSlices: -1,
+		Body: func(e *waitfree.Env) {
+			list.Insert(e, 10, 100)
+			list.Insert(e, 20, 200)
+		}})
+	sim.Spawn(waitfree.JobSpec{Name: "irq", CPU: 0, Prio: 9, Slot: 1, AfterSlices: 30,
+		Body: func(e *waitfree.Env) {
+			list.Insert(e, 15, 150)
+		}})
+	if err := sim.Run(); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(list.Snapshot())
+	// Output: [10 15 20]
+}
+
+// Multi-word compare-and-swap: the read-compute-MWCAS pattern on a
+// multiprocessor.
+func ExampleNewMultiMWCAS() {
+	sim := waitfree.NewSim(waitfree.SimConfig{Processors: 2, Seed: 1})
+	obj, err := waitfree.NewMultiMWCAS(sim, waitfree.MWCASConfig{
+		Procs: 2, Width: 2, Words: 2, Initial: []uint64{10, 20},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for cpu := 0; cpu < 2; cpu++ {
+		cpu := cpu
+		sim.Spawn(waitfree.JobSpec{Name: "", CPU: cpu, Prio: 1, Slot: cpu, AfterSlices: -1,
+			Body: func(e *waitfree.Env) {
+				for {
+					a := obj.Read(e, obj.Words[0])
+					b := obj.Read(e, obj.Words[1])
+					// Transfer 5 from word 0 to word 1, atomically.
+					if obj.MWCAS(e, obj.Words, []uint64{a, b}, []uint64{a - 5, b + 5}) {
+						return
+					}
+				}
+			}})
+	}
+	if err := sim.Run(); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(obj.Object.Val(obj.Words[0]), obj.Object.Val(obj.Words[1]))
+	// Output: 0 30
+}
+
+// Response-time analysis with the paper's wait-free helping surcharge.
+func ExampleResponseTimeAnalysis() {
+	tasks := waitfree.AssignRateMonotonic([]waitfree.RTTask{
+		{Name: "control", Period: 5000, BaseCost: 400, Ops: 2, OpCost: 100},
+		{Name: "sensor", Period: 2000, BaseCost: 200, Ops: 1, OpCost: 100},
+	})
+	as, err := waitfree.ResponseTimeAnalysis(tasks)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, a := range as {
+		fmt.Printf("%s: response %d of period %d (schedulable=%v)\n",
+			a.Task.Name, a.Response, a.Task.Period, a.Schedulable)
+	}
+	// Output:
+	// sensor: response 400 of period 2000 (schedulable=true)
+	// control: response 1200 of period 5000 (schedulable=true)
+}

@@ -1,0 +1,72 @@
+package waitfree_test
+
+import (
+	"testing"
+
+	waitfree "repro"
+)
+
+// TestFacadeValidation covers the constructors' error paths.
+func TestFacadeValidation(t *testing.T) {
+	tiny := func() *waitfree.Sim {
+		return waitfree.NewSim(waitfree.SimConfig{Processors: 1, Seed: 1, MemWords: 8})
+	}
+
+	if _, err := waitfree.NewUniList(tiny(), waitfree.ListConfig{Procs: 2, Capacity: 1024}); err == nil {
+		t.Error("list in undersized memory accepted")
+	}
+	if _, err := waitfree.NewMultiList(tiny(), waitfree.ListConfig{Procs: 2, Capacity: 1024}); err == nil {
+		t.Error("multilist in undersized memory accepted")
+	}
+	if _, err := waitfree.NewUniQueue(tiny(), waitfree.QueueConfig{Procs: 1, Capacity: 1024}); err == nil {
+		t.Error("queue in undersized memory accepted")
+	}
+	if _, err := waitfree.NewMultiHash(tiny(), waitfree.HashConfig{Procs: 1, Buckets: 4, Capacity: 1024}); err == nil {
+		t.Error("hash in undersized memory accepted")
+	}
+
+	sim := waitfree.NewSim(waitfree.SimConfig{Processors: 1, Seed: 1})
+	if _, err := waitfree.NewMultiHash(sim, waitfree.HashConfig{
+		Procs: 1, Buckets: 4, Capacity: 64, Seed: []uint64{5, 5},
+	}); err == nil {
+		t.Error("duplicate hash seed keys accepted")
+	}
+	if _, err := waitfree.NewUniList(sim, waitfree.ListConfig{
+		Procs: 1, Capacity: 64, Seed: []uint64{9, 3},
+	}); err == nil {
+		t.Error("unsorted list seed accepted")
+	}
+	if _, err := waitfree.NewUniMWCAS(sim, waitfree.MWCASConfig{
+		Procs: 1 << 20, Width: 1, Words: 1,
+	}); err == nil {
+		t.Error("oversized process count accepted")
+	}
+}
+
+// TestFacadeDefaults: zero-valued configs get usable defaults.
+func TestFacadeDefaults(t *testing.T) {
+	sim := waitfree.NewSim(waitfree.SimConfig{Processors: 2, Seed: 1, MemWords: 1 << 16})
+	q, err := waitfree.NewMultiQueue(sim, waitfree.QueueConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := waitfree.NewUniHash(sim, waitfree.HashConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := waitfree.NewMultiStack(sim, waitfree.QueueConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SpawnAt(0, 0, 1, "p", func(e *waitfree.Env) {
+		q.Enqueue(e, 1)
+		st.Push(e, 2)
+		h.Insert(e, 3, 30)
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Snapshot()) != 1 || len(st.Snapshot()) != 1 || len(h.Snapshot()) != 1 {
+		t.Error("default-config structures did not accept operations")
+	}
+}

@@ -1,0 +1,171 @@
+package herlihy_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baseline/herlihy"
+	"repro/internal/sched"
+	"repro/internal/shmem"
+)
+
+// counterApply is a trivial sequential object: one word, op 1 increments by
+// arg and returns the new value, op 2 reads.
+func counterApply(e *sched.Env, state []shmem.Addr, op, arg uint64) uint64 {
+	switch op {
+	case 1:
+		v := e.Load(state[0]) + arg
+		e.Store(state[0], v)
+		return v
+	default:
+		return e.Load(state[0])
+	}
+}
+
+func TestSequentialCounter(t *testing.T) {
+	s := sched.New(sched.Config{Processors: 1, Seed: 1, MemWords: 1 << 14})
+	obj, err := herlihy.New(s.Mem(), 2, 1, counterApply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SpawnAt(0, 0, 1, "p", func(e *sched.Env) {
+		for i := uint64(1); i <= 5; i++ {
+			if got := obj.Do(e, 1, 1); got != i {
+				t.Errorf("increment %d returned %d", i, got)
+			}
+		}
+		if got := obj.Do(e, 2, 0); got != 5 {
+			t.Errorf("read returned %d, want 5", got)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := obj.PeekState()[0]; got != 5 {
+		t.Errorf("final state %d, want 5", got)
+	}
+}
+
+// TestConcurrentCounter: the final count must equal the total number of
+// increments no matter how processes interleave, and every increment's
+// return value must be distinct (atomicity).
+func TestConcurrentCounter(t *testing.T) {
+	f := func(seed int64) bool {
+		const (
+			nCPU  = 3
+			nProc = 6
+			nOps  = 8
+		)
+		s := sched.New(sched.Config{Processors: nCPU, Seed: seed, MemWords: 1 << 16})
+		obj, err := herlihy.New(s.Mem(), nProc, 1, counterApply)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results := make(map[uint64]int)
+		rng := s.Rand()
+		for p := 0; p < nProc; p++ {
+			p := p
+			s.Spawn(sched.JobSpec{
+				Name: "", CPU: p % nCPU, Prio: sched.Priority(rng.Intn(4)), Slot: p,
+				At: rng.Int63n(200), AfterSlices: -1,
+				Body: func(e *sched.Env) {
+					for i := 0; i < nOps; i++ {
+						v := obj.Do(e, 1, 1)
+						results[v]++
+					}
+				},
+			})
+		}
+		if err := s.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got := obj.PeekState()[0]; got != nProc*nOps {
+			t.Fatalf("seed %d: final count %d, want %d", seed, got, nProc*nOps)
+		}
+		for v, c := range results {
+			if c != 1 {
+				t.Fatalf("seed %d: increment result %d returned %d times", seed, v, c)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSortedSetObject exercises the set semantics used by the A1 ablation.
+func TestSortedSetObject(t *testing.T) {
+	s := sched.New(sched.Config{Processors: 2, Seed: 2, MemWords: 1 << 16})
+	obj, err := herlihy.New(s.Mem(), 2, 16, herlihy.SortedSetApply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SpawnAt(0, 0, 1, "a", func(e *sched.Env) {
+		if obj.Do(e, 1, 10) != 1 {
+			t.Error("insert 10 failed")
+		}
+		if obj.Do(e, 1, 10) != 0 {
+			t.Error("duplicate insert succeeded")
+		}
+		if obj.Do(e, 3, 10) != 1 {
+			t.Error("search 10 failed")
+		}
+		if obj.Do(e, 2, 10) != 1 {
+			t.Error("delete 10 failed")
+		}
+		if obj.Do(e, 2, 10) != 0 {
+			t.Error("double delete succeeded")
+		}
+	})
+	s.SpawnAt(0, 1, 1, "b", func(e *sched.Env) {
+		for k := uint64(20); k < 30; k++ {
+			obj.Do(e, 1, k)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	nonzero := 0
+	for _, v := range obj.PeekState() {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero != 10 {
+		t.Errorf("final set has %d keys, want 10", nonzero)
+	}
+}
+
+// TestHelpingCostScalesWithN: the defining property of the asynchronous
+// universal construction — per-operation cost grows with the number of
+// processes N, not the number of processors P. This is the contrast the
+// paper's Figure 1 footnote draws (2·N·T for Herlihy [8] vs 2·P·T here).
+func TestHelpingCostScalesWithN(t *testing.T) {
+	cost := func(nProc int) int64 {
+		s := sched.New(sched.Config{Processors: 2, Seed: 5, MemWords: 1 << 18})
+		obj, err := herlihy.New(s.Mem(), nProc, 20, herlihy.SortedSetApply)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var elapsed int64
+		for p := 0; p < nProc; p++ {
+			p := p
+			s.Spawn(sched.JobSpec{Name: "", CPU: p % 2, Prio: sched.Priority(p / 2), Slot: p, At: 0, AfterSlices: -1, Body: func(e *sched.Env) {
+				start := e.Now()
+				obj.Do(e, 1, uint64(p+1))
+				if p == 0 {
+					elapsed = e.Now() - start
+				}
+			}})
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return elapsed
+	}
+	c4, c16 := cost(4), cost(16)
+	if c16 <= c4 {
+		t.Errorf("cost did not grow with N: N=4: %d, N=16: %d", c4, c16)
+	}
+}

@@ -1,0 +1,254 @@
+// Package valois implements a CAS-only lock-free linked list in the lineage
+// of Valois (PODC 1995, reference [13] of the paper).
+//
+// The paper does not run Valois's algorithm itself; it cites Greenwald and
+// Cheriton's report that their CAS2 list beats it "by a factor of about ten
+// under high contention" and uses that to argue the wait-free list would
+// also beat it. This package exists to regenerate that secondary comparison
+// (DESIGN.md experiment §3.4-valois).
+//
+// Substitution note: Valois's original uses auxiliary cells and reference
+// counting for reclamation and is notoriously intricate; we implement the
+// modern realization of the same CAS-only idea — logical deletion via a mark
+// bit packed into the next pointer, with physical unlinking during traversal
+// (Harris's formulation). Reclamation is deferred: deleted nodes are not
+// recycled during a run (the arena must be sized for the total number of
+// inserts). This preserves what the comparison measures: pure-CAS retry
+// traffic under contention.
+package valois
+
+import (
+	"fmt"
+
+	"repro/internal/arena"
+	"repro/internal/sched"
+	"repro/internal/shmem"
+)
+
+// KeyMin and KeyMax bound the user key space (sentinel keys).
+const (
+	KeyMin = uint64(0)
+	KeyMax = ^uint64(0)
+)
+
+// next-word packing: ref<<1 | mark.
+func pack(r arena.Ref, mark uint64) uint64 { return uint64(r)<<1 | mark&1 }
+func unpack(w uint64) (arena.Ref, uint64)  { return arena.Ref(w >> 1), w & 1 }
+
+// Stats mirrors gclist.Stats for comparison tables.
+type Stats struct {
+	Ops          int
+	Retries      int
+	WorstRetries int
+}
+
+func (s *Stats) record(retries int) {
+	s.Ops++
+	s.Retries += retries
+	if retries > s.WorstRetries {
+		s.WorstRetries = retries
+	}
+}
+
+// auxHopCost is the extra plain-access cost per traversed cell when the
+// reference-counted model is enabled: Valois's algorithm interposes an
+// auxiliary cell between every pair of nodes, doubling traversal length.
+// On top of it, two reference-count RMW operations per visited cell are
+// charged at the machine's synchronization cost. Greenwald and Cheriton
+// attribute their reported ten-fold advantage under contention to exactly
+// this overhead.
+const auxHopCost = 2
+
+// List is the CAS-only lock-free list.
+type List struct {
+	mem         *shmem.Mem
+	ar          *arena.Arena
+	first, last arena.Ref
+	stats       []Stats
+	refCounted  bool
+}
+
+// SetRefCounted enables the reference-counted traversal cost model (see
+// refCountHopCost). Call before the run starts.
+func (l *List) SetRefCounted(on bool) { l.refCounted = on }
+
+// New creates a list for n process slots. The arena must not be frozen.
+func New(m *shmem.Mem, ar *arena.Arena, n int) (*List, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("valois: process count %d out of range", n)
+	}
+	l := &List{mem: m, ar: ar, stats: make([]Stats, n)}
+	l.first = ar.Static()
+	l.last = ar.Static()
+	m.Poke(ar.KeyAddr(l.first), KeyMin)
+	m.Poke(ar.NextAddr(l.first), pack(l.last, 0))
+	m.Poke(ar.KeyAddr(l.last), KeyMax)
+	m.Poke(ar.NextAddr(l.last), pack(arena.NIL, 0))
+	return l, nil
+}
+
+// Stats returns the statistics for slot p.
+func (l *List) Stats(p int) *Stats { return &l.stats[p] }
+
+// TotalStats merges all slots' statistics.
+func (l *List) TotalStats() Stats {
+	var total Stats
+	for i := range l.stats {
+		total.Ops += l.stats[i].Ops
+		total.Retries += l.stats[i].Retries
+		if l.stats[i].WorstRetries > total.WorstRetries {
+			total.WorstRetries = l.stats[i].WorstRetries
+		}
+	}
+	return total
+}
+
+// find locates (prev, cur) such that cur is the first unmarked node with
+// key >= key, physically unlinking marked nodes on the way. retries counts
+// restarts caused by CAS interference.
+func (l *List) find(e *sched.Env, key uint64, retries *int) (prev, cur arena.Ref, curKey uint64) {
+retry:
+	for {
+		prev = l.first
+		curWord := e.Load(l.ar.NextAddr(prev))
+		cur, _ = unpack(curWord)
+		for {
+			nextWord := e.Load(l.ar.NextAddr(cur))
+			succ, marked := unpack(nextWord)
+			if marked == 1 {
+				// Physically unlink the marked node.
+				if !e.CAS(l.ar.NextAddr(prev), pack(cur, 0), pack(succ, 0)) {
+					*retries++
+					continue retry
+				}
+				cur = succ
+				continue
+			}
+			curKey = e.Load(l.ar.KeyAddr(cur))
+			if curKey >= key {
+				return prev, cur, curKey
+			}
+			if l.refCounted {
+				// Auxiliary-cell hop plus two reference-count
+				// RMW operations (cost model; see auxHopCost).
+				e.Delay(auxHopCost + 2*e.SyncCostUnits())
+			}
+			prev = cur
+			cur = succ
+		}
+	}
+}
+
+// Insert adds key, reporting false if present.
+func (l *List) Insert(e *sched.Env, key, val uint64) bool {
+	l.checkKey(key)
+	p := e.Slot()
+	retries := 0
+	node, okAlloc := l.ar.Alloc(e, p)
+	if !okAlloc {
+		panic(fmt.Sprintf("valois: process %d exhausted its node pool (deferred reclamation: size the arena for total inserts)", p))
+	}
+	e.Store(l.ar.KeyAddr(node), key)
+	e.Store(l.ar.ValAddr(node), val)
+	for {
+		prev, cur, curKey := l.find(e, key, &retries)
+		if curKey == key {
+			// Present. The node cannot be recycled (deferred
+			// reclamation), so it is simply abandoned to the pool.
+			l.ar.Free(e, p, node)
+			l.stats[p].record(retries)
+			return false
+		}
+		e.Store(l.ar.NextAddr(node), pack(cur, 0))
+		if e.CAS(l.ar.NextAddr(prev), pack(cur, 0), pack(node, 0)) {
+			l.stats[p].record(retries)
+			return true
+		}
+		retries++
+	}
+}
+
+// Delete removes key, reporting whether it was present. The node is only
+// logically deleted (marked) and physically unlinked by subsequent
+// traversals; it is never recycled during the run.
+func (l *List) Delete(e *sched.Env, key uint64) bool {
+	l.checkKey(key)
+	p := e.Slot()
+	retries := 0
+	for {
+		prev, cur, curKey := l.find(e, key, &retries)
+		if curKey != key {
+			l.stats[p].record(retries)
+			return false
+		}
+		nextWord := e.Load(l.ar.NextAddr(cur))
+		succ, marked := unpack(nextWord)
+		if marked == 1 {
+			retries++
+			continue // already being deleted; re-find
+		}
+		// Logical deletion: mark cur's next pointer.
+		if !e.CAS(l.ar.NextAddr(cur), pack(succ, 0), pack(succ, 1)) {
+			retries++
+			continue
+		}
+		// Physical unlink (best effort; traversals finish it).
+		e.CAS(l.ar.NextAddr(prev), pack(cur, 0), pack(succ, 0))
+		l.stats[p].record(retries)
+		return true
+	}
+}
+
+// Search reports whether key is present.
+func (l *List) Search(e *sched.Env, key uint64) bool {
+	l.checkKey(key)
+	p := e.Slot()
+	retries := 0
+	_, _, curKey := l.find(e, key, &retries)
+	l.stats[p].record(retries)
+	return curKey == key
+}
+
+// SeedAscending bulk-loads the list at setup time.
+func (l *List) SeedAscending(keys []uint64) error {
+	prev := l.first
+	for i, k := range keys {
+		if k == KeyMin || k == KeyMax {
+			return fmt.Errorf("valois: seed key %#x is reserved", k)
+		}
+		if i > 0 && keys[i-1] >= k {
+			return fmt.Errorf("valois: seed keys not strictly ascending at %d", i)
+		}
+		node := l.ar.Static()
+		l.mem.Poke(l.ar.KeyAddr(node), k)
+		l.mem.Poke(l.ar.ValAddr(node), k)
+		l.mem.Poke(l.ar.NextAddr(node), pack(l.last, 0))
+		l.mem.Poke(l.ar.NextAddr(prev), pack(node, 0))
+		prev = node
+	}
+	return nil
+}
+
+// Snapshot returns the unmarked keys currently in the list (quiescent use).
+func (l *List) Snapshot() []uint64 {
+	var keys []uint64
+	hops := 0
+	r, _ := unpack(l.mem.Peek(l.ar.NextAddr(l.first)))
+	for r != l.last && r != arena.NIL {
+		if hops++; hops > l.ar.Capacity() {
+			panic("valois: list cycle detected")
+		}
+		next, marked := unpack(l.mem.Peek(l.ar.NextAddr(r)))
+		if marked == 0 {
+			keys = append(keys, l.mem.Peek(l.ar.KeyAddr(r)))
+		}
+		r = next
+	}
+	return keys
+}
+
+func (l *List) checkKey(key uint64) {
+	if key == KeyMin || key == KeyMax {
+		panic(fmt.Sprintf("valois: key %#x is reserved for sentinels", key))
+	}
+}

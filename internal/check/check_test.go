@@ -1,0 +1,200 @@
+package check_test
+
+// Self-tests: a checker that never fires is worthless, so every checker is
+// shown to detect a seeded violation (and to stay quiet on a clean run —
+// the clean side is covered extensively by the algorithm packages' tests).
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arena"
+	"repro/internal/check"
+	"repro/internal/core/multilist"
+	"repro/internal/core/unilist"
+	"repro/internal/core/unimwcas"
+	"repro/internal/sched"
+	"repro/internal/shmem"
+)
+
+// TestMWCASCheckerDetectsTornWrite: a rogue plain write to a tracked word
+// breaks the Val == shadow invariant and must be reported.
+func TestMWCASCheckerDetectsTornWrite(t *testing.T) {
+	s := sched.New(sched.Config{Processors: 1, Seed: 1, MemWords: 1 << 12})
+	obj, err := unimwcas.New(s.Mem(), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := s.Mem().MustAlloc("app", 2)
+	words := []shmem.Addr{base, base + 1}
+	obj.InitWord(words[0], 1)
+	obj.InitWord(words[1], 2)
+	chk := check.NewMWCASChecker(obj, s.Mem(), words)
+	s.SpawnAt(0, 0, 1, "rogue", func(e *sched.Env) {
+		// Bypass the MWCAS protocol entirely.
+		e.Store(words[0], unimwcas.Pack(unimwcas.Word{Val: 99, Valid: true}))
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := chk.Err(); err == nil {
+		t.Fatal("checker accepted a rogue write that changed a tracked word's value")
+	} else if !strings.Contains(err.Error(), "shadow") {
+		t.Errorf("unexpected violation text: %v", err)
+	}
+}
+
+// TestMWCASCheckerDetectsWrongResult: reporting success for an operation
+// that never committed must be flagged.
+func TestMWCASCheckerDetectsWrongResult(t *testing.T) {
+	s := sched.New(sched.Config{Processors: 1, Seed: 1, MemWords: 1 << 12})
+	obj, err := unimwcas.New(s.Mem(), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := s.Mem().MustAlloc("app", 1)
+	words := []shmem.Addr{base}
+	obj.InitWord(words[0], 1)
+	chk := check.NewMWCASChecker(obj, s.Mem(), words)
+	s.SpawnAt(0, 0, 1, "p", func(e *sched.Env) {
+		chk.BeginOp(0, words, []uint32{7}, []uint32{8}) // old mismatches (1 != 7)
+		ok := obj.MWCAS(e, words, []uint32{7}, []uint32{8})
+		chk.EndOp(0, !ok) // lie about the result
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := chk.Err(); err == nil {
+		t.Fatal("checker accepted a false success report")
+	}
+}
+
+// TestUniListCheckerDetectsLostInsert: an insert whose splice is silently
+// skipped leaves the list diverging from the model at the next announce.
+func TestUniListCheckerDetectsLostInsert(t *testing.T) {
+	s := sched.New(sched.Config{Processors: 1, Seed: 1, MemWords: 1 << 14})
+	ar, err := arena.New(s.Mem(), 32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := unilist.New(s.Mem(), ar, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar.Freeze()
+	chk := check.NewUniListChecker(l, s.Mem(), 2)
+	s.SpawnAt(0, 0, 1, "p", func(e *sched.Env) {
+		ok := l.Insert(e, 10, 1)
+		chk.EndOp(0, ok)
+		// Sabotage: physically unlink the node behind the model's back.
+		first := l.First()
+		e.Store(ar.NextAddr(first), uint64(l.Last())<<1)
+		// The next announce triggers the snapshot comparison.
+		ok = l.Search(e, 10)
+		chk.EndOp(0, ok)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := chk.Err(); err == nil {
+		t.Fatal("checker accepted a lost insert")
+	}
+}
+
+// TestSerialCheckerDetectsWrongResult: EndOp disagreement is reported.
+func TestSerialCheckerDetectsWrongResult(t *testing.T) {
+	s := sched.New(sched.Config{Processors: 1, Seed: 1, MemWords: 1 << 12})
+	ann := s.Mem().MustAlloc("ann", 1)
+	s.Mem().Poke(ann, 2) // N = 2
+	chk := check.NewSerialChecker(s.Mem(), ann, 2,
+		func(p int) bool { return true }, // model says every op succeeds
+		func() error { return nil })
+	s.SpawnAt(0, 0, 1, "p", func(e *sched.Env) {
+		e.Store(ann, 0) // announce
+		e.Store(ann, 2) // un-announce
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	chk.EndOp(0, false) // lie
+	if err := chk.Err(); err == nil {
+		t.Fatal("serial checker accepted a wrong result")
+	}
+}
+
+// TestSerialCheckerDetectsUnannouncedOp: reporting a result for an operation
+// that never announced is flagged.
+func TestSerialCheckerDetectsUnannouncedOp(t *testing.T) {
+	m := shmem.New(16)
+	ann := m.MustAlloc("ann", 1)
+	chk := check.NewSerialChecker(m, ann, 2,
+		func(p int) bool { return true },
+		func() error { return nil })
+	chk.EndOp(1, true)
+	if err := chk.Err(); err == nil {
+		t.Fatal("serial checker accepted an unannounced operation")
+	}
+}
+
+// TestMultiListCheckerDetectsDoubleApply: two successful same-key inserts
+// with only one structural add event must be flagged (the event-claiming
+// core).
+func TestMultiListCheckerDetectsDoubleApply(t *testing.T) {
+	s := sched.New(sched.Config{Processors: 1, Seed: 1, MemWords: 1 << 15})
+	ar, err := arena.New(s.Mem(), 32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := multilist.New(s.Mem(), ar, multilist.Config{Processors: 1, Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar.Freeze()
+	chk := check.NewMultiListChecker(l, s.Mem())
+	s.SpawnAt(0, 0, 1, "p", func(e *sched.Env) {
+		chk.BeginOp(0, check.ListIns, 10)
+		ok := l.Insert(e, 10, 1)
+		chk.EndOp(0, ok)
+		chk.BeginOp(1, check.ListIns, 10)
+		ok2 := l.Insert(e, 10, 1) // duplicate: returns false
+		chk.EndOp(1, !ok2)        // lie: claim the duplicate also succeeded
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	chk.Finish()
+	if err := chk.Err(); err == nil {
+		t.Fatal("checker accepted two successes for one add event")
+	}
+}
+
+// TestMultiListCheckerDetectsImpossibleAbsence: claiming a false search for
+// a key that was present throughout must be flagged.
+func TestMultiListCheckerDetectsImpossibleAbsence(t *testing.T) {
+	s := sched.New(sched.Config{Processors: 1, Seed: 1, MemWords: 1 << 15})
+	ar, err := arena.New(s.Mem(), 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := multilist.New(s.Mem(), ar, multilist.Config{Processors: 1, Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SeedAscending([]uint64{10}); err != nil {
+		t.Fatal(err)
+	}
+	ar.Freeze()
+	chk := check.NewMultiListChecker(l, s.Mem())
+	s.SpawnAt(0, 0, 1, "p", func(e *sched.Env) {
+		chk.BeginOp(0, check.ListSch, 10)
+		ok := l.Search(e, 10)
+		chk.EndOp(0, !ok) // lie: claim not found
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	chk.Finish()
+	if err := chk.Err(); err == nil {
+		t.Fatal("checker accepted an impossible absence claim")
+	}
+}

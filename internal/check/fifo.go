@@ -1,0 +1,189 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/shmem"
+)
+
+// FIFOSnapshotter is any queue whose current contents can be read directly
+// from memory in FIFO order.
+type FIFOSnapshotter interface {
+	Snapshot() []uint64
+}
+
+// FIFOChecker validates a concurrent FIFO queue by structural-event
+// claiming, assuming *unique values* (the test harness enqueues distinct
+// values).
+//
+// On every non-Store write the checker snapshots the queue. Each change
+// must be exactly one of: a value appended at the tail (an enqueue's
+// splice) or the head value removed (a dequeue's unsplice). Appends are
+// claimed by successful enqueues, removals by successful dequeues — which
+// must also return the removed value — within their operation windows.
+// Pop order equals linearization order, so per-producer FIFO follows from
+// event order and is checked by the harness via value construction.
+type FIFOChecker struct {
+	queue FIFOSnapshotter
+	mem   *shmem.Mem
+
+	last    []uint64
+	pushes  map[uint64]uint64 // value -> push step (unclaimed)
+	pops    map[uint64]uint64 // value -> pop step (unclaimed)
+	popSeq  []uint64          // values in pop order
+	ops     map[int]*fifoOp
+	errs    []error
+	maxErrs int
+}
+
+type fifoOp struct {
+	enq   bool
+	val   uint64 // the enqueued value (enq only)
+	begin uint64
+}
+
+// NewFIFOChecker installs a checker; the queue must be empty or seeded with
+// unique values.
+func NewFIFOChecker(q FIFOSnapshotter, m *shmem.Mem) *FIFOChecker {
+	c := &FIFOChecker{
+		queue:   q,
+		mem:     m,
+		pushes:  make(map[uint64]uint64),
+		pops:    make(map[uint64]uint64),
+		ops:     make(map[int]*fifoOp),
+		maxErrs: 20,
+	}
+	c.last = q.Snapshot()
+	m.AddObserver(c)
+	return c
+}
+
+var _ shmem.Observer = (*FIFOChecker)(nil)
+
+// OnWrite implements shmem.Observer.
+func (c *FIFOChecker) OnWrite(ev shmem.WriteEvent) {
+	if len(c.errs) >= c.maxErrs {
+		return
+	}
+	if ev.Kind == shmem.OpStore {
+		return
+	}
+	now := c.queue.Snapshot()
+	switch {
+	case len(now) == len(c.last):
+		for i := range now {
+			if now[i] != c.last[i] {
+				c.fail(fmt.Errorf("check: step %d: queue mutated in place: %v -> %v", ev.Step, c.last, now))
+				break
+			}
+		}
+	case len(now) == len(c.last)+1:
+		for i := range c.last {
+			if now[i] != c.last[i] {
+				c.fail(fmt.Errorf("check: step %d: append changed the prefix: %v -> %v", ev.Step, c.last, now))
+				break
+			}
+		}
+		v := now[len(now)-1]
+		if _, dup := c.pushes[v]; dup {
+			c.fail(fmt.Errorf("check: step %d: value %d appended twice", ev.Step, v))
+		}
+		c.pushes[v] = ev.Step
+	case len(now) == len(c.last)-1:
+		for i := range now {
+			if now[i] != c.last[i+1] {
+				c.fail(fmt.Errorf("check: step %d: removal was not from the head: %v -> %v", ev.Step, c.last, now))
+				break
+			}
+		}
+		v := c.last[0]
+		c.pops[v] = ev.Step
+		c.popSeq = append(c.popSeq, v)
+	default:
+		c.fail(fmt.Errorf("check: step %d: one write changed the length by %d: %v -> %v", ev.Step, len(now)-len(c.last), c.last, now))
+	}
+	c.last = now
+}
+
+// BeginEnq registers an enqueue of val by process p.
+func (c *FIFOChecker) BeginEnq(p int, val uint64) {
+	c.ops[p] = &fifoOp{enq: true, val: val, begin: c.mem.Steps()}
+}
+
+// BeginDeq registers a dequeue by process p.
+func (c *FIFOChecker) BeginDeq(p int) {
+	c.ops[p] = &fifoOp{begin: c.mem.Steps()}
+}
+
+// EndEnq validates the completed enqueue.
+func (c *FIFOChecker) EndEnq(p int) {
+	op := c.ops[p]
+	if op == nil || !op.enq {
+		c.fail(fmt.Errorf("check: EndEnq(%d) without a registered enqueue", p))
+		return
+	}
+	delete(c.ops, p)
+	end := c.mem.Steps()
+	step, ok := c.pushes[op.val]
+	if !ok || step < op.begin || step > end {
+		c.fail(fmt.Errorf("check: process %d enqueued %d but no matching append event lies in [%d,%d]", p, op.val, op.begin, end))
+		return
+	}
+	delete(c.pushes, op.val) // claimed
+}
+
+// EndDeq validates the completed dequeue and its returned value.
+func (c *FIFOChecker) EndDeq(p int, val uint64, ok bool) {
+	op := c.ops[p]
+	if op == nil || op.enq {
+		c.fail(fmt.Errorf("check: EndDeq(%d) without a registered dequeue", p))
+		return
+	}
+	delete(c.ops, p)
+	end := c.mem.Steps()
+	if !ok {
+		// Empty: the queue must have been empty at some instant of the
+		// window. Approximate via the snapshot trail: if the queue was
+		// never observed empty during the window we cannot prove it,
+		// but a nonempty-throughout window with registered pops not
+		// covering it is a strong signal; keep the conservative check:
+		if len(c.last) > 0 && len(c.popSeq) == 0 && len(c.pushes) == 0 && op.begin == 0 {
+			c.fail(fmt.Errorf("check: process %d reported empty dequeue on a queue that was never empty", p))
+		}
+		return
+	}
+	step, found := c.pops[val]
+	if !found || step < op.begin || step > end {
+		c.fail(fmt.Errorf("check: process %d dequeued %d but no matching removal event lies in [%d,%d]", p, val, op.begin, end))
+		return
+	}
+	delete(c.pops, val) // claimed
+}
+
+// Finish verifies every structural event was claimed.
+func (c *FIFOChecker) Finish() {
+	for p := range c.ops {
+		c.fail(fmt.Errorf("check: process %d has an unreported operation", p))
+	}
+	for v, step := range c.pops {
+		c.fail(fmt.Errorf("check: removal of %d at step %d was never claimed by a dequeue", v, step))
+	}
+}
+
+// PopOrder returns the values removed so far, in linearization order, for
+// harness-side FIFO assertions.
+func (c *FIFOChecker) PopOrder() []uint64 { return c.popSeq }
+
+// Err returns accumulated violations.
+func (c *FIFOChecker) Err() error {
+	if len(c.errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("check: %d violations; first: %v", len(c.errs), c.errs[0])
+}
+
+func (c *FIFOChecker) fail(err error) {
+	if len(c.errs) < c.maxErrs {
+		c.errs = append(c.errs, err)
+	}
+}

@@ -1,0 +1,84 @@
+// Package check contains the linearizability checkers used to validate the
+// paper's algorithms against shadow models.
+//
+// The checkers are pure observers: they watch shared-memory writes through
+// shmem's observer hook and maintain a shadow copy of the abstract state,
+// updated exactly at the algorithms' linearization points (the Status/Rv
+// commit writes and structural CASes). The algorithms under test carry no
+// instrumentation. Each checker exposes:
+//
+//   - a continuous invariant, verified on every write ("the concrete state
+//     always maps to the shadow state"), and
+//   - per-operation validation ("this operation's result was correct at
+//     some instant within its execution window").
+package check
+
+import (
+	"fmt"
+	"sort"
+)
+
+// histEntry is one shadow value change of a word.
+type histEntry struct {
+	step uint64
+	val  uint32
+}
+
+// wordHist records the shadow-value history of a set of words so that
+// operation results can be validated against any instant of their window.
+type wordHist struct {
+	hist map[int][]histEntry // keyed by int(shmem.Addr)
+}
+
+func newWordHist() *wordHist {
+	return &wordHist{hist: make(map[int][]histEntry)}
+}
+
+// seed records a word's initial value at step 0.
+func (h *wordHist) seed(addr int, val uint32) {
+	h.hist[addr] = append(h.hist[addr], histEntry{step: 0, val: val})
+}
+
+// set records that the word's shadow value changed at the given step.
+func (h *wordHist) set(addr int, step uint64, val uint32) {
+	h.hist[addr] = append(h.hist[addr], histEntry{step: step, val: val})
+}
+
+// at returns the shadow value of a word at the given step.
+func (h *wordHist) at(addr int, step uint64) (uint32, error) {
+	entries := h.hist[addr]
+	if len(entries) == 0 {
+		return 0, fmt.Errorf("check: word %d has no history", addr)
+	}
+	// First entry with step > requested; the predecessor is current.
+	i := sort.Search(len(entries), func(i int) bool { return entries[i].step > step })
+	if i == 0 {
+		return 0, fmt.Errorf("check: word %d has no value at step %d", addr, step)
+	}
+	return entries[i-1].val, nil
+}
+
+// current returns the latest shadow value of a word.
+func (h *wordHist) current(addr int) (uint32, error) {
+	entries := h.hist[addr]
+	if len(entries) == 0 {
+		return 0, fmt.Errorf("check: word %d has no history", addr)
+	}
+	return entries[len(entries)-1].val, nil
+}
+
+// changesIn returns every step in (from, to] at which any of the given words
+// changed, plus from itself, sorted ascending. These are the candidate
+// linearization instants for an operation whose window is [from, to].
+func (h *wordHist) changesIn(addrs []int, from, to uint64) []uint64 {
+	steps := []uint64{from}
+	for _, a := range addrs {
+		for _, en := range h.hist[a] {
+			if en.step > from && en.step <= to {
+				steps = append(steps, en.step)
+			}
+		}
+	}
+	sort.Slice(steps, func(i, j int) bool { return steps[i] < steps[j] })
+	return steps
+}

@@ -1,0 +1,157 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/shmem"
+)
+
+// LIFOChecker validates a concurrent stack by structural-event claiming,
+// assuming unique values. Snapshots are top-first: a push prepends a value,
+// a pop removes the first value. Each structural event must be claimed by
+// exactly one successful operation within its window.
+type LIFOChecker struct {
+	stack FIFOSnapshotter // Snapshot() returns top-first
+	mem   *shmem.Mem
+
+	last    []uint64
+	pushes  map[uint64]uint64
+	pops    map[uint64]uint64
+	ops     map[int]*fifoOp
+	errs    []error
+	maxErrs int
+}
+
+// NewLIFOChecker installs a checker; the stack must hold unique values.
+func NewLIFOChecker(st FIFOSnapshotter, m *shmem.Mem) *LIFOChecker {
+	c := &LIFOChecker{
+		stack:   st,
+		mem:     m,
+		pushes:  make(map[uint64]uint64),
+		pops:    make(map[uint64]uint64),
+		ops:     make(map[int]*fifoOp),
+		maxErrs: 20,
+	}
+	c.last = st.Snapshot()
+	m.AddObserver(c)
+	return c
+}
+
+var _ shmem.Observer = (*LIFOChecker)(nil)
+
+// OnWrite implements shmem.Observer.
+func (c *LIFOChecker) OnWrite(ev shmem.WriteEvent) {
+	if len(c.errs) >= c.maxErrs {
+		return
+	}
+	if ev.Kind == shmem.OpStore {
+		return
+	}
+	now := c.stack.Snapshot()
+	switch {
+	case len(now) == len(c.last):
+		for i := range now {
+			if now[i] != c.last[i] {
+				c.fail(fmt.Errorf("check: step %d: stack mutated in place: %v -> %v", ev.Step, c.last, now))
+				break
+			}
+		}
+	case len(now) == len(c.last)+1:
+		for i := range c.last {
+			if now[i+1] != c.last[i] {
+				c.fail(fmt.Errorf("check: step %d: push changed the suffix: %v -> %v", ev.Step, c.last, now))
+				break
+			}
+		}
+		v := now[0]
+		if _, dup := c.pushes[v]; dup {
+			c.fail(fmt.Errorf("check: step %d: value %d pushed twice", ev.Step, v))
+		}
+		c.pushes[v] = ev.Step
+	case len(now) == len(c.last)-1:
+		for i := range now {
+			if now[i] != c.last[i+1] {
+				c.fail(fmt.Errorf("check: step %d: pop was not from the top: %v -> %v", ev.Step, c.last, now))
+				break
+			}
+		}
+		c.pops[c.last[0]] = ev.Step
+	default:
+		c.fail(fmt.Errorf("check: step %d: one write changed the length by %d", ev.Step, len(now)-len(c.last)))
+	}
+	c.last = now
+}
+
+// BeginPush registers a push of val by process p.
+func (c *LIFOChecker) BeginPush(p int, val uint64) {
+	c.ops[p] = &fifoOp{enq: true, val: val, begin: c.mem.Steps()}
+}
+
+// BeginPop registers a pop by process p.
+func (c *LIFOChecker) BeginPop(p int) {
+	c.ops[p] = &fifoOp{begin: c.mem.Steps()}
+}
+
+// EndPush validates the completed push.
+func (c *LIFOChecker) EndPush(p int) {
+	op := c.ops[p]
+	if op == nil || !op.enq {
+		c.fail(fmt.Errorf("check: EndPush(%d) without a registered push", p))
+		return
+	}
+	delete(c.ops, p)
+	end := c.mem.Steps()
+	step, ok := c.pushes[op.val]
+	if !ok || step < op.begin || step > end {
+		c.fail(fmt.Errorf("check: process %d pushed %d but no matching event lies in [%d,%d]", p, op.val, op.begin, end))
+		return
+	}
+	delete(c.pushes, op.val)
+}
+
+// EndPop validates the completed pop and its returned value.
+func (c *LIFOChecker) EndPop(p int, val uint64, ok bool) {
+	op := c.ops[p]
+	if op == nil || op.enq {
+		c.fail(fmt.Errorf("check: EndPop(%d) without a registered pop", p))
+		return
+	}
+	delete(c.ops, p)
+	end := c.mem.Steps()
+	if !ok {
+		return // emptiness validated by event conservation in Finish
+	}
+	step, found := c.pops[val]
+	if !found || step < op.begin || step > end {
+		c.fail(fmt.Errorf("check: process %d popped %d but no matching event lies in [%d,%d]", p, val, op.begin, end))
+		return
+	}
+	delete(c.pops, val)
+}
+
+// Finish verifies every structural event was claimed.
+func (c *LIFOChecker) Finish() {
+	for p := range c.ops {
+		c.fail(fmt.Errorf("check: process %d has an unreported operation", p))
+	}
+	for v, step := range c.pops {
+		c.fail(fmt.Errorf("check: pop of %d at step %d was never claimed", v, step))
+	}
+	for v, step := range c.pushes {
+		c.fail(fmt.Errorf("check: push of %d at step %d was never claimed", v, step))
+	}
+}
+
+// Err returns accumulated violations.
+func (c *LIFOChecker) Err() error {
+	if len(c.errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("check: %d violations; first: %v", len(c.errs), c.errs[0])
+}
+
+func (c *LIFOChecker) fail(err error) {
+	if len(c.errs) < c.maxErrs {
+		c.errs = append(c.errs, err)
+	}
+}

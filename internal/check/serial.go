@@ -1,0 +1,129 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/shmem"
+)
+
+// SerialChecker validates any object driven by incremental helping: since
+// at most one operation is ever pending, announcing a new operation proves
+// the previous one has completed, so operations are totally ordered by
+// their announce events. At every announce the checker (1) validates the
+// concrete structure against the model and (2) applies the newly announced
+// operation (read from the object's Par record via the Apply callback) to
+// the model, queueing the expected result; EndOp compares actual results
+// against the queue.
+//
+// It generalizes the unilist checker to the queue, stack, and any future
+// incremental-helping object.
+type SerialChecker struct {
+	mem        *shmem.Mem
+	annPidAddr shmem.Addr
+	n          int
+
+	// Apply reads process p's announced operation from the object (via
+	// Peek), applies it to the caller's model, and returns the expected
+	// boolean result.
+	apply func(p int) bool
+	// Validate compares the concrete structure against the model,
+	// returning a description of the first discrepancy.
+	validate func() error
+
+	expected  map[int][]bool
+	errs      []error
+	maxErrs   int
+	announces int
+}
+
+// NewSerialChecker installs a checker observing the given announce word.
+func NewSerialChecker(m *shmem.Mem, annPid shmem.Addr, n int, apply func(p int) bool, validate func() error) *SerialChecker {
+	c := &SerialChecker{
+		mem:        m,
+		annPidAddr: annPid,
+		n:          n,
+		apply:      apply,
+		validate:   validate,
+		expected:   make(map[int][]bool),
+		maxErrs:    20,
+	}
+	m.AddObserver(c)
+	return c
+}
+
+var _ shmem.Observer = (*SerialChecker)(nil)
+
+// OnWrite implements shmem.Observer.
+func (c *SerialChecker) OnWrite(ev shmem.WriteEvent) {
+	if len(c.errs) >= c.maxErrs {
+		return
+	}
+	if ev.Addr != c.annPidAddr || ev.Kind != shmem.OpStore {
+		return
+	}
+	p := int(ev.New)
+	if p >= c.n {
+		return // un-announce
+	}
+	c.announces++
+	if err := c.validate(); err != nil {
+		c.fail(fmt.Errorf("check: step %d (announce by %d): %w", ev.Step, p, err))
+	}
+	c.expected[p] = append(c.expected[p], c.apply(p))
+}
+
+// EndOp reports process p's actual result, in program order.
+func (c *SerialChecker) EndOp(p int, got bool) {
+	q := c.expected[p]
+	if len(q) == 0 {
+		c.fail(fmt.Errorf("check: process %d finished an operation that was never announced", p))
+		return
+	}
+	want := q[0]
+	c.expected[p] = q[1:]
+	if got != want {
+		c.fail(fmt.Errorf("check: process %d operation returned %v, model says %v", p, got, want))
+	}
+}
+
+// Finish validates the final structure and that all results were consumed.
+func (c *SerialChecker) Finish() {
+	if err := c.validate(); err != nil {
+		c.fail(fmt.Errorf("check: final state: %w", err))
+	}
+	for p, q := range c.expected {
+		if len(q) != 0 {
+			c.fail(fmt.Errorf("check: process %d has %d unreported operations", p, len(q)))
+		}
+	}
+}
+
+// Announces returns the number of announce events observed.
+func (c *SerialChecker) Announces() int { return c.announces }
+
+// Err returns accumulated violations.
+func (c *SerialChecker) Err() error {
+	if len(c.errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("check: %d violations; first: %v", len(c.errs), c.errs[0])
+}
+
+func (c *SerialChecker) fail(err error) {
+	if len(c.errs) < c.maxErrs {
+		c.errs = append(c.errs, err)
+	}
+}
+
+// SliceEqual is a helper for validate callbacks comparing value sequences.
+func SliceEqual(got, want []uint64) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("structure has %d values %v, model has %d values %v", len(got), got, len(want), want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Errorf("value[%d] = %d, model = %d (structure %v, model %v)", i, got[i], want[i], got, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core/unilist"
+	"repro/internal/shmem"
+)
+
+// UniListChecker validates a unilist.List run.
+//
+// Incremental helping serializes operations: exactly one operation is
+// pending at a time, and announcing a new operation (the store of p into
+// Ann.pid, line 20 of Figure 5) proves the previous one has completed. The
+// checker therefore keeps a model sorted set and, at every announce event:
+//
+//  1. verifies the concrete list (snapshot) equals the model — the
+//     previously announced operation must be fully applied and the list
+//     must contain no stray bits or partial splices;
+//  2. reads the announcing process's Par record, applies the operation to
+//     the model, and queues the expected result.
+//
+// The harness reports each operation's actual return value through EndOp,
+// which is compared against the queued expectation.
+type UniListChecker struct {
+	list *unilist.List
+	mem  *shmem.Mem
+
+	annPidAddr shmem.Addr
+	n          int
+
+	model     map[uint64]bool
+	expected  map[int][]bool // queued expected results per process
+	errs      []error
+	maxErrs   int
+	announces int
+}
+
+// Operation codes mirrored from unilist's Par encoding.
+const (
+	uniOpIns uint64 = 1
+	uniOpDel uint64 = 2
+	uniOpSch uint64 = 3
+)
+
+// NewUniListChecker creates a checker and installs it as a memory observer.
+// The list must be empty (or Reset to a known state) when installed.
+func NewUniListChecker(l *unilist.List, m *shmem.Mem, n int) *UniListChecker {
+	c := &UniListChecker{
+		list:       l,
+		mem:        m,
+		n:          n,
+		model:      make(map[uint64]bool),
+		expected:   make(map[int][]bool),
+		maxErrs:    20,
+		annPidAddr: l.AnnPidAddr(),
+	}
+	for _, k := range l.Snapshot() {
+		c.model[k] = true
+	}
+	m.AddObserver(c)
+	return c
+}
+
+var _ shmem.Observer = (*UniListChecker)(nil)
+
+// OnWrite implements shmem.Observer.
+func (c *UniListChecker) OnWrite(ev shmem.WriteEvent) {
+	if len(c.errs) >= c.maxErrs {
+		return
+	}
+	if ev.Addr != c.annPidAddr || ev.Kind != shmem.OpStore {
+		return
+	}
+	p := int(ev.New)
+	if p >= c.n {
+		return // un-announce (Ann.pid := N)
+	}
+	c.announces++
+	// (1) Quiescent point: previous operation fully applied.
+	c.compareSnapshot(ev.Step)
+	// (2) Apply the newly announced operation to the model.
+	node, key, op := c.list.PeekPar(p)
+	switch op {
+	case uniOpIns:
+		if c.model[key] {
+			c.expect(p, false)
+		} else {
+			c.model[key] = true
+			c.expect(p, true)
+		}
+		_ = node
+	case uniOpDel:
+		if c.model[key] {
+			delete(c.model, key)
+			c.expect(p, true)
+		} else {
+			c.expect(p, false)
+		}
+	case uniOpSch:
+		c.expect(p, c.model[key])
+	default:
+		c.fail(fmt.Errorf("check: step %d: process %d announced unknown op %d", ev.Step, p, op))
+	}
+}
+
+func (c *UniListChecker) compareSnapshot(step uint64) {
+	got := c.list.Snapshot()
+	want := make([]uint64, 0, len(c.model))
+	for k := range c.model {
+		want = append(want, k)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		c.fail(fmt.Errorf("check: step %d: list has %d keys %v, model has %d keys %v", step, len(got), got, len(want), want))
+		return
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			c.fail(fmt.Errorf("check: step %d: list key[%d] = %d, model = %d", step, i, got[i], want[i]))
+			return
+		}
+	}
+}
+
+func (c *UniListChecker) expect(p int, v bool) {
+	c.expected[p] = append(c.expected[p], v)
+}
+
+// EndOp reports process p's actual operation result, in program order.
+func (c *UniListChecker) EndOp(p int, got bool) {
+	q := c.expected[p]
+	if len(q) == 0 {
+		c.fail(fmt.Errorf("check: process %d finished an operation that was never announced", p))
+		return
+	}
+	want := q[0]
+	c.expected[p] = q[1:]
+	if got != want {
+		c.fail(fmt.Errorf("check: process %d operation returned %v, model says %v", p, got, want))
+	}
+}
+
+// Finish verifies the final list matches the model and that every expected
+// result was consumed. Call after the run completes.
+func (c *UniListChecker) Finish() {
+	c.compareSnapshot(c.mem.Steps())
+	for p, q := range c.expected {
+		if len(q) != 0 {
+			c.fail(fmt.Errorf("check: process %d has %d unreported operations", p, len(q)))
+		}
+	}
+}
+
+// Announces returns the number of announce events observed.
+func (c *UniListChecker) Announces() int { return c.announces }
+
+// Err returns accumulated violations, nil if clean.
+func (c *UniListChecker) Err() error {
+	if len(c.errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("check: %d violations; first: %v", len(c.errs), c.errs[0])
+}
+
+func (c *UniListChecker) fail(err error) {
+	if len(c.errs) < c.maxErrs {
+		c.errs = append(c.errs, err)
+	}
+}

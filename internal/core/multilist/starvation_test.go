@@ -1,0 +1,73 @@
+package multilist_test
+
+import (
+	"testing"
+
+	"repro/internal/arena"
+	"repro/internal/core/multilist"
+	"repro/internal/helping"
+	"repro/internal/sched"
+)
+
+// TestPriorityHelpingStarvation is ablation A6, the caveat at the end of
+// Section 3.4: "in non-real-time systems, priority helping could result in
+// the starvation of low-priority processes if high-priority processes
+// perform operations very frequently." A low-priority operation's response
+// time under a stream of high-priority operations grows with the stream
+// under priority helping, while cyclic helping bounds it by the ring
+// (2P operations).
+func TestPriorityHelpingStarvation(t *testing.T) {
+	response := func(mode helping.Mode, burst int) int64 {
+		s := sched.New(sched.Config{Processors: 4, Seed: 5, MemWords: 1 << 19})
+		ar, err := arena.New(s.Mem(), 1024, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := multilist.New(s.Mem(), ar, multilist.Config{Processors: 4, Procs: 4, Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := make([]uint64, 200)
+		for i := range keys {
+			keys[i] = uint64(10 * (i + 1))
+		}
+		if err := l.SeedAscending(keys); err != nil {
+			t.Fatal(err)
+		}
+		ar.Freeze()
+		var low int64
+		// The low-priority operation arrives first on cpu 0.
+		s.Spawn(sched.JobSpec{Name: "low", CPU: 0, Prio: 1, Slot: 0, AfterSlices: -1, Body: func(e *sched.Env) {
+			start := e.Now()
+			l.Search(e, 2005) // full scan
+			low = e.Now() - start
+		}})
+		// High-priority op streams on the other processors, arriving
+		// staggered so there is always a high-priority op pending.
+		for cpu := 1; cpu < 4; cpu++ {
+			cpu := cpu
+			s.Spawn(sched.JobSpec{Name: "", CPU: cpu, Prio: 9, Slot: cpu, At: int64(cpu), AfterSlices: -1, Body: func(e *sched.Env) {
+				for i := 0; i < burst; i++ {
+					l.Search(e, 2005)
+				}
+			}})
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return low
+	}
+	cyc := response(helping.Cyclic, 6)
+	priShort := response(helping.Priority, 2)
+	priLong := response(helping.Priority, 6)
+	// Under priority helping the low op's response grows with the
+	// high-priority stream; under cyclic helping it does not exceed the
+	// long-stream priority response (the ring serves it within 2P ops).
+	if priLong <= priShort {
+		t.Errorf("priority-helping low response did not grow with the stream: burst2=%d burst6=%d", priShort, priLong)
+	}
+	if cyc >= priLong {
+		t.Errorf("cyclic helping (%d) should bound the low op better than priority helping under load (%d)", cyc, priLong)
+	}
+	t.Logf("low-prio response: cyclic=%d, priority(short stream)=%d, priority(long stream)=%d", cyc, priShort, priLong)
+}

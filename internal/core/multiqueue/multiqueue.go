@@ -1,0 +1,259 @@
+// Package multiqueue implements a wait-free FIFO queue for priority-based
+// multiprocessors — the queue instance of the paper's Section 4 claim,
+// built exactly like the multiprocessor list (Figure 7): per-processor
+// announce records, cyclic or priority helping, and version-guarded CCAS
+// for every structural update.
+//
+// Enqueue is the list's insert protocol at the tail position (the scan for
+// the tail checkpoints in Ann[R].ptr); dequeue fixes its victim in
+// Par[p].node with a version-guarded CCAS before unsplicing, exactly as the
+// list's delete records its node on line 53. All the round-stability
+// arguments of the list transfer: an operation completes inside the round
+// that decides it, so the "already done" discriminators (the new node's
+// next pointer for enqueues, Par[p].node for dequeues) are safe.
+package multiqueue
+
+import (
+	"fmt"
+
+	"repro/internal/arena"
+	"repro/internal/helping"
+	"repro/internal/prim"
+	"repro/internal/sched"
+	"repro/internal/shmem"
+)
+
+// Operation codes stored in Par[p].op.
+const (
+	opEnq uint64 = iota + 1
+	opDeq
+)
+
+// Rv values.
+const (
+	// RvPending: the operation has not completed.
+	RvPending uint64 = 0
+	// RvFalse: the operation completed and reports false (empty dequeue).
+	RvFalse uint64 = 1
+	// RvTrue: the operation completed and reports true.
+	RvTrue uint64 = 2
+)
+
+// Done is the completion predicate.
+func Done(rv uint64) bool { return rv != RvPending }
+
+// Config configures the queue.
+type Config struct {
+	// Processors is P; Procs is N.
+	Processors, Procs int
+	// CC selects the CCAS implementation; defaults to Native.
+	CC prim.Impl
+	// Mode selects cyclic or priority helping; defaults to Cyclic.
+	Mode helping.Mode
+	// OneRound enables the single-traversal optimization of [1].
+	OneRound bool
+}
+
+// Queue is a wait-free FIFO queue.
+type Queue struct {
+	mem *shmem.Mem
+	ar  *arena.Arena
+	cc  prim.Impl
+	eng *helping.Engine
+	n   int
+
+	first, last arena.Ref
+	par         shmem.Addr // Par[p]: node, op (N+1 rows)
+	annPtr      shmem.Addr // Ann[R].ptr tail-scan checkpoints
+}
+
+const (
+	parNode   = 0
+	parOp     = 1
+	parStride = 2
+)
+
+// New creates a queue; the arena must not be frozen.
+func New(m *shmem.Mem, ar *arena.Arena, cfg Config) (*Queue, error) {
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("multiqueue: process count %d out of range", cfg.Procs)
+	}
+	if cfg.CC == nil {
+		cfg.CC = prim.Native{}
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = helping.Cyclic
+	}
+	par, err := m.Alloc("QPar", (cfg.Procs+1)*parStride)
+	if err != nil {
+		return nil, fmt.Errorf("multiqueue: %w", err)
+	}
+	annPtr, err := m.Alloc("QAnnPtr", cfg.Processors)
+	if err != nil {
+		return nil, fmt.Errorf("multiqueue: %w", err)
+	}
+	q := &Queue{mem: m, ar: ar, cc: cfg.CC, n: cfg.Procs, par: par, annPtr: annPtr}
+	ar.SetNextImpl(cfg.CC)
+	q.first = ar.Static()
+	q.last = ar.Static()
+	cfg.CC.InitWord(m, ar.NextAddr(q.first), uint64(q.last))
+	cfg.CC.InitWord(m, ar.NextAddr(q.last), uint64(arena.NIL))
+	for r := 0; r < cfg.Processors; r++ {
+		cfg.CC.InitWord(m, q.annPtrAddr(r), uint64(q.first))
+	}
+	eng, err := helping.New(m, helping.Config{
+		Processors: cfg.Processors,
+		Procs:      cfg.Procs,
+		Mode:       cfg.Mode,
+		CC:         cfg.CC,
+		Done:       Done,
+		Help:       q.help,
+		OnAnnounce: func(e *sched.Env) {
+			q.cc.Write(e, q.annPtrAddr(e.CPU()), uint64(q.first))
+		},
+		OneRound: cfg.OneRound,
+	}, RvTrue)
+	if err != nil {
+		return nil, err
+	}
+	q.eng = eng
+	return q, nil
+}
+
+func (q *Queue) annPtrAddr(r int) shmem.Addr { return q.annPtr + shmem.Addr(r) }
+
+func (q *Queue) parAddr(p int, f shmem.Addr) shmem.Addr {
+	return q.par + shmem.Addr(p*parStride) + f
+}
+
+// Engine exposes the helping engine for checkers and benches.
+func (q *Queue) Engine() *helping.Engine { return q.eng }
+
+// Enqueue appends val to the queue.
+func (q *Queue) Enqueue(e *sched.Env, val uint64) {
+	p := e.Slot()
+	node, ok := q.ar.Alloc(e, p)
+	if !ok {
+		panic(fmt.Sprintf("multiqueue: process %d exhausted its node pool", p))
+	}
+	e.Store(q.ar.ValAddr(node), val)
+	q.cc.Write(e, q.ar.NextAddr(node), uint64(arena.NIL))
+	q.cc.Write(e, q.parAddr(p, parNode), uint64(node))
+	e.Store(q.parAddr(p, parOp), opEnq)
+	q.cc.Write(e, q.eng.RvAddr(p), RvPending)
+	q.eng.DoOp(e)
+}
+
+// Dequeue removes and returns the oldest value; ok is false when the queue
+// was empty.
+func (q *Queue) Dequeue(e *sched.Env) (val uint64, ok bool) {
+	p := e.Slot()
+	e.Store(q.parAddr(p, parOp), opDeq)
+	q.cc.Write(e, q.parAddr(p, parNode), uint64(arena.NIL))
+	q.cc.Write(e, q.eng.RvAddr(p), RvPending)
+	q.eng.DoOp(e)
+	node := arena.Ref(q.cc.Read(e, q.parAddr(p, parNode)))
+	if node == arena.NIL {
+		return 0, false
+	}
+	val = e.Load(q.ar.ValAddr(node))
+	q.ar.Free(e, p, node)
+	return val, true
+}
+
+// help drives the operation announced on ver.Target.
+func (q *Queue) help(e *sched.Env, ver helping.Version) {
+	vw := helping.PackVersion(ver)
+	pid := q.eng.AnnPid(e, ver.Target)
+	switch e.Load(q.parAddr(pid, parOp)) {
+	case opEnq:
+		q.helpEnq(e, vw, ver, pid)
+	case opDeq:
+		q.helpDeq(e, vw, pid)
+	default:
+		// Guard row or stale announce; all CCASes would fail anyway.
+	}
+}
+
+func (q *Queue) helpEnq(e *sched.Env, vw uint64, ver helping.Version, pid int) {
+	curr := q.findtail(e, ver, pid)
+	if e.Load(q.eng.VAddr()) != vw {
+		return
+	}
+	nextp := arena.Ref(q.cc.Read(e, q.ar.NextAddr(curr)))
+	if q.cc.Read(e, q.eng.RvAddr(pid)) != RvPending {
+		return
+	}
+	newNode := arena.Ref(q.cc.Read(e, q.parAddr(pid, parNode)))
+	if curr != newNode {
+		// Splice before the tail sentinel (the list's lines 50-51).
+		q.cc.Exec(e, q.eng.VAddr(), vw, q.ar.NextAddr(newNode), uint64(arena.NIL), uint64(q.last))
+		if nextp == q.last {
+			if q.cc.Exec(e, q.eng.VAddr(), vw, q.ar.NextAddr(curr), uint64(q.last), uint64(newNode)) {
+				e.Tracef("enqueue p=%d node=%d", pid, newNode)
+			}
+		}
+	}
+	// curr == newNode: the scan landed on the operation's own node — the
+	// splice is already done this round. Fall through either way.
+	q.cc.Exec(e, q.eng.VAddr(), vw, q.eng.RvAddr(pid), RvPending, RvTrue)
+}
+
+func (q *Queue) helpDeq(e *sched.Env, vw uint64, pid int) {
+	victim := arena.Ref(q.cc.Read(e, q.parAddr(pid, parNode)))
+	if victim == arena.NIL {
+		head := arena.Ref(q.cc.Read(e, q.ar.NextAddr(q.first)))
+		if q.cc.Read(e, q.eng.RvAddr(pid)) != RvPending {
+			return
+		}
+		if head == q.last {
+			q.cc.Exec(e, q.eng.VAddr(), vw, q.eng.RvAddr(pid), RvPending, RvFalse)
+			return
+		}
+		// Fix the victim (line 53 of Figure 7).
+		q.cc.Exec(e, q.eng.VAddr(), vw, q.parAddr(pid, parNode), uint64(arena.NIL), uint64(head))
+		victim = arena.Ref(q.cc.Read(e, q.parAddr(pid, parNode)))
+		if victim == arena.NIL {
+			return // version moved; a newer round will finish the job
+		}
+	}
+	succ := arena.Ref(q.cc.Read(e, q.ar.NextAddr(victim)))
+	if q.cc.Read(e, q.eng.RvAddr(pid)) != RvPending {
+		return
+	}
+	if q.cc.Exec(e, q.eng.VAddr(), vw, q.ar.NextAddr(q.first), uint64(victim), uint64(succ)) {
+		e.Tracef("dequeue p=%d node=%d", pid, victim)
+	}
+	q.cc.Exec(e, q.eng.VAddr(), vw, q.eng.RvAddr(pid), RvPending, RvTrue)
+}
+
+// findtail scans for the tail predecessor from the processor's checkpoint.
+func (q *Queue) findtail(e *sched.Env, ver helping.Version, pid int) arena.Ref {
+	vw := helping.PackVersion(ver)
+	for q.cc.Read(e, q.eng.RvAddr(pid)) == RvPending {
+		curr := arena.Ref(q.cc.Read(e, q.annPtrAddr(ver.Target)))
+		nextp := arena.Ref(q.cc.Read(e, q.ar.NextAddr(curr)))
+		if e.Load(q.eng.VAddr()) != vw {
+			return q.first
+		}
+		if nextp == q.last || nextp == arena.NIL {
+			return curr
+		}
+		q.cc.Exec(e, q.eng.VAddr(), vw, q.annPtrAddr(ver.Target), uint64(curr), uint64(nextp))
+	}
+	return q.first
+}
+
+// Snapshot returns the queued values in FIFO order (quiescent use only).
+func (q *Queue) Snapshot() []uint64 {
+	var vals []uint64
+	r := arena.Ref(q.cc.Logical(q.mem.Peek(q.ar.NextAddr(q.first))))
+	for r != q.last && r != arena.NIL {
+		vals = append(vals, q.mem.Peek(q.ar.ValAddr(r)))
+		if len(vals) > q.ar.Capacity() {
+			panic("multiqueue: queue cycle detected")
+		}
+		r = arena.Ref(q.cc.Logical(q.mem.Peek(q.ar.NextAddr(r))))
+	}
+	return vals
+}

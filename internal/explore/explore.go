@@ -1,0 +1,80 @@
+// Package explore provides exhaustive release-point exploration: the
+// model-checking-lite discipline used throughout this repository's tests
+// and by cmd/wfcheck.
+//
+// The scheduler's slice-triggered job releases (sched.JobSpec.AfterSlices)
+// make "release adversary i exactly when the system has executed k_i
+// slices" a deterministic scheduling handle. A Scenario closure builds and
+// runs one complete simulation for a given release vector; Sweep enumerates
+// vectors so that every preemption window of the victim's operations is
+// exercised. Because each run is deterministic, a failing vector is a
+// perfect reproducer.
+package explore
+
+import (
+	"fmt"
+)
+
+// Scenario builds and runs one schedule for the given adversary release
+// points (in executed slices). It returns an error if the run or its
+// checkers detect a violation; the error is wrapped with the vector.
+type Scenario func(releases []int64) error
+
+// Config bounds a sweep.
+type Config struct {
+	// Adversaries is the number of release points to enumerate.
+	Adversaries int
+	// Max bounds each release point: points range over [0, Max).
+	Max int64
+	// Stride samples every Stride-th point (1 = exhaustive).
+	Stride int64
+	// Gap constrains successive release points: point i+1 ranges over
+	// [point_i + 1, point_i + Gap]. Zero means independent full ranges
+	// (beware: the space is Max^Adversaries).
+	Gap int64
+}
+
+// Sweep runs the scenario for every release vector permitted by cfg and
+// returns the number of schedules explored. It stops at the first failure.
+func Sweep(cfg Config, s Scenario) (int, error) {
+	if cfg.Adversaries < 1 {
+		return 0, fmt.Errorf("explore: need at least one adversary")
+	}
+	if cfg.Max < 1 {
+		return 0, fmt.Errorf("explore: Max must be positive")
+	}
+	if cfg.Stride < 1 {
+		cfg.Stride = 1
+	}
+	vec := make([]int64, cfg.Adversaries)
+	n := 0
+	var rec func(i int, lo int64) error
+	rec = func(i int, lo int64) error {
+		if i == cfg.Adversaries {
+			n++
+			if err := s(append([]int64(nil), vec...)); err != nil {
+				return fmt.Errorf("explore: vector %v: %w", vec, err)
+			}
+			return nil
+		}
+		hi := cfg.Max
+		if cfg.Gap > 0 && i > 0 {
+			hi = lo + cfg.Gap
+		}
+		for k := lo; k < hi; k += cfg.Stride {
+			vec[i] = k
+			next := int64(0)
+			if cfg.Gap > 0 {
+				next = k + 1
+			}
+			if err := rec(i+1, next); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0, 0); err != nil {
+		return n, err
+	}
+	return n, nil
+}

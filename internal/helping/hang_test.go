@@ -1,0 +1,45 @@
+package helping_test
+
+import (
+	"testing"
+
+	"repro/internal/helping"
+	"repro/internal/sched"
+)
+
+// TestMismatchFallThroughRegression pins a liveness hazard found by soak
+// testing: a helper whose invalidation CCAS (the Figure 6 line 21 path)
+// fails must fall through to the swap phase rather than return. Otherwise
+// an operation can wedge in the compare-validated state (Rv=1) forever: its
+// value was already swapped by a stalled helper, every later helper sees a
+// "mismatch", and the 0->3 invalidation can never fire. This seed drove the
+// buggy variant to a 200M-step watchdog; the correct fall-through (which
+// both Figure 6 and internal/core/multimwcas implement) finishes in a few
+// thousand steps.
+func TestMismatchFallThroughRegression(t *testing.T) {
+	seed := int64(6045429180043275507)
+	const nCPU, nProc, ops = 3, 6, 5
+	s := sched.New(sched.Config{Processors: nCPU, Seed: seed, MemWords: 1 << 12, MaxSteps: 2_000_000})
+	o := newCounterObject(t, s.Mem(), nCPU, nProc, helping.Priority)
+	rng := s.Rand()
+	want := uint64(0)
+	for p := 0; p < nProc; p++ {
+		p := p
+		s.Spawn(sched.JobSpec{
+			Name: "", CPU: p % nCPU, Prio: sched.Priority(rng.Intn(4)), Slot: p,
+			At: rng.Int63n(150), AfterSlices: -1,
+			Body: func(e *sched.Env) {
+				for i := 0; i < ops; i++ {
+					o.Add(e, uint64(p+1))
+				}
+			},
+		})
+		want += uint64(p+1) * ops
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Mem().Peek(o.counter); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+}

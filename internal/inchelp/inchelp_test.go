@@ -1,0 +1,147 @@
+package inchelp_test
+
+import (
+	"testing"
+
+	"repro/internal/inchelp"
+	"repro/internal/sched"
+	"repro/internal/shmem"
+)
+
+// regObject: each operation appends its slot id to a shared journal exactly
+// once, via a write-once per-op cell (helpers race benignly on the same
+// value).
+type regObject struct {
+	eng     *inchelp.Engine
+	journal shmem.Addr // journal[0] = length, then entries
+	par     shmem.Addr // per slot: value to record
+}
+
+func newRegObject(t *testing.T, m *shmem.Mem, n int) *regObject {
+	t.Helper()
+	o := &regObject{}
+	o.journal = m.MustAlloc("journal", 64)
+	o.par = m.MustAlloc("rpar", 2*n) // per slot: value, journal cell
+	eng, err := inchelp.New(m, inchelp.Config{
+		Procs: n,
+		Help: func(e *sched.Env, pid int) {
+			// Record Par[pid].val at Par[pid].cell. The cell index is
+			// fixed per operation (chosen at announce time), so every
+			// helper — including stale ones resuming later — writes
+			// the same cell with the same value: idempotent, the
+			// discipline the paper's objects follow.
+			if e.Load(o.eng.RvAddr(pid)) != inchelp.RvPending {
+				return
+			}
+			val := e.Load(o.par + shmem.Addr(2*pid))
+			cell := e.Load(o.par + shmem.Addr(2*pid+1))
+			e.CAS(o.journal+1+shmem.Addr(cell), 0, val+1) // +1: cells are zero-initialized
+			e.CAS(o.journal, cell, cell+1)
+			e.Store(o.eng.RvAddr(pid), inchelp.RvTrue)
+		},
+		OnAnnounce: func(e *sched.Env) {
+			// The previous operation has been drained, so the cursor
+			// is stable; claim the next cell for this operation.
+			e.Store(o.par+shmem.Addr(2*e.Slot()+1), e.Load(o.journal))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.eng = eng
+	return o
+}
+
+func (o *regObject) Record(e *sched.Env, v uint64) {
+	e.Store(o.par+shmem.Addr(2*e.Slot()), v)
+	o.eng.DoOp(e)
+}
+
+func (o *regObject) entries(m *shmem.Mem) []uint64 {
+	n := m.Peek(o.journal)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = m.Peek(o.journal+1+shmem.Addr(i)) - 1
+	}
+	return out
+}
+
+// TestSerialization: operations append in announce order, exactly once,
+// under nested preemption.
+func TestSerialization(t *testing.T) {
+	s := sched.New(sched.Config{Processors: 1, Seed: 1, MemWords: 1 << 12, EnableTrace: true})
+	o := newRegObject(t, s.Mem(), 3)
+	s.Spawn(sched.JobSpec{Name: "p", CPU: 0, Prio: 1, Slot: 0, AfterSlices: -1, Body: func(e *sched.Env) {
+		o.Record(e, 100)
+		o.Record(e, 101)
+	}})
+	s.Spawn(sched.JobSpec{Name: "q", CPU: 0, Prio: 2, Slot: 1, AfterSlices: 8, Body: func(e *sched.Env) {
+		o.Record(e, 200)
+	}})
+	s.Spawn(sched.JobSpec{Name: "r", CPU: 0, Prio: 3, Slot: 2, AfterSlices: 12, Body: func(e *sched.Env) {
+		o.Record(e, 300)
+	}})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := o.entries(s.Mem())
+	if len(got) != 4 {
+		t.Fatalf("journal = %v, want 4 entries", got)
+	}
+	seen := map[uint64]int{}
+	for _, v := range got {
+		seen[v]++
+	}
+	for _, v := range []uint64{100, 101, 200, 300} {
+		if seen[v] != 1 {
+			t.Errorf("value %d recorded %d times, want exactly once (journal %v)", v, seen[v], got)
+		}
+	}
+	// Priority semantics: the preempted op of p (100) completes before the
+	// preemptors' own ops (helping), so 100 precedes 200 and 300; and p's
+	// second op runs last.
+	if got[0] != 100 {
+		t.Errorf("first journal entry = %d, want 100 (helped first)", got[0])
+	}
+	if got[3] != 101 {
+		t.Errorf("last journal entry = %d, want 101 (lowest priority resumes last)", got[3])
+	}
+}
+
+// TestAnnounceLifecycle: the announce word returns to N after each op.
+func TestAnnounceLifecycle(t *testing.T) {
+	s := sched.New(sched.Config{Processors: 1, Seed: 1, MemWords: 1 << 12})
+	o := newRegObject(t, s.Mem(), 2)
+	s.SpawnAt(0, 0, 1, "p", func(e *sched.Env) {
+		o.Record(e, 1)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Mem().Peek(o.eng.AnnPidAddr()); got != 2 {
+		t.Errorf("announce word = %d after quiescence, want N=2", got)
+	}
+}
+
+// TestValidation covers configuration errors.
+func TestValidation(t *testing.T) {
+	m := shmem.New(64)
+	if _, err := inchelp.New(m, inchelp.Config{Procs: 0, Help: func(*sched.Env, int) {}}); err == nil {
+		t.Error("zero procs accepted")
+	}
+	if _, err := inchelp.New(m, inchelp.Config{Procs: 1}); err == nil {
+		t.Error("nil Help accepted")
+	}
+}
+
+// TestSlotRangePanics: an out-of-range slot is a programming error.
+func TestSlotRangePanics(t *testing.T) {
+	s := sched.New(sched.Config{Processors: 1, Seed: 1, MemWords: 1 << 12})
+	o := newRegObject(t, s.Mem(), 1)
+	s.Spawn(sched.JobSpec{Name: "p", CPU: 0, Prio: 1, Slot: 5, AfterSlices: -1, Body: func(e *sched.Env) {
+		o.eng.DoOp(e)
+	}})
+	if err := s.Run(); err == nil {
+		t.Fatal("out-of-range slot accepted")
+	}
+}

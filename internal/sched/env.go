@@ -1,0 +1,181 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/shmem"
+	"repro/internal/trace"
+)
+
+// Env is the execution context handed to a simulated process's body. All
+// shared-memory access and all timing-relevant actions go through it; that
+// is what makes every memory operation a potential preemption point and what
+// charges virtual time.
+//
+// An Env is only valid inside the body of the process it was created for.
+type Env struct {
+	sim *Sim
+	p   *Proc
+
+	// pending is the virtual-time cost accumulated since the last yield.
+	pending int64
+	// noPreempt > 0 suppresses preemption on this processor (Figure 8(b)
+	// "executed without preemption"); preemption points still yield so
+	// other processors can interleave, but this processor's scheduler
+	// sticks to the current process.
+	noPreempt int
+	// sliceOps counts non-yielding operations since the last preemption
+	// point (Coarse granularity slice bounding).
+	sliceOps int
+	// rng is lazily created per process for workload decisions inside
+	// bodies; deterministic from the run seed and process id.
+	rng *rand.Rand
+}
+
+// point charges cost units and yields if this operation is a preemption
+// point under the configured granularity. Coarse granularity still bounds
+// slice length (coarseSliceOps): long scans made only of plain loads must
+// remain interruptible and interleavable across processors, otherwise whole
+// list traversals would execute atomically and contention would vanish.
+func (e *Env) point(cost int64, sync bool) {
+	e.pending += cost
+	e.sliceOps++
+	if e.sim.cfg.Granularity == Fine || sync || e.sliceOps >= coarseSliceOps {
+		e.sliceOps = 0
+		e.yieldNow()
+	}
+}
+
+// coarseSliceOps is the maximum number of non-synchronizing memory
+// operations between preemption points under Coarse granularity.
+const coarseSliceOps = 32
+
+// yieldNow hands control back to the scheduler and blocks until this process
+// is dispatched again. The pending cost is reset before the send: after the
+// send this goroutine and the scheduler run concurrently until the blocking
+// receive below, so the coroutine must not touch shared state (including
+// its own Env fields the scheduler might read) in that window.
+func (e *Env) yieldNow() {
+	if e.sim.aborting {
+		panic(errAborted)
+	}
+	cost := e.pending
+	e.pending = 0
+	e.p.yield <- yieldMsg{kind: yieldPoint, cost: cost}
+	<-e.p.resume
+	if e.sim.aborting {
+		panic(errAborted)
+	}
+}
+
+// Yield is an explicit preemption point with no memory operation. In Coarse
+// granularity it is the only way (besides synchronizing operations) for a
+// long computation to admit preemption.
+func (e *Env) Yield() { e.point(0, true) }
+
+// Delay charges d units of virtual time, as the paper's delay(Δ) statement
+// (Section 3.3, Figure 8(c)). It is a preemption point.
+func (e *Env) Delay(d int64) {
+	if d < 0 {
+		panic(fmt.Sprintf("sched: negative delay %d", d))
+	}
+	e.point(d, true)
+}
+
+// NoPreempt runs f with preemption disabled on this processor, the mechanism
+// the paper assumes for CCAS lines 3-4 ("either disabling interrupts or
+// having the operating system roll back"). Other processors still interleave
+// with f's memory operations; only local preemption is masked. Nesting is
+// allowed.
+func (e *Env) NoPreempt(f func()) {
+	e.noPreempt++
+	defer func() { e.noPreempt-- }()
+	f()
+}
+
+// Load reads word a. One time unit; a preemption point in Fine granularity.
+func (e *Env) Load(a shmem.Addr) uint64 {
+	v := e.sim.mem.Load(a)
+	e.point(1, false)
+	return v
+}
+
+// Store writes word a. One time unit; a preemption point in Fine
+// granularity. (The paper's uniprocessor algorithms use plain writes for
+// announce and status variables; their correctness under preemption comes
+// from the priority model, which the scheduler enforces.)
+func (e *Env) Store(a shmem.Addr, v uint64) {
+	e.sim.mem.Store(a, v)
+	e.point(1, false)
+}
+
+// CAS performs an atomic compare-and-swap. One time unit; always a
+// preemption point.
+func (e *Env) CAS(a shmem.Addr, old, val uint64) bool {
+	ok := e.sim.mem.CAS(a, old, val)
+	e.point(e.sim.cfg.SyncCost, true)
+	return ok
+}
+
+// CAS2 performs an atomic two-word compare-and-swap (used only by the
+// Greenwald–Cheriton baseline; the paper's own algorithms need just CAS and
+// CCAS). One time unit; always a preemption point.
+func (e *Env) CAS2(a1, a2 shmem.Addr, old1, old2, new1, new2 uint64) bool {
+	ok := e.sim.mem.CAS2(a1, a2, old1, old2, new1, new2)
+	e.point(e.sim.cfg.SyncCost, true)
+	return ok
+}
+
+// CCASNative performs the paper's CCAS (Figure 8(a)) as a single atomic
+// machine step. The software implementations built from CAS live in
+// internal/prim. One time unit; always a preemption point.
+func (e *Env) CCASNative(v shmem.Addr, ver uint64, x shmem.Addr, old, val uint64) bool {
+	ok := e.sim.mem.CCAS(v, ver, x, old, val)
+	e.point(e.sim.cfg.SyncCost, true)
+	return ok
+}
+
+// Me returns the sched-level process id of this process.
+func (e *Env) Me() int { return e.p.id }
+
+// Slot returns the algorithm-level process identifier (the p of Status[p],
+// Par[p], Rv[p], ...).
+func (e *Env) Slot() int { return e.p.spec.Slot }
+
+// CPU returns the processor this process runs on (mypr in the paper).
+func (e *Env) CPU() int { return e.p.spec.CPU }
+
+// Prio returns this process's priority.
+func (e *Env) Prio() Priority { return e.p.spec.Prio }
+
+// Now returns the current virtual time on this process's processor,
+// including cost accumulated since the last yield.
+func (e *Env) Now() int64 { return e.sim.cpus[e.p.spec.CPU].clock + e.pending }
+
+// Rand returns a deterministic per-process random source for workload
+// decisions made inside process bodies.
+func (e *Env) Rand() *rand.Rand {
+	if e.rng == nil {
+		e.rng = rand.New(rand.NewSource(e.sim.cfg.Seed*1_000_003 + int64(e.p.id)))
+	}
+	return e.rng
+}
+
+// Tracef records an algorithm annotation in the run trace (no-op when
+// tracing is disabled). Annotations carry the semantic events — announce,
+// help, commit — that the Figure 2 reproduction asserts on.
+func (e *Env) Tracef(format string, args ...any) {
+	if e.sim.log == nil {
+		return
+	}
+	e.sim.emit(trace.KindAnnotate, e.p.spec.CPU, e.p, fmt.Sprintf(format, args...))
+}
+
+// SyncCostUnits returns the configured virtual cost of a synchronizing
+// operation, for cost models that emulate RMW-heavy algorithms (the Valois
+// baseline's reference counting).
+func (e *Env) SyncCostUnits() int64 { return e.sim.cfg.SyncCost }
+
+// Sim returns the simulation this process belongs to.
+func (e *Env) Sim() *Sim { return e.sim }

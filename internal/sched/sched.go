@@ -1,0 +1,560 @@
+// Package sched simulates the priority-based preemption model that the
+// paper's algorithms require and that Go's own scheduler does not provide.
+//
+// The model (paper, Section 1):
+//
+//   - processes are scheduled per processor and never migrate during an
+//     object access;
+//   - on a given processor, process p may preempt process q only if p has
+//     strictly higher priority than q; a preempted process does not run
+//     again until everything of higher priority on its processor has
+//     completed;
+//   - a process's priority does not change during an object access;
+//   - memory is sequentially consistent and CAS (and, natively, CCAS/CAS2)
+//     is atomic.
+//
+// Simulated processes are coroutines: each is a goroutine that blocks on a
+// private channel and is woken by the scheduler, runs until its next
+// preemption point (every shared-memory operation in Fine granularity), and
+// hands control back. Exactly one simulated process executes at any real
+// instant, so simulated shared memory needs no locking and every run is
+// deterministic given its seed and job set.
+//
+// Multiprocessor parallelism is modelled as an interleaving: each simulated
+// processor has a virtual clock that advances by the cost of the operations
+// it executes, and the scheduler always advances the processor with the
+// smallest clock. This yields a fair, deterministic, sequentially-consistent
+// interleaving of the processors' operations.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"sort"
+
+	"repro/internal/shmem"
+	"repro/internal/trace"
+)
+
+// Priority is a process priority; larger values are more urgent. Priorities
+// on one processor need not be distinct, but a process can only be preempted
+// by a strictly higher priority.
+type Priority int
+
+// Granularity selects where preemption points fall.
+type Granularity int
+
+const (
+	// Fine places a preemption point at every shared-memory operation.
+	// This is the faithful model; use it for all correctness testing.
+	Fine Granularity = iota + 1
+	// Coarse places preemption points only at synchronizing operations
+	// (CAS, CAS2, CCAS) and explicit Yields. Plain loads and stores run
+	// without yielding, which makes large throughput experiments about
+	// two orders of magnitude faster while preserving the helping
+	// behaviour (helping is triggered at synchronizing operations).
+	Coarse
+)
+
+// Config configures a simulation.
+type Config struct {
+	// Processors is the number of simulated processors (P in the paper).
+	Processors int
+	// MemWords is the capacity of the simulated shared memory.
+	MemWords int
+	// Seed seeds all randomness of the run.
+	Seed int64
+	// Granularity selects preemption-point density; defaults to Fine.
+	Granularity Granularity
+	// SyncCost is the virtual-time cost of a synchronizing operation
+	// (CAS, CAS2, CCAS); plain loads and stores always cost one unit.
+	// The default (0 meaning 1) prices synchronization like an ordinary
+	// access; real machines pay a coherence premium, which the stride
+	// ablation (A4) explores by raising this.
+	SyncCost int64
+	// MaxSteps aborts the run when the global count of executed slices
+	// exceeds it; 0 means a large default. A triggered watchdog is how
+	// livelock (e.g. the spin-lock priority-inversion demo) is detected.
+	MaxSteps uint64
+	// EnableTrace records scheduling events and algorithm annotations.
+	EnableTrace bool
+}
+
+// DefaultMaxSteps is the watchdog limit used when Config.MaxSteps is zero.
+const DefaultMaxSteps = 200_000_000
+
+// ErrWatchdog is returned (wrapped) by Run when the step watchdog fires.
+var ErrWatchdog = errors.New("sched: watchdog: step limit exceeded (livelock or runaway workload)")
+
+// errAborted is the sentinel panic value used to unwind aborted coroutines.
+var errAborted = errors.New("sched: aborted")
+
+// procState tracks a simulated process through its lifecycle.
+type procState int
+
+const (
+	stateUnreleased procState = iota + 1
+	stateReady
+	stateRunning
+	stateDone
+)
+
+// JobSpec describes one simulated process (one "job" in the workloads).
+type JobSpec struct {
+	// Name appears in traces; defaults to "p<id>".
+	Name string
+	// CPU is the processor the job runs on (0-based).
+	CPU int
+	// Prio is the job's fixed priority.
+	Prio Priority
+	// Slot is the algorithm-level process identifier (the p in Status[p],
+	// Par[p], ...). Several jobs may reuse one slot as long as their
+	// executions never overlap; the workload layer is responsible for
+	// that. Defaults to the job's own id if negative.
+	Slot int
+	// At releases the job at the given virtual time on its processor.
+	At int64
+	// AfterSlices, when >= 0, releases the job after the given number of
+	// globally-executed slices instead of at a virtual time. This is the
+	// deterministic handle used by adversarial and exhaustive schedules:
+	// "release q exactly when the victim has executed k steps".
+	AfterSlices int64
+	// Body is the job's code. It runs on the simulated processor and must
+	// perform all shared-memory access through the provided Env.
+	Body func(*Env)
+}
+
+// Proc is a simulated process.
+type Proc struct {
+	id    int
+	spec  JobSpec
+	state procState
+	env   *Env
+
+	resume chan struct{}
+	yield  chan yieldMsg
+
+	started   bool
+	enqueueNo int // FIFO tiebreak among equal priorities
+
+	// Released, Started, Completed are virtual times on the job's CPU.
+	Released  int64
+	Started   int64
+	Completed int64
+	// Preemptions counts how many times the process was preempted.
+	Preemptions int
+}
+
+// ID returns the process identifier (dense, in spawn order).
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the job's display name.
+func (p *Proc) Name() string { return p.spec.Name }
+
+type yieldKind int
+
+const (
+	yieldPoint yieldKind = iota + 1
+	yieldFinished
+	yieldPanicked
+)
+
+type yieldMsg struct {
+	kind  yieldKind
+	cost  int64
+	pval  any
+	stack []byte
+}
+
+type cpuState struct {
+	id      int
+	clock   int64
+	current *Proc
+	ready   []*Proc // not including current
+}
+
+// Sim is one simulation run: a memory, a set of processors, and a job set.
+type Sim struct {
+	cfg  Config
+	mem  *shmem.Mem
+	cpus []*cpuState
+	proc []*Proc
+	log  *trace.Log
+	rng  *rand.Rand
+
+	pendingTime  []*Proc // released by virtual time, sorted by (At, id)
+	pendingSlice []*Proc // released by slice count, sorted by (AfterSlices, id)
+
+	slices    uint64
+	enqueueNo int
+	ran       bool
+	aborting  bool
+	failure   error
+}
+
+// New creates a simulation from the given configuration.
+func New(cfg Config) *Sim {
+	if cfg.Processors <= 0 {
+		cfg.Processors = 1
+	}
+	if cfg.MemWords <= 0 {
+		cfg.MemWords = 1 << 16
+	}
+	if cfg.Granularity == 0 {
+		cfg.Granularity = Fine
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = DefaultMaxSteps
+	}
+	if cfg.SyncCost <= 0 {
+		cfg.SyncCost = 1
+	}
+	s := &Sim{
+		cfg: cfg,
+		mem: shmem.New(cfg.MemWords),
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for i := 0; i < cfg.Processors; i++ {
+		s.cpus = append(s.cpus, &cpuState{id: i})
+	}
+	if cfg.EnableTrace {
+		s.log = &trace.Log{}
+	}
+	return s
+}
+
+// Mem returns the simulation's shared memory, for setup code and checkers.
+func (s *Sim) Mem() *shmem.Mem { return s.mem }
+
+// Trace returns the trace log, or nil when tracing is disabled.
+func (s *Sim) Trace() *trace.Log { return s.log }
+
+// Processors returns the number of simulated processors.
+func (s *Sim) Processors() int { return s.cfg.Processors }
+
+// Rand returns the run's seeded random source, for workload construction.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Slices returns the number of slices executed so far.
+func (s *Sim) Slices() uint64 { return s.slices }
+
+// Spawn registers a job. All jobs must be spawned before Run.
+func (s *Sim) Spawn(spec JobSpec) *Proc {
+	if s.ran {
+		panic("sched: Spawn after Run")
+	}
+	if spec.CPU < 0 || spec.CPU >= s.cfg.Processors {
+		panic(fmt.Sprintf("sched: job %q on invalid cpu %d (have %d)", spec.Name, spec.CPU, s.cfg.Processors))
+	}
+	if spec.Body == nil {
+		panic("sched: job with nil body")
+	}
+	p := &Proc{
+		id:     len(s.proc),
+		spec:   spec,
+		state:  stateUnreleased,
+		resume: make(chan struct{}),
+		yield:  make(chan yieldMsg),
+	}
+	if p.spec.Name == "" {
+		p.spec.Name = fmt.Sprintf("p%d", p.id)
+	}
+	if p.spec.Slot < 0 {
+		p.spec.Slot = p.id
+	}
+	p.env = &Env{sim: s, p: p}
+	s.proc = append(s.proc, p)
+	if spec.AfterSlices >= 0 && spec.At == 0 {
+		// Slice-triggered release. (AfterSlices==0 with At==0 releases
+		// immediately, same as At: 0, so both encodings agree.)
+		s.pendingSlice = append(s.pendingSlice, p)
+	} else {
+		s.pendingTime = append(s.pendingTime, p)
+	}
+	return p
+}
+
+// SpawnAt is shorthand for a time-released job.
+func (s *Sim) SpawnAt(at int64, cpu int, prio Priority, name string, body func(*Env)) *Proc {
+	return s.Spawn(JobSpec{Name: name, CPU: cpu, Prio: prio, Slot: -1, At: at, AfterSlices: -1, Body: body})
+}
+
+// Procs returns all spawned processes in spawn order.
+func (s *Sim) Procs() []*Proc { return s.proc }
+
+func (s *Sim) emit(kind trace.Kind, cpu int, p *Proc, msg string) {
+	if s.log == nil {
+		return
+	}
+	ev := trace.Event{Time: s.cpus[cpu].clock, CPU: cpu, Proc: -1, Kind: kind, Msg: msg}
+	if p != nil {
+		ev.Proc = p.id
+		ev.ProcName = p.spec.Name
+	}
+	s.log.Append(ev)
+}
+
+// release moves a job into its processor's ready set, possibly preempting.
+func (s *Sim) release(p *Proc) {
+	c := s.cpus[p.spec.CPU]
+	p.state = stateReady
+	p.Released = c.clock
+	p.enqueueNo = s.enqueueNo
+	s.enqueueNo++
+	s.emit(trace.KindArrival, c.id, p, "")
+	c.ready = append(c.ready, p)
+	sortReady(c.ready)
+}
+
+// sortReady orders by priority (descending) then enqueue order (ascending).
+func sortReady(r []*Proc) {
+	sort.SliceStable(r, func(i, j int) bool {
+		if r[i].spec.Prio != r[j].spec.Prio {
+			return r[i].spec.Prio > r[j].spec.Prio
+		}
+		return r[i].enqueueNo < r[j].enqueueNo
+	})
+}
+
+// deliverTimeArrivals releases time-triggered jobs whose time has come on
+// their processor.
+func (s *Sim) deliverTimeArrivals() {
+	kept := s.pendingTime[:0]
+	for _, p := range s.pendingTime {
+		if p.spec.At <= s.cpus[p.spec.CPU].clock {
+			s.release(p)
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	s.pendingTime = kept
+}
+
+// deliverSliceArrivals releases slice-triggered jobs whose trigger has fired.
+func (s *Sim) deliverSliceArrivals() {
+	kept := s.pendingSlice[:0]
+	for _, p := range s.pendingSlice {
+		if uint64(p.spec.AfterSlices) <= s.slices {
+			s.release(p)
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	s.pendingSlice = kept
+}
+
+// pick selects the process to run on cpu c under the priority rules, or nil.
+func (s *Sim) pick(c *cpuState) *Proc {
+	if c.current != nil && c.current.env.noPreempt > 0 {
+		// Preemption disabled (Figure 8(b) lines 3-4): the current
+		// process keeps the processor even against higher priorities.
+		return c.current
+	}
+	if len(c.ready) == 0 {
+		return c.current
+	}
+	top := c.ready[0]
+	if c.current != nil && top.spec.Prio <= c.current.spec.Prio {
+		// Equal priority never preempts (no time slicing).
+		return c.current
+	}
+	// Preempt or dispatch.
+	if c.current != nil {
+		s.emit(trace.KindPreempt, c.id, c.current, "")
+		c.current.state = stateReady
+		c.current.Preemptions++
+		c.ready = append(c.ready, c.current)
+		sortReady(c.ready)
+		top = c.ready[0]
+	}
+	c.ready = c.ready[1:]
+	c.current = top
+	// The state transition (and its Dispatch trace event) is applied by
+	// the run loop, which observes top.state != stateRunning.
+	return top
+}
+
+// startIfNeeded launches the coroutine goroutine on first dispatch.
+func (s *Sim) startIfNeeded(p *Proc) {
+	if p.started {
+		return
+	}
+	p.started = true
+	p.Started = s.cpus[p.spec.CPU].clock
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if r == errAborted { //nolint:errorlint // sentinel identity is intended
+					p.yield <- yieldMsg{kind: yieldFinished, cost: p.env.pending}
+					return
+				}
+				p.yield <- yieldMsg{kind: yieldPanicked, pval: r, stack: debug.Stack()}
+				return
+			}
+			p.yield <- yieldMsg{kind: yieldFinished, cost: p.env.pending}
+		}()
+		p.spec.Body(p.env)
+	}()
+}
+
+// runSlice resumes p until its next preemption point and applies the cost.
+func (s *Sim) runSlice(c *cpuState, p *Proc) {
+	s.startIfNeeded(p)
+	s.mem.SetCurrentProc(p.id)
+	p.resume <- struct{}{}
+	msg := <-p.yield
+	s.mem.SetCurrentProc(-1)
+	switch msg.kind {
+	case yieldPoint:
+		c.clock += msg.cost
+	case yieldFinished:
+		c.clock += msg.cost
+		p.state = stateDone
+		p.Completed = c.clock
+		c.current = nil
+		s.emit(trace.KindComplete, c.id, p, "")
+	case yieldPanicked:
+		p.state = stateDone
+		c.current = nil
+		if s.failure == nil {
+			s.failure = fmt.Errorf("sched: process %q (id %d) panicked: %v\n%s", p.spec.Name, p.id, msg.pval, msg.stack)
+		}
+	}
+	// Note: p.env.pending is owned by the coroutine goroutine (reset in
+	// yieldNow before the send); the scheduler must not touch it.
+}
+
+// Run executes the simulation until every released job completes. It returns
+// the first process panic or a watchdog error, if any. Run may be called
+// once.
+func (s *Sim) Run() error {
+	if s.ran {
+		return errors.New("sched: Run called twice")
+	}
+	s.ran = true
+	for s.failure == nil {
+		s.deliverSliceArrivals()
+		s.deliverTimeArrivals()
+
+		// Choose the busy processor with the smallest clock.
+		var c *cpuState
+		for _, cand := range s.cpus {
+			if cand.current == nil && len(cand.ready) == 0 {
+				continue
+			}
+			if c == nil || cand.clock < c.clock {
+				c = cand
+			}
+		}
+		if c != nil {
+			// Idle processors' wall clocks advance with the rest of
+			// the machine, so a timed arrival on an idle processor
+			// is delivered at its real time, not at system
+			// quiescence.
+			advanced := false
+			for _, idle := range s.cpus {
+				if idle.current == nil && len(idle.ready) == 0 && idle.clock < c.clock {
+					idle.clock = c.clock
+					advanced = true
+				}
+			}
+			if advanced {
+				s.deliverTimeArrivals()
+				continue
+			}
+		}
+		if c == nil {
+			// All processors idle: jump to the earliest pending
+			// time arrival, if any.
+			if s.jumpToNextArrival() {
+				continue
+			}
+			// Slice-triggered jobs whose trigger lies beyond the
+			// work that actually ran are released at quiescence
+			// (an adversary aimed past its victim simply runs
+			// last).
+			if len(s.pendingSlice) > 0 {
+				for _, p := range s.pendingSlice {
+					s.release(p)
+				}
+				s.pendingSlice = s.pendingSlice[:0]
+				continue
+			}
+			break // no work left
+		}
+		p := s.pick(c)
+		if p == nil {
+			continue
+		}
+		if p.state != stateRunning {
+			p.state = stateRunning
+			s.emit(trace.KindDispatch, c.id, p, "")
+		}
+		s.runSlice(c, p)
+		s.slices++
+		if s.slices > s.cfg.MaxSteps {
+			s.failure = fmt.Errorf("%w (limit %d)", ErrWatchdog, s.cfg.MaxSteps)
+		}
+	}
+	s.shutdown()
+	return s.failure
+}
+
+// jumpToNextArrival advances an idle system to its earliest time arrival.
+// It reports whether any arrival existed.
+func (s *Sim) jumpToNextArrival() bool {
+	var best *Proc
+	for _, p := range s.pendingTime {
+		if best == nil || p.spec.At < best.spec.At ||
+			(p.spec.At == best.spec.At && p.id < best.id) {
+			best = p
+		}
+	}
+	if best == nil {
+		// Slice-triggered jobs can never fire on an idle system
+		// (slices only advance when something runs); Run reports them.
+		return false
+	}
+	c := s.cpus[best.spec.CPU]
+	if c.clock < best.spec.At {
+		c.clock = best.spec.At
+	}
+	s.deliverTimeArrivals()
+	return true
+}
+
+// shutdown unwinds any live coroutines so no goroutines leak.
+func (s *Sim) shutdown() {
+	s.aborting = true
+	for _, p := range s.proc {
+		if !p.started || p.state == stateDone || p.state == stateUnreleased {
+			continue
+		}
+		// Resume; the coroutine observes aborting at its next
+		// preemption point and unwinds via the errAborted sentinel.
+		p.resume <- struct{}{}
+		msg := <-p.yield
+		for msg.kind == yieldPoint {
+			p.resume <- struct{}{}
+			msg = <-p.yield
+		}
+		p.state = stateDone
+	}
+}
+
+// Elapsed returns the makespan: the largest processor clock.
+func (s *Sim) Elapsed() int64 {
+	var max int64
+	for _, c := range s.cpus {
+		if c.clock > max {
+			max = c.clock
+		}
+	}
+	return max
+}
+
+// CPUClock returns processor cpu's virtual clock.
+func (s *Sim) CPUClock(cpu int) int64 { return s.cpus[cpu].clock }

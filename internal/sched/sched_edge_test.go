@@ -1,0 +1,178 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestSyncCostCharged: CAS costs SyncCost units, loads stay at one.
+func TestSyncCostCharged(t *testing.T) {
+	s := New(Config{Processors: 1, Seed: 1, SyncCost: 8})
+	x := s.Mem().MustAlloc("x", 1)
+	s.SpawnAt(0, 0, 1, "p", func(e *Env) {
+		e.Load(x)                  // 1
+		e.CAS(x, 0, 1)             // 8
+		e.Store(x, 2)              // 1
+		e.CAS2(x, x+0, 0, 0, 0, 0) // invalid aliased — not executed; see below
+	})
+	err := s.Run()
+	if err == nil {
+		t.Fatal("aliased CAS2 did not fail the run")
+	}
+	// Clock before the panic: 1 + 8 + 1 = 10.
+	if got := s.CPUClock(0); got != 10 {
+		t.Errorf("clock = %d, want 10 (load 1 + cas 8 + store 1)", got)
+	}
+}
+
+// TestSyncCostDefault: zero config means one unit.
+func TestSyncCostDefault(t *testing.T) {
+	s := New(Config{Processors: 1, Seed: 1})
+	x := s.Mem().MustAlloc("x", 1)
+	s.SpawnAt(0, 0, 1, "p", func(e *Env) {
+		e.CAS(x, 0, 1)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Elapsed(); got != 1 {
+		t.Errorf("Elapsed = %d, want 1", got)
+	}
+}
+
+// TestShutdownUnwindsLiveCoroutines: a watchdog abort mid-run leaves no
+// goroutine blocked (the run returns; bodies unwind via the abort panic).
+func TestShutdownUnwindsLiveCoroutines(t *testing.T) {
+	s := New(Config{Processors: 2, Seed: 1, MaxSteps: 500})
+	x := s.Mem().MustAlloc("x", 1)
+	for i := 0; i < 4; i++ {
+		i := i
+		s.SpawnAt(0, i%2, Priority(i), "", func(e *Env) {
+			for {
+				e.Load(x)
+			}
+		})
+	}
+	if err := s.Run(); !errors.Is(err, ErrWatchdog) {
+		t.Fatalf("err = %v, want watchdog", err)
+	}
+	// If shutdown left coroutines blocked, the test binary's goroutine
+	// leak would show up across the package run; reaching here with the
+	// error is the functional assertion.
+}
+
+// TestBodyRecoveringAbortIsHarmless: a body that defers recover() does not
+// break shutdown (the sentinel re-panics only inside the harness; a user
+// recover merely ends the body early).
+func TestDeferredCleanupRunsOnAbort(t *testing.T) {
+	s := New(Config{Processors: 1, Seed: 1, MaxSteps: 100})
+	x := s.Mem().MustAlloc("x", 1)
+	cleaned := false
+	s.SpawnAt(0, 0, 1, "p", func(e *Env) {
+		defer func() { cleaned = true }()
+		for {
+			e.Load(x)
+		}
+	})
+	if err := s.Run(); !errors.Is(err, ErrWatchdog) {
+		t.Fatalf("err = %v, want watchdog", err)
+	}
+	if !cleaned {
+		t.Error("deferred cleanup did not run during abort unwinding")
+	}
+}
+
+// TestSpawnValidation: invalid specs panic at spawn time.
+func TestSpawnValidation(t *testing.T) {
+	s := New(Config{Processors: 1, Seed: 1})
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("bad cpu", func() {
+		s.Spawn(JobSpec{CPU: 5, Prio: 1, Slot: -1, AfterSlices: -1, Body: func(*Env) {}})
+	})
+	mustPanic("nil body", func() {
+		s.Spawn(JobSpec{CPU: 0, Prio: 1, Slot: -1, AfterSlices: -1})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	mustPanic("spawn after run", func() {
+		s.Spawn(JobSpec{CPU: 0, Prio: 1, Slot: -1, AfterSlices: -1, Body: func(*Env) {}})
+	})
+}
+
+// TestNegativeDelayPanics: Delay validates its argument.
+func TestNegativeDelayPanics(t *testing.T) {
+	s := New(Config{Processors: 1, Seed: 1})
+	s.SpawnAt(0, 0, 1, "p", func(e *Env) { e.Delay(-1) })
+	if err := s.Run(); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+}
+
+// TestTimedArrivalOnIdleCPU: a timed arrival on an idle processor is
+// delivered at its real time while other processors are busy (the idle
+// clock tracks the machine).
+func TestTimedArrivalOnIdleCPU(t *testing.T) {
+	s := New(Config{Processors: 2, Seed: 1})
+	x := s.Mem().MustAlloc("x", 1)
+	s.SpawnAt(0, 0, 1, "busy", func(e *Env) {
+		for i := 0; i < 500; i++ {
+			e.Store(x, uint64(i))
+		}
+	})
+	var sawX uint64
+	s.SpawnAt(100, 1, 1, "late", func(e *Env) {
+		sawX = e.Load(x)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// At virtual time ~100 the busy worker has stored ~100 values; the
+	// late job must observe mid-run state, not post-run state.
+	if sawX < 50 || sawX > 200 {
+		t.Errorf("late job saw x = %d, want ~100 (idle clock must track the machine)", sawX)
+	}
+}
+
+// TestTracefDisabled: annotations are cheap no-ops without tracing.
+func TestTracefDisabled(t *testing.T) {
+	s := New(Config{Processors: 1, Seed: 1})
+	s.SpawnAt(0, 0, 1, "p", func(e *Env) {
+		e.Tracef("ignored %d", 42)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Trace() != nil {
+		t.Error("trace log exists despite EnableTrace=false")
+	}
+}
+
+// TestPreemptionCounter: Proc.Preemptions reflects the number of times the
+// process was preempted.
+func TestPreemptionCounter(t *testing.T) {
+	s := New(Config{Processors: 1, Seed: 1})
+	x := s.Mem().MustAlloc("x", 1)
+	low := s.SpawnAt(0, 0, 1, "low", func(e *Env) {
+		for i := 0; i < 30; i++ {
+			e.Store(x, 1)
+		}
+	})
+	for _, at := range []int64{5, 15} {
+		s.SpawnAt(at, 0, 9, "hi", func(e *Env) { e.Load(x) })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if low.Preemptions != 2 {
+		t.Errorf("low.Preemptions = %d, want 2", low.Preemptions)
+	}
+}

@@ -1,0 +1,384 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestSingleProcRuns checks the trivial lifecycle: one job, one processor.
+func TestSingleProcRuns(t *testing.T) {
+	s := New(Config{Processors: 1, Seed: 1})
+	a := s.Mem().MustAlloc("x", 1)
+	ran := false
+	s.SpawnAt(0, 0, 1, "solo", func(e *Env) {
+		e.Store(a, 7)
+		ran = true
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !ran {
+		t.Fatal("body never ran")
+	}
+	if got := s.Mem().Peek(a); got != 7 {
+		t.Errorf("x = %d, want 7", got)
+	}
+	if s.Elapsed() != 1 {
+		t.Errorf("Elapsed = %d, want 1 (one store)", s.Elapsed())
+	}
+}
+
+// TestPriorityPreemption: a higher-priority arrival must preempt the running
+// process at its next preemption point, and the victim must not run again
+// until the preemptor completes.
+func TestPriorityPreemption(t *testing.T) {
+	s := New(Config{Processors: 1, Seed: 1, EnableTrace: true})
+	x := s.Mem().MustAlloc("x", 1)
+
+	var order []string
+	s.SpawnAt(0, 0, 1, "low", func(e *Env) {
+		for i := 0; i < 10; i++ {
+			e.Store(x, uint64(i))
+		}
+		order = append(order, "low")
+	})
+	s.SpawnAt(3, 0, 5, "high", func(e *Env) {
+		e.Load(x)
+		order = append(order, "high")
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(order) != 2 || order[0] != "high" || order[1] != "low" {
+		t.Fatalf("completion order = %v, want [high low]", order)
+	}
+	log := s.Trace()
+	if i := log.Find(0, trace.KindPreempt, ""); i < 0 {
+		t.Fatal("no preemption recorded in trace")
+	}
+}
+
+// TestEqualPriorityNoPreemption: an equal-priority arrival must wait for the
+// running process to finish (the model forbids time slicing).
+func TestEqualPriorityNoPreemption(t *testing.T) {
+	s := New(Config{Processors: 1, Seed: 1})
+	x := s.Mem().MustAlloc("x", 1)
+	var order []string
+	s.SpawnAt(0, 0, 3, "first", func(e *Env) {
+		for i := 0; i < 10; i++ {
+			e.Store(x, 1)
+		}
+		order = append(order, "first")
+	})
+	s.SpawnAt(2, 0, 3, "second", func(e *Env) {
+		e.Load(x)
+		order = append(order, "second")
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if order[0] != "first" {
+		t.Fatalf("completion order = %v, want first to finish first", order)
+	}
+}
+
+// TestNestedPreemption reproduces the three-level preemption shape of the
+// paper's Figure 2: r preempts q which preempted p; they finish r, q, p.
+func TestNestedPreemption(t *testing.T) {
+	s := New(Config{Processors: 1, Seed: 1})
+	x := s.Mem().MustAlloc("x", 1)
+	var order []string
+	body := func(name string, n int) func(*Env) {
+		return func(e *Env) {
+			for i := 0; i < n; i++ {
+				e.Store(x, 1)
+			}
+			order = append(order, name)
+		}
+	}
+	s.SpawnAt(0, 0, 1, "p", body("p", 20))
+	s.SpawnAt(5, 0, 2, "q", body("q", 20))
+	s.SpawnAt(8, 0, 3, "r", body("r", 5))
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []string{"r", "q", "p"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("completion order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestNoMigration: jobs run on the processor they were assigned, and
+// processors advance in parallel virtual time.
+func TestNoMigration(t *testing.T) {
+	s := New(Config{Processors: 2, Seed: 1})
+	x := s.Mem().MustAlloc("x", 2)
+	s.SpawnAt(0, 0, 1, "a", func(e *Env) {
+		if e.CPU() != 0 {
+			t.Errorf("job a on cpu %d, want 0", e.CPU())
+		}
+		for i := 0; i < 100; i++ {
+			e.Store(x, 1)
+		}
+	})
+	s.SpawnAt(0, 1, 1, "b", func(e *Env) {
+		if e.CPU() != 1 {
+			t.Errorf("job b on cpu %d, want 1", e.CPU())
+		}
+		for i := 0; i < 100; i++ {
+			e.Store(x+1, 1)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Both processors did 100 units of work; the makespan must be 100,
+	// not 200, because they advance in parallel.
+	if s.Elapsed() != 100 {
+		t.Errorf("Elapsed = %d, want 100 (parallel progress)", s.Elapsed())
+	}
+}
+
+// TestInterleavingIsFair: with two busy processors, the event-driven
+// scheduler alternates them so neither gets far ahead in virtual time.
+func TestInterleavingIsFair(t *testing.T) {
+	s := New(Config{Processors: 2, Seed: 1})
+	x := s.Mem().MustAlloc("x", 1)
+	var maxSkew int64
+	probe := func(e *Env) {
+		for i := 0; i < 50; i++ {
+			e.Store(x, 1)
+			skew := e.sim.cpus[0].clock - e.sim.cpus[1].clock
+			if skew < 0 {
+				skew = -skew
+			}
+			if skew > maxSkew {
+				maxSkew = skew
+			}
+		}
+	}
+	s.SpawnAt(0, 0, 1, "a", probe)
+	s.SpawnAt(0, 1, 1, "b", probe)
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if maxSkew > 1 {
+		t.Errorf("processor clocks skewed by %d units, want <= 1", maxSkew)
+	}
+}
+
+// TestDeterminism: identical configurations produce identical traces.
+func TestDeterminism(t *testing.T) {
+	run := func() string {
+		s := New(Config{Processors: 2, Seed: 42, EnableTrace: true})
+		x := s.Mem().MustAlloc("x", 1)
+		for i := 0; i < 6; i++ {
+			i := i
+			s.SpawnAt(int64(i*3), i%2, Priority(i), "", func(e *Env) {
+				for j := 0; j < 5+i; j++ {
+					e.CAS(x, e.Load(x), uint64(i))
+				}
+			})
+		}
+		if err := s.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return s.Trace().String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("two identical runs diverged:\n--- run 1 ---\n%s--- run 2 ---\n%s", a, b)
+	}
+}
+
+// TestSliceTriggeredArrival: AfterSlices releases a job after exactly the
+// given number of globally executed slices.
+func TestSliceTriggeredArrival(t *testing.T) {
+	s := New(Config{Processors: 1, Seed: 1})
+	x := s.Mem().MustAlloc("x", 1)
+	var sawAtPreempt uint64
+	s.Spawn(JobSpec{Name: "victim", CPU: 0, Prio: 1, Slot: -1, AfterSlices: -1, Body: func(e *Env) {
+		for i := 1; i <= 20; i++ {
+			e.Store(x, uint64(i))
+		}
+	}})
+	s.Spawn(JobSpec{Name: "adversary", CPU: 0, Prio: 9, Slot: -1, AfterSlices: 5, Body: func(e *Env) {
+		sawAtPreempt = e.sim.mem.Peek(x)
+		e.Yield()
+	}})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sawAtPreempt != 5 {
+		t.Errorf("adversary released after victim stored %d, want exactly 5", sawAtPreempt)
+	}
+}
+
+// TestWatchdog: a runaway process trips the step limit and Run reports it.
+func TestWatchdog(t *testing.T) {
+	s := New(Config{Processors: 1, Seed: 1, MaxSteps: 1000})
+	x := s.Mem().MustAlloc("x", 1)
+	s.SpawnAt(0, 0, 1, "spinner", func(e *Env) {
+		for {
+			e.Load(x) // spins forever
+		}
+	})
+	err := s.Run()
+	if !errors.Is(err, ErrWatchdog) {
+		t.Fatalf("Run err = %v, want ErrWatchdog", err)
+	}
+}
+
+// TestBodyPanicReported: a panic inside a body surfaces as a Run error with
+// the process name, and does not crash the test process.
+func TestBodyPanicReported(t *testing.T) {
+	s := New(Config{Processors: 1, Seed: 1})
+	s.SpawnAt(0, 0, 1, "bomber", func(e *Env) {
+		panic("boom")
+	})
+	err := s.Run()
+	if err == nil {
+		t.Fatal("Run returned nil after body panic")
+	}
+	if want := "bomber"; !containsStr(err.Error(), want) {
+		t.Errorf("error %q does not mention process %q", err, want)
+	}
+}
+
+// TestNoPreemptMasksLocalPreemption: inside NoPreempt a higher-priority
+// arrival on the same CPU must wait, but a process on another CPU must still
+// interleave.
+func TestNoPreemptMasksLocalPreemption(t *testing.T) {
+	s := New(Config{Processors: 2, Seed: 1})
+	x := s.Mem().MustAlloc("x", 1)
+	y := s.Mem().MustAlloc("y", 1)
+	var highSawX uint64
+	var otherCPURan bool
+	s.SpawnAt(0, 0, 1, "low", func(e *Env) {
+		e.NoPreempt(func() {
+			for i := 1; i <= 10; i++ {
+				e.Store(x, uint64(i))
+			}
+			// The cross-CPU writer should have made progress even
+			// while we are non-preemptible.
+			otherCPURan = e.Load(y) > 0
+		})
+	})
+	s.SpawnAt(2, 0, 9, "high", func(e *Env) {
+		highSawX = e.Load(x)
+	})
+	s.SpawnAt(0, 1, 1, "other", func(e *Env) {
+		for i := 1; i <= 10; i++ {
+			e.Store(y, uint64(i))
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if highSawX != 10 {
+		t.Errorf("high saw x = %d, want 10 (NoPreempt must defer local preemption)", highSawX)
+	}
+	if !otherCPURan {
+		t.Error("cross-CPU process made no progress during NoPreempt (must not be globally atomic)")
+	}
+}
+
+// TestIdleJump: the system jumps over idle time to the next arrival.
+func TestIdleJump(t *testing.T) {
+	s := New(Config{Processors: 1, Seed: 1})
+	x := s.Mem().MustAlloc("x", 1)
+	s.SpawnAt(1000, 0, 1, "late", func(e *Env) { e.Store(x, 1) })
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s.Elapsed() != 1001 {
+		t.Errorf("Elapsed = %d, want 1001", s.Elapsed())
+	}
+}
+
+// TestRunTwiceFails ensures a Sim cannot be reused.
+func TestRunTwiceFails(t *testing.T) {
+	s := New(Config{Processors: 1, Seed: 1})
+	if err := s.Run(); err != nil {
+		t.Fatalf("first Run: %v", err)
+	}
+	if err := s.Run(); err == nil {
+		t.Fatal("second Run succeeded, want error")
+	}
+}
+
+// TestResponseTimes: released/completed stamps reflect preemption delay.
+func TestResponseTimes(t *testing.T) {
+	s := New(Config{Processors: 1, Seed: 1})
+	x := s.Mem().MustAlloc("x", 1)
+	low := s.SpawnAt(0, 0, 1, "low", func(e *Env) {
+		for i := 0; i < 10; i++ {
+			e.Store(x, 1)
+		}
+	})
+	high := s.SpawnAt(5, 0, 2, "high", func(e *Env) {
+		for i := 0; i < 10; i++ {
+			e.Store(x, 2)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := high.Completed - high.Released; got != 10 {
+		t.Errorf("high response time = %d, want 10 (never preempted)", got)
+	}
+	if got := low.Completed - low.Released; got != 20 {
+		t.Errorf("low response time = %d, want 20 (10 own + 10 preemption)", got)
+	}
+}
+
+// TestDelayChargesTime: Delay advances the virtual clock.
+func TestDelayChargesTime(t *testing.T) {
+	s := New(Config{Processors: 1, Seed: 1})
+	s.SpawnAt(0, 0, 1, "sleeper", func(e *Env) { e.Delay(77) })
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s.Elapsed() != 77 {
+		t.Errorf("Elapsed = %d, want 77", s.Elapsed())
+	}
+}
+
+// TestCoarseGranularity: plain stores do not yield in Coarse mode, so a
+// higher-priority arrival timed mid-loop only preempts at the next
+// synchronizing operation.
+func TestCoarseGranularity(t *testing.T) {
+	s := New(Config{Processors: 1, Seed: 1, Granularity: Coarse})
+	x := s.Mem().MustAlloc("x", 1)
+	var sawX uint64
+	s.SpawnAt(0, 0, 1, "low", func(e *Env) {
+		for i := 1; i <= 10; i++ {
+			e.Store(x, uint64(i))
+		}
+		e.Yield()
+		for i := 11; i <= 20; i++ {
+			e.Store(x, uint64(i))
+		}
+	})
+	s.SpawnAt(3, 0, 9, "high", func(e *Env) {
+		sawX = e.Load(x)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sawX != 10 {
+		t.Errorf("high saw x = %d, want 10 (preemption only at the explicit Yield)", sawX)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

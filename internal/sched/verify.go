@@ -1,0 +1,94 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// VerifyPriorityModel replays a run's trace and checks the scheduling
+// invariants of the paper's model:
+//
+//   - a process is dispatched only if no strictly higher-priority process
+//     is ready on its processor;
+//   - a preemption is recorded only when a strictly higher-priority process
+//     had just arrived on that processor;
+//   - processes never appear on more than one processor (no migration);
+//   - every completion is of the process most recently dispatched there.
+//
+// It is evidence that the simulator itself enforces the model the
+// algorithms rely on — independent of the scheduler's implementation,
+// since it only reads the emitted trace. The trace must have been recorded
+// with Config.EnableTrace.
+func VerifyPriorityModel(s *Sim) error {
+	if s.log == nil {
+		return fmt.Errorf("sched: VerifyPriorityModel requires EnableTrace")
+	}
+	type cpuView struct {
+		ready   map[int]bool // proc ids ready (including running)
+		running int          // -1 when idle
+	}
+	cpus := make([]*cpuView, s.cfg.Processors)
+	for i := range cpus {
+		cpus[i] = &cpuView{ready: make(map[int]bool), running: -1}
+	}
+	prio := func(id int) Priority { return s.proc[id].spec.Prio }
+	home := make(map[int]int) // proc -> cpu first seen on
+
+	for _, ev := range s.log.Events() {
+		if ev.Proc < 0 {
+			continue
+		}
+		if ev.Kind == trace.KindAnnotate {
+			// Annotations still witness *where* the process ran.
+			if c, seen := home[ev.Proc]; seen && c != ev.CPU {
+				return fmt.Errorf("sched: process %d migrated from cpu %d to cpu %d (event %d)", ev.Proc, c, ev.CPU, ev.Seq)
+			}
+			continue
+		}
+		c := cpus[ev.CPU]
+		if prev, seen := home[ev.Proc]; seen && prev != ev.CPU {
+			return fmt.Errorf("sched: process %d migrated from cpu %d to cpu %d (event %d)", ev.Proc, prev, ev.CPU, ev.Seq)
+		}
+		home[ev.Proc] = ev.CPU
+		switch ev.Kind {
+		case trace.KindArrival:
+			c.ready[ev.Proc] = true
+		case trace.KindDispatch:
+			if !c.ready[ev.Proc] {
+				return fmt.Errorf("sched: event %d dispatches process %d which was not ready on cpu %d", ev.Seq, ev.Proc, ev.CPU)
+			}
+			for other := range c.ready {
+				if other != ev.Proc && prio(other) > prio(ev.Proc) {
+					return fmt.Errorf(
+						"sched: event %d dispatches process %d (prio %d) while process %d (prio %d) is ready on cpu %d",
+						ev.Seq, ev.Proc, prio(ev.Proc), other, prio(other), ev.CPU)
+				}
+			}
+			c.running = ev.Proc
+		case trace.KindPreempt:
+			if c.running != ev.Proc {
+				return fmt.Errorf("sched: event %d preempts process %d but process %d was running on cpu %d", ev.Seq, ev.Proc, c.running, ev.CPU)
+			}
+			// The victim stays ready; a strictly higher-priority
+			// process must exist among the ready set.
+			higher := false
+			for other := range c.ready {
+				if other != ev.Proc && prio(other) > prio(ev.Proc) {
+					higher = true
+				}
+			}
+			if !higher {
+				return fmt.Errorf("sched: event %d preempts process %d with no higher-priority process ready on cpu %d", ev.Seq, ev.Proc, ev.CPU)
+			}
+			c.running = -1
+		case trace.KindComplete:
+			if c.running != ev.Proc && c.running != -1 {
+				return fmt.Errorf("sched: event %d completes process %d but process %d was running on cpu %d", ev.Seq, ev.Proc, c.running, ev.CPU)
+			}
+			delete(c.ready, ev.Proc)
+			c.running = -1
+		}
+	}
+	return nil
+}

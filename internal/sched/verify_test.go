@@ -1,0 +1,137 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/shmem"
+	"repro/internal/trace"
+)
+
+// TestVerifyPriorityModelCleanRuns: randomized multi-processor job sets
+// always produce traces that satisfy the model invariants.
+func TestVerifyPriorityModelCleanRuns(t *testing.T) {
+	f := func(seed int64) bool {
+		s := New(Config{Processors: 3, Seed: seed, MemWords: 1 << 12, EnableTrace: true})
+		x := s.Mem().MustAlloc("x", 1)
+		rng := s.Rand()
+		for i := 0; i < 8; i++ {
+			i := i
+			s.Spawn(JobSpec{
+				Name: "", CPU: rng.Intn(3), Prio: Priority(rng.Intn(5)), Slot: i,
+				At: rng.Int63n(100), AfterSlices: -1,
+				Body: func(e *Env) {
+					for j := 0; j < 5+i; j++ {
+						e.CAS(x, e.Load(x), uint64(i))
+					}
+				},
+			})
+		}
+		if err := s.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := VerifyPriorityModel(s); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVerifyRequiresTrace: calling the verifier without tracing fails.
+func TestVerifyRequiresTrace(t *testing.T) {
+	s := New(Config{Processors: 1, Seed: 1})
+	if err := VerifyPriorityModel(s); err == nil {
+		t.Fatal("verifier accepted a run without a trace")
+	}
+}
+
+// fakeSim builds a sim with two procs and an empty trace for hand-crafted
+// event sequences.
+func fakeSim(t *testing.T) (*Sim, *trace.Log) {
+	t.Helper()
+	s := New(Config{Processors: 2, Seed: 1, EnableTrace: true})
+	s.Spawn(JobSpec{Name: "low", CPU: 0, Prio: 1, Slot: 0, AfterSlices: -1, Body: func(*Env) {}})
+	s.Spawn(JobSpec{Name: "high", CPU: 0, Prio: 9, Slot: 1, AfterSlices: -1, Body: func(*Env) {}})
+	return s, s.Trace()
+}
+
+// TestVerifyDetectsPriorityViolation: dispatching a low-priority process
+// while a higher one is ready must be flagged.
+func TestVerifyDetectsPriorityViolation(t *testing.T) {
+	s, log := fakeSim(t)
+	log.Append(trace.Event{CPU: 0, Proc: 0, Kind: trace.KindArrival})
+	log.Append(trace.Event{CPU: 0, Proc: 1, Kind: trace.KindArrival})
+	log.Append(trace.Event{CPU: 0, Proc: 0, Kind: trace.KindDispatch}) // low despite high ready
+	err := VerifyPriorityModel(s)
+	if err == nil || !strings.Contains(err.Error(), "while process") {
+		t.Fatalf("verifier missed a priority violation: %v", err)
+	}
+}
+
+// TestVerifyDetectsMigration: the same process on two processors is flagged.
+func TestVerifyDetectsMigration(t *testing.T) {
+	s, log := fakeSim(t)
+	log.Append(trace.Event{CPU: 0, Proc: 0, Kind: trace.KindArrival})
+	log.Append(trace.Event{CPU: 0, Proc: 0, Kind: trace.KindDispatch})
+	log.Append(trace.Event{CPU: 1, Proc: 0, Kind: trace.KindDispatch})
+	err := VerifyPriorityModel(s)
+	if err == nil || !strings.Contains(err.Error(), "migrated") {
+		t.Fatalf("verifier missed a migration: %v", err)
+	}
+}
+
+// TestVerifyDetectsGroundlessPreemption: preempting with no higher-priority
+// arrival is flagged.
+func TestVerifyDetectsGroundlessPreemption(t *testing.T) {
+	s, log := fakeSim(t)
+	log.Append(trace.Event{CPU: 0, Proc: 1, Kind: trace.KindArrival})
+	log.Append(trace.Event{CPU: 0, Proc: 1, Kind: trace.KindDispatch})
+	log.Append(trace.Event{CPU: 0, Proc: 1, Kind: trace.KindPreempt}) // nothing higher exists
+	err := VerifyPriorityModel(s)
+	if err == nil || !strings.Contains(err.Error(), "no higher-priority") {
+		t.Fatalf("verifier missed a groundless preemption: %v", err)
+	}
+}
+
+// TestVerifyDetectsDispatchOfUnready: dispatching a process that never
+// arrived is flagged.
+func TestVerifyDetectsDispatchOfUnready(t *testing.T) {
+	s, log := fakeSim(t)
+	log.Append(trace.Event{CPU: 0, Proc: 1, Kind: trace.KindDispatch})
+	err := VerifyPriorityModel(s)
+	if err == nil || !strings.Contains(err.Error(), "not ready") {
+		t.Fatalf("verifier missed an unready dispatch: %v", err)
+	}
+}
+
+// TestVerifyWorkloadTraces: the full §3.4-style workload respects the model
+// (end-to-end, all kinds of events, preemption bursts).
+func TestVerifyWorkloadTraces(t *testing.T) {
+	s := New(Config{Processors: 2, Seed: 3, MemWords: 1 << 14, EnableTrace: true})
+	x := s.Mem().MustAlloc("x", 4)
+	for i := 0; i < 6; i++ {
+		i := i
+		s.Spawn(JobSpec{
+			Name: "", CPU: i % 2, Prio: Priority(i / 2), Slot: i,
+			AfterSlices: int64(i * 13),
+			Body: func(e *Env) {
+				for j := 0; j < 30; j++ {
+					e.Store(x+shmem.Addr(j%4), uint64(j))
+					if j%7 == 0 {
+						e.CAS(x, e.Load(x), uint64(i))
+					}
+				}
+			},
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyPriorityModel(s); err != nil {
+		t.Fatal(err)
+	}
+}

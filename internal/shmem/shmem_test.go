@@ -1,0 +1,252 @@
+package shmem
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocSequential(t *testing.T) {
+	m := New(16)
+	a, err := m.Alloc("a", 3)
+	if err != nil {
+		t.Fatalf("Alloc a: %v", err)
+	}
+	b, err := m.Alloc("b", 4)
+	if err != nil {
+		t.Fatalf("Alloc b: %v", err)
+	}
+	if a != 1 {
+		t.Errorf("first allocation at %d, want 1 (word 0 reserved)", a)
+	}
+	if b != a+3 {
+		t.Errorf("second allocation at %d, want %d", b, a+3)
+	}
+	if got := m.Allocated(); got != 8 {
+		t.Errorf("Allocated() = %d, want 8", got)
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	m := New(4)
+	if _, err := m.Alloc("big", 10); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("Alloc beyond capacity: err = %v, want ErrOutOfMemory", err)
+	}
+	if _, err := m.Alloc("neg", -1); err == nil {
+		t.Fatal("Alloc(-1) succeeded, want error")
+	}
+}
+
+func TestMustAllocPanics(t *testing.T) {
+	m := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAlloc beyond capacity did not panic")
+		}
+	}()
+	m.MustAlloc("big", 100)
+}
+
+func TestLoadStore(t *testing.T) {
+	m := New(8)
+	a := m.MustAlloc("x", 1)
+	m.Store(a, 42)
+	if got := m.Load(a); got != 42 {
+		t.Errorf("Load = %d, want 42", got)
+	}
+	if m.Steps() != 2 {
+		t.Errorf("Steps = %d, want 2", m.Steps())
+	}
+}
+
+func TestCAS(t *testing.T) {
+	m := New(8)
+	a := m.MustAlloc("x", 1)
+	m.Store(a, 1)
+	if !m.CAS(a, 1, 2) {
+		t.Fatal("CAS(1->2) failed on matching value")
+	}
+	if m.CAS(a, 1, 3) {
+		t.Fatal("CAS(1->3) succeeded on stale expected value")
+	}
+	if got := m.Peek(a); got != 2 {
+		t.Errorf("value = %d, want 2", got)
+	}
+}
+
+func TestCAS2(t *testing.T) {
+	m := New(8)
+	a := m.MustAlloc("a", 1)
+	b := m.MustAlloc("b", 1)
+	m.Store(a, 10)
+	m.Store(b, 20)
+	if m.CAS2(a, b, 10, 99, 11, 21) {
+		t.Fatal("CAS2 succeeded with one mismatching word")
+	}
+	if m.Peek(a) != 10 || m.Peek(b) != 20 {
+		t.Fatal("failed CAS2 modified memory")
+	}
+	if !m.CAS2(a, b, 10, 20, 11, 21) {
+		t.Fatal("CAS2 failed with both words matching")
+	}
+	if m.Peek(a) != 11 || m.Peek(b) != 21 {
+		t.Errorf("after CAS2: a=%d b=%d, want 11, 21", m.Peek(a), m.Peek(b))
+	}
+}
+
+func TestCAS2AliasPanics(t *testing.T) {
+	m := New(8)
+	a := m.MustAlloc("a", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("aliased CAS2 did not panic")
+		}
+	}()
+	m.CAS2(a, a, 0, 0, 1, 1)
+}
+
+func TestCCASNative(t *testing.T) {
+	m := New(8)
+	v := m.MustAlloc("v", 1)
+	x := m.MustAlloc("x", 1)
+	m.Store(v, 7)
+	m.Store(x, 100)
+
+	if m.CCAS(v, 6, x, 100, 200) {
+		t.Fatal("CCAS succeeded with wrong version")
+	}
+	if m.Peek(x) != 100 {
+		t.Fatal("failed CCAS modified target")
+	}
+	if m.CCAS(v, 7, x, 99, 200) {
+		t.Fatal("CCAS succeeded with wrong old value")
+	}
+	if !m.CCAS(v, 7, x, 100, 200) {
+		t.Fatal("CCAS failed with matching version and old value")
+	}
+	if m.Peek(x) != 200 {
+		t.Errorf("x = %d, want 200", m.Peek(x))
+	}
+	if m.Peek(v) != 7 {
+		t.Errorf("CCAS modified the compare-only version word: v = %d", m.Peek(v))
+	}
+}
+
+func TestObserverSeesWrites(t *testing.T) {
+	m := New(8)
+	a := m.MustAlloc("x", 1)
+	var events []WriteEvent
+	m.AddObserver(ObserverFunc(func(ev WriteEvent) { events = append(events, ev) }))
+
+	m.SetCurrentProc(3)
+	m.Store(a, 5)
+	m.CAS(a, 5, 6)
+	m.CAS(a, 5, 7) // fails: no event
+	m.Load(a)      // loads are not reported
+
+	if len(events) != 2 {
+		t.Fatalf("observer saw %d events, want 2", len(events))
+	}
+	if events[0].Kind != OpStore || events[0].New != 5 || events[0].Proc != 3 {
+		t.Errorf("event 0 = %+v", events[0])
+	}
+	if events[1].Kind != OpCAS || events[1].Old != 5 || events[1].New != 6 {
+		t.Errorf("event 1 = %+v", events[1])
+	}
+	if events[1].Step <= events[0].Step {
+		t.Errorf("steps not increasing: %d then %d", events[0].Step, events[1].Step)
+	}
+}
+
+func TestName(t *testing.T) {
+	m := New(32)
+	a := m.MustAlloc("Status", 4)
+	b := m.MustAlloc("Save", 8)
+	cases := []struct {
+		addr Addr
+		want string
+	}{
+		{a, "Status"},
+		{a + 2, "Status+2"},
+		{b, "Save"},
+		{b + 7, "Save+7"},
+		{0, "word(0)"},
+		{-5, "invalid(-5)"},
+		{Addr(31), "word(31)"},
+	}
+	for _, c := range cases {
+		if got := m.Name(c.addr); got != c.want {
+			t.Errorf("Name(%d) = %q, want %q", int(c.addr), got, c.want)
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m := New(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Load did not panic")
+		}
+	}()
+	m.Load(100)
+}
+
+// TestPropertyCASSemantics cross-checks CAS against a model map under random
+// operation sequences.
+func TestPropertyCASSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New(16)
+		base := m.MustAlloc("w", 8)
+		model := make([]uint64, 8)
+		for i := 0; i < 500; i++ {
+			a := base + Addr(rng.Intn(8))
+			idx := int(a - base)
+			switch rng.Intn(3) {
+			case 0:
+				v := uint64(rng.Intn(8))
+				m.Store(a, v)
+				model[idx] = v
+			case 1:
+				old := uint64(rng.Intn(8))
+				v := uint64(rng.Intn(8))
+				ok := m.CAS(a, old, v)
+				if ok != (model[idx] == old) {
+					return false
+				}
+				if ok {
+					model[idx] = v
+				}
+			case 2:
+				if m.Load(a) != model[idx] {
+					return false
+				}
+			}
+		}
+		for i, want := range model {
+			if m.Peek(base+Addr(i)) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	cases := map[OpKind]string{
+		OpStore:    "store",
+		OpCAS:      "cas",
+		OpCAS2:     "cas2",
+		OpCCAS:     "ccas",
+		OpKind(99): "opkind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}

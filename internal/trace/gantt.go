@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// interval is a half-open execution span of one process on one cpu.
+type interval struct {
+	cpu        int
+	start, end int64
+	name       string
+}
+
+// Gantt renders the log as per-processor execution timelines, width columns
+// wide, one character per time bucket showing which process ran (the first
+// rune of its name; '.' for idle). It reconstructs intervals from the
+// dispatch/preempt/complete events, so the log must have been recorded with
+// scheduling events enabled. The output ends with a legend mapping the
+// letters used to process names.
+func (l *Log) Gantt(width int) string {
+	if width < 8 {
+		width = 8
+	}
+	// Reconstruct execution intervals.
+	type running struct {
+		name  string
+		since int64
+	}
+	current := map[int]*running{}
+	var spans []interval
+	var maxTime int64
+	maxCPU := 0
+	for _, ev := range l.events {
+		if ev.CPU > maxCPU {
+			maxCPU = ev.CPU
+		}
+		if ev.Time > maxTime {
+			maxTime = ev.Time
+		}
+		switch ev.Kind {
+		case KindDispatch:
+			current[ev.CPU] = &running{name: displayName(ev), since: ev.Time}
+		case KindPreempt, KindComplete:
+			if r := current[ev.CPU]; r != nil {
+				spans = append(spans, interval{cpu: ev.CPU, start: r.since, end: ev.Time, name: r.name})
+				current[ev.CPU] = nil
+			}
+		}
+	}
+	for cpu, r := range current {
+		if r != nil {
+			spans = append(spans, interval{cpu: cpu, start: r.since, end: maxTime, name: r.name})
+		}
+	}
+	if maxTime == 0 {
+		maxTime = 1
+	}
+
+	// Assign letters.
+	letters := map[string]rune{}
+	var names []string
+	for _, s := range spans {
+		if _, ok := letters[s.name]; !ok {
+			letters[s.name] = rune(s.name[0])
+			names = append(names, s.name)
+		}
+	}
+	sort.Strings(names)
+	// Disambiguate duplicate first letters with digits.
+	used := map[rune]bool{}
+	for _, n := range names {
+		r := letters[n]
+		for used[r] {
+			if r >= '0' && r < '9' {
+				r++
+			} else {
+				r = '0'
+			}
+		}
+		used[r] = true
+		letters[n] = r
+	}
+
+	// Render rows.
+	rows := make([][]rune, maxCPU+1)
+	for i := range rows {
+		rows[i] = []rune(strings.Repeat(".", width))
+	}
+	for _, s := range spans {
+		lo := int(s.start * int64(width) / (maxTime + 1))
+		hi := int(s.end * int64(width) / (maxTime + 1))
+		if hi <= lo {
+			hi = lo + 1
+		}
+		for c := lo; c < hi && c < width; c++ {
+			rows[s.cpu][c] = letters[s.name]
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "t=0%st=%d\n", strings.Repeat(" ", width-len(fmt.Sprint(maxTime))-1), maxTime)
+	for cpu, row := range rows {
+		fmt.Fprintf(&sb, "cpu%d %s\n", cpu, string(row))
+	}
+	fmt.Fprint(&sb, "legend:")
+	for _, n := range names {
+		fmt.Fprintf(&sb, " %c=%s", letters[n], n)
+	}
+	fmt.Fprintln(&sb)
+	return sb.String()
+}
+
+func displayName(ev Event) string {
+	if ev.ProcName != "" {
+		return ev.ProcName
+	}
+	return fmt.Sprintf("p%d", ev.Proc)
+}
+
+// WriteCSV emits the log as CSV (seq,time,cpu,proc,name,kind,msg) for
+// external analysis tools.
+func (l *Log) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"seq", "time", "cpu", "proc", "name", "kind", "msg"}); err != nil {
+		return err
+	}
+	for _, ev := range l.events {
+		rec := []string{
+			strconv.Itoa(ev.Seq),
+			strconv.FormatInt(ev.Time, 10),
+			strconv.Itoa(ev.CPU),
+			strconv.Itoa(ev.Proc),
+			ev.ProcName,
+			ev.Kind.String(),
+			ev.Msg,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

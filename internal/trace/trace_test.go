@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func fill(l *Log) {
+	l.Append(Event{Time: 0, CPU: 0, Proc: 0, ProcName: "p", Kind: KindArrival})
+	l.Append(Event{Time: 1, CPU: 0, Proc: 0, ProcName: "p", Kind: KindDispatch})
+	l.Append(Event{Time: 5, CPU: 0, Proc: 0, ProcName: "p", Kind: KindAnnotate, Msg: "announce p=0"})
+	l.Append(Event{Time: 9, CPU: 0, Proc: 1, ProcName: "q", Kind: KindArrival})
+	l.Append(Event{Time: 9, CPU: 0, Proc: 0, ProcName: "p", Kind: KindPreempt})
+	l.Append(Event{Time: 12, CPU: 0, Proc: 1, ProcName: "q", Kind: KindAnnotate, Msg: "help p=0"})
+	l.Append(Event{Time: 20, CPU: 0, Proc: 1, ProcName: "q", Kind: KindComplete})
+}
+
+func TestAppendAssignsSeq(t *testing.T) {
+	var l Log
+	fill(&l)
+	for i, ev := range l.Events() {
+		if ev.Seq != i {
+			t.Errorf("event %d has Seq %d", i, ev.Seq)
+		}
+	}
+	if l.Len() != 7 {
+		t.Errorf("Len = %d, want 7", l.Len())
+	}
+}
+
+func TestAnnotations(t *testing.T) {
+	var l Log
+	fill(&l)
+	notes := l.Annotations()
+	if len(notes) != 2 {
+		t.Fatalf("got %d annotations, want 2", len(notes))
+	}
+	if notes[0].Msg != "announce p=0" || notes[1].Msg != "help p=0" {
+		t.Errorf("annotations wrong: %+v", notes)
+	}
+}
+
+func TestFind(t *testing.T) {
+	var l Log
+	fill(&l)
+	if i := l.Find(0, KindPreempt, ""); i != 4 {
+		t.Errorf("Find preempt = %d, want 4", i)
+	}
+	if i := l.FindNote(0, "help"); i != 5 {
+		t.Errorf("FindNote help = %d, want 5", i)
+	}
+	if i := l.FindNote(6, "help"); i != -1 {
+		t.Errorf("FindNote past end = %d, want -1", i)
+	}
+	if i := l.Find(0, KindAnnotate, "nonexistent"); i != -1 {
+		t.Errorf("Find nonexistent = %d, want -1", i)
+	}
+	// Ordering: the help note comes after the announce note.
+	a := l.FindNote(0, "announce")
+	h := l.FindNote(a+1, "help")
+	if !(a >= 0 && h > a) {
+		t.Errorf("ordering broken: announce=%d help=%d", a, h)
+	}
+}
+
+func TestString(t *testing.T) {
+	var l Log
+	fill(&l)
+	out := l.String()
+	for _, want := range []string{"announce p=0", "help p=0", "[preempt]", "[complete]", "cpu0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered log missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindArrival:  "arrive",
+		KindDispatch: "dispatch",
+		KindPreempt:  "preempt",
+		KindComplete: "complete",
+		KindAnnotate: "note",
+		Kind(42):     "kind(42)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestUnnamedProcRendering(t *testing.T) {
+	var l Log
+	l.Append(Event{Time: 0, CPU: 1, Proc: 7, Kind: KindDispatch})
+	if out := l.String(); !strings.Contains(out, "p7") {
+		t.Errorf("unnamed process not rendered as p7:\n%s", out)
+	}
+}
+
+func TestGantt(t *testing.T) {
+	var l Log
+	l.Append(Event{Time: 0, CPU: 0, Proc: 0, ProcName: "p", Kind: KindArrival})
+	l.Append(Event{Time: 0, CPU: 0, Proc: 0, ProcName: "p", Kind: KindDispatch})
+	l.Append(Event{Time: 50, CPU: 0, Proc: 0, ProcName: "p", Kind: KindPreempt})
+	l.Append(Event{Time: 50, CPU: 0, Proc: 1, ProcName: "q", Kind: KindDispatch})
+	l.Append(Event{Time: 80, CPU: 0, Proc: 1, ProcName: "q", Kind: KindComplete})
+	l.Append(Event{Time: 80, CPU: 0, Proc: 0, ProcName: "p", Kind: KindDispatch})
+	l.Append(Event{Time: 100, CPU: 0, Proc: 0, ProcName: "p", Kind: KindComplete})
+	l.Append(Event{Time: 0, CPU: 1, Proc: 2, ProcName: "r", Kind: KindDispatch})
+	l.Append(Event{Time: 100, CPU: 1, Proc: 2, ProcName: "r", Kind: KindComplete})
+
+	out := l.Gantt(40)
+	for _, want := range []string{"cpu0", "cpu1", "p=p", "q=q", "r=r", "legend:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gantt missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	// cpu0 row: roughly first half p, then q, then p again.
+	row0 := lines[1]
+	if !strings.Contains(row0, "p") || !strings.Contains(row0, "q") {
+		t.Errorf("cpu0 row missing p/q: %q", row0)
+	}
+	if strings.Index(row0, "q") < strings.Index(row0, "p") {
+		t.Errorf("q before p on cpu0: %q", row0)
+	}
+	// cpu1 row: solid r.
+	row1 := lines[2]
+	if strings.Count(row1, "r") < 35 {
+		t.Errorf("cpu1 row not solid r: %q", row1)
+	}
+}
+
+func TestGanttDuplicateInitials(t *testing.T) {
+	var l Log
+	l.Append(Event{Time: 0, CPU: 0, Proc: 0, ProcName: "worker1", Kind: KindDispatch})
+	l.Append(Event{Time: 10, CPU: 0, Proc: 0, ProcName: "worker1", Kind: KindComplete})
+	l.Append(Event{Time: 10, CPU: 0, Proc: 1, ProcName: "worker2", Kind: KindDispatch})
+	l.Append(Event{Time: 20, CPU: 0, Proc: 1, ProcName: "worker2", Kind: KindComplete})
+	out := l.Gantt(20)
+	if !strings.Contains(out, "w=worker1") && !strings.Contains(out, "w=worker2") {
+		t.Errorf("no base letter assigned:\n%s", out)
+	}
+	if !strings.Contains(out, "0=") {
+		t.Errorf("duplicate initial not disambiguated:\n%s", out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var l Log
+	fill(&l)
+	var sb strings.Builder
+	if err := l.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1+l.Len() {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), 1+l.Len())
+	}
+	if !strings.HasPrefix(lines[0], "seq,time,cpu,proc,name,kind,msg") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(out, "announce p=0") {
+		t.Error("CSV missing annotation message")
+	}
+}

@@ -1,0 +1,241 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core/multimwcas"
+	"repro/internal/core/unimwcas"
+	"repro/internal/helping"
+	"repro/internal/prim"
+	"repro/internal/sched"
+	"repro/internal/shmem"
+)
+
+// MWCASKind selects the MWCAS implementation under test.
+type MWCASKind string
+
+// The MWCAS implementations the harness can run.
+const (
+	// MWCASUni is the uniprocessor Figure 3 algorithm (requires P=1).
+	MWCASUni MWCASKind = "mwcas-uni"
+	// MWCASMulti is the multiprocessor Figure 6 algorithm.
+	MWCASMulti MWCASKind = "mwcas-multi"
+)
+
+// MWCASConfig parameterizes an MWCAS throughput run: processes perform
+// read-compute-MWCAS transactions (the paper's Section 3.1 usage pattern)
+// over a shared word set, retrying on conflict, under priority preemption
+// bursts.
+type MWCASConfig struct {
+	Kind MWCASKind
+	// Processors is P; Words is the shared word count; Width is the
+	// number of words each transaction updates.
+	Processors, Words, Width int
+	// TotalCommits is the total number of committed transactions to
+	// perform across all workers.
+	TotalCommits int
+	// BurstsPerCPU higher-priority jobs of BurstCommits each preempt the
+	// base workers.
+	BurstsPerCPU, BurstCommits int
+	Seed                       int64
+	// CC and Mode configure the multiprocessor object.
+	CC   prim.Impl
+	Mode helping.Mode
+	// Granularity defaults to Coarse.
+	Granularity sched.Granularity
+}
+
+// MWCASResult is the measured outcome.
+type MWCASResult struct {
+	Cfg      MWCASConfig
+	Commits  int
+	Failures int // failed attempts (application-level retries)
+	Makespan int64
+	WorstOp  int64 // worst single MWCAS call response
+}
+
+// RunMWCAS executes one MWCAS throughput run.
+func RunMWCAS(cfg MWCASConfig) (*MWCASResult, error) {
+	if cfg.Processors < 1 {
+		return nil, fmt.Errorf("workload: processors %d out of range", cfg.Processors)
+	}
+	if cfg.Kind == MWCASUni && cfg.Processors != 1 {
+		return nil, fmt.Errorf("workload: %s requires one processor", cfg.Kind)
+	}
+	if cfg.Width < 1 || cfg.Width > cfg.Words {
+		return nil, fmt.Errorf("workload: width %d out of range [1,%d]", cfg.Width, cfg.Words)
+	}
+	if cfg.Granularity == 0 {
+		cfg.Granularity = sched.Coarse
+	}
+	burstJobs := cfg.Processors * cfg.BurstsPerCPU
+	burstCommits := burstJobs * cfg.BurstCommits
+	if burstCommits > cfg.TotalCommits {
+		return nil, fmt.Errorf("workload: burst commits %d exceed total %d", burstCommits, cfg.TotalCommits)
+	}
+	slots := cfg.Processors + burstJobs
+
+	s := sched.New(sched.Config{
+		Processors:  cfg.Processors,
+		Seed:        cfg.Seed,
+		MemWords:    1 << 16,
+		Granularity: cfg.Granularity,
+		MaxSteps:    uint64(cfg.TotalCommits)*uint64(cfg.Words+64)*64 + 1<<22,
+	})
+
+	// Build the object and a transaction function.
+	var txn func(e *sched.Env, rng func(int) int) (bool, error)
+	base := s.Mem().MustAlloc("appwords", cfg.Words)
+	words := make([]shmem.Addr, cfg.Words)
+	for i := range words {
+		words[i] = base + shmem.Addr(i)
+	}
+	switch cfg.Kind {
+	case MWCASUni:
+		obj, err := unimwcas.New(s.Mem(), slots, cfg.Width)
+		if err != nil {
+			return nil, err
+		}
+		for _, w := range words {
+			obj.InitWord(w, 0)
+		}
+		txn = func(e *sched.Env, rng func(int) int) (bool, error) {
+			idx := pick(rng, cfg.Words, cfg.Width)
+			addrs := make([]shmem.Addr, cfg.Width)
+			old := make([]uint32, cfg.Width)
+			next := make([]uint32, cfg.Width)
+			for i, wi := range idx {
+				addrs[i] = words[wi]
+				old[i] = obj.Read(e, addrs[i])
+				next[i] = old[i] + 1
+			}
+			return obj.MWCAS(e, addrs, old, next), nil
+		}
+	case MWCASMulti:
+		obj, err := multimwcas.New(s.Mem(), multimwcas.Config{
+			Processors: cfg.Processors, Procs: slots, Width: cfg.Width,
+			CC: cfg.CC, Mode: cfg.Mode,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, w := range words {
+			obj.InitWord(w, 0)
+		}
+		txn = func(e *sched.Env, rng func(int) int) (bool, error) {
+			idx := pick(rng, cfg.Words, cfg.Width)
+			addrs := make([]shmem.Addr, cfg.Width)
+			old := make([]uint64, cfg.Width)
+			next := make([]uint64, cfg.Width)
+			for i, wi := range idx {
+				addrs[i] = words[wi]
+				old[i] = obj.ReadWord(e, addrs[i])
+				next[i] = old[i] + 1
+			}
+			return obj.MWCAS(e, addrs, old, next), nil
+		}
+	default:
+		return nil, fmt.Errorf("workload: unknown MWCAS kind %q", cfg.Kind)
+	}
+
+	res := &MWCASResult{Cfg: cfg}
+	var runErr error
+	commitLoop := func(e *sched.Env, commits int) {
+		for done := 0; done < commits; {
+			start := e.Now()
+			ok, err := txn(e, e.Rand().Intn)
+			if err != nil {
+				runErr = err
+				return
+			}
+			if d := e.Now() - start; d > res.WorstOp {
+				res.WorstOp = d
+			}
+			if ok {
+				done++
+				res.Commits++
+			} else {
+				res.Failures++
+			}
+		}
+	}
+
+	baseTotal := cfg.TotalCommits - burstCommits
+	basePer := baseTotal / cfg.Processors
+	for cpu := 0; cpu < cfg.Processors; cpu++ {
+		cpu := cpu
+		commits := basePer
+		if cpu == 0 {
+			commits += baseTotal - basePer*cfg.Processors
+		}
+		s.Spawn(sched.JobSpec{
+			Name: fmt.Sprintf("base%d", cpu), CPU: cpu, Prio: 1, Slot: cpu, AfterSlices: -1,
+			Body: func(e *sched.Env) { commitLoop(e, commits) },
+		})
+	}
+	est := int64(cfg.TotalCommits * (16 + 4*cfg.Width))
+	job := 0
+	for cpu := 0; cpu < cfg.Processors; cpu++ {
+		for b := 0; b < cfg.BurstsPerCPU; b++ {
+			slot := cfg.Processors + job
+			release := est*int64(b+1)/int64(cfg.BurstsPerCPU+1) + s.Rand().Int63n(est/int64(cfg.BurstsPerCPU+1)+1)
+			s.Spawn(sched.JobSpec{
+				Name: fmt.Sprintf("burst%d", job), CPU: cpu, Prio: sched.Priority(2 + b%3), Slot: slot,
+				AfterSlices: release,
+				Body:        func(e *sched.Env) { commitLoop(e, cfg.BurstCommits) },
+			})
+			job++
+		}
+	}
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	res.Makespan = s.Elapsed()
+
+	// Conservation check: every committed transaction incremented Width
+	// words by one, so the word sum equals Commits * Width.
+	var sum uint64
+	for _, w := range words {
+		switch cfg.Kind {
+		case MWCASUni:
+			sum += uint64(unimwcasVal(s, w))
+		default:
+			sum += multimwcasVal(s, w, cfg.CC)
+		}
+	}
+	if sum != uint64(res.Commits*cfg.Width) {
+		return nil, errors.New("workload: MWCAS conservation violated (lost or doubled commits)")
+	}
+	return res, nil
+}
+
+// pick chooses width distinct indices in [0, words).
+func pick(rng func(int) int, words, width int) []int {
+	idx := make([]int, 0, width)
+	used := make(map[int]bool, width)
+	for len(idx) < width {
+		i := rng(words)
+		if !used[i] {
+			used[i] = true
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+func unimwcasVal(s *sched.Sim, w shmem.Addr) uint32 {
+	word := unimwcas.Unpack(s.Mem().Peek(w))
+	// Quiescent: valid words only.
+	return word.Val
+}
+
+func multimwcasVal(s *sched.Sim, w shmem.Addr, cc prim.Impl) uint64 {
+	if cc == nil {
+		cc = prim.Native{}
+	}
+	return cc.Logical(s.Mem().Peek(w))
+}

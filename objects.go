@@ -1,0 +1,208 @@
+package waitfree
+
+// Facade constructors for the Section 4 extension objects: the wait-free
+// queue, stack and hash table ("other 'linear' data structures ... are just
+// as straightforward to implement as linked lists").
+
+import (
+	"repro/internal/arena"
+	"repro/internal/core/multihash"
+	"repro/internal/core/multiqueue"
+	"repro/internal/core/multistack"
+	"repro/internal/core/unihash"
+	"repro/internal/core/uniqueue"
+	"repro/internal/core/unistack"
+)
+
+// UniQueue is a wait-free FIFO queue for priority-based uniprocessors.
+type UniQueue = uniqueue.Queue
+
+// UniStack is a wait-free LIFO stack for priority-based uniprocessors.
+type UniStack = unistack.Stack
+
+// MultiQueue is a wait-free FIFO queue for priority-based multiprocessors.
+type MultiQueue = multiqueue.Queue
+
+// MultiStack is a wait-free LIFO stack for priority-based multiprocessors.
+type MultiStack = multistack.Stack
+
+// MultiHash is a wait-free hash table for priority-based multiprocessors.
+type MultiHash = multihash.Table
+
+// UniHash is a wait-free hash table for priority-based uniprocessors.
+type UniHash = unihash.Table
+
+// QueueConfig configures a queue or stack instance.
+type QueueConfig struct {
+	// Procs is N; Capacity is the node arena size.
+	Procs, Capacity int
+	// Processors, CC, Mode, OneRound configure the multiprocessor queue
+	// (ignored by the uniprocessor structures).
+	Processors int
+	CC         CCAS
+	Mode       HelpingMode
+	OneRound   bool
+}
+
+// HashConfig configures a hash table instance.
+type HashConfig struct {
+	// Procs is N; Buckets is K; Capacity is the node arena size.
+	Procs, Buckets, Capacity int
+	// Seed pre-loads the table with these distinct keys.
+	Seed []uint64
+	// Processors, CC, Mode, OneRound configure the helping engine.
+	Processors int
+	CC         CCAS
+	Mode       HelpingMode
+	OneRound   bool
+}
+
+func (c *QueueConfig) defaults(sim *Sim) {
+	if c.Capacity == 0 {
+		c.Capacity = 1024
+	}
+	if c.Procs == 0 {
+		c.Procs = 1
+	}
+	if c.Processors == 0 {
+		c.Processors = sim.Processors()
+	}
+}
+
+// NewUniQueue builds a uniprocessor wait-free FIFO queue inside sim.
+func NewUniQueue(sim *Sim, cfg QueueConfig) (*UniQueue, error) {
+	cfg.defaults(sim)
+	ar, err := arena.New(sim.Mem(), cfg.Capacity, cfg.Procs)
+	if err != nil {
+		return nil, err
+	}
+	q, err := uniqueue.New(sim.Mem(), ar, cfg.Procs)
+	if err != nil {
+		return nil, err
+	}
+	ar.Freeze()
+	return q, nil
+}
+
+// NewUniStack builds a uniprocessor wait-free LIFO stack inside sim.
+func NewUniStack(sim *Sim, cfg QueueConfig) (*UniStack, error) {
+	cfg.defaults(sim)
+	ar, err := arena.New(sim.Mem(), cfg.Capacity, cfg.Procs)
+	if err != nil {
+		return nil, err
+	}
+	st, err := unistack.New(sim.Mem(), ar, cfg.Procs)
+	if err != nil {
+		return nil, err
+	}
+	ar.Freeze()
+	return st, nil
+}
+
+// NewMultiQueue builds a multiprocessor wait-free FIFO queue inside sim.
+func NewMultiQueue(sim *Sim, cfg QueueConfig) (*MultiQueue, error) {
+	cfg.defaults(sim)
+	ar, err := arena.New(sim.Mem(), cfg.Capacity, cfg.Procs)
+	if err != nil {
+		return nil, err
+	}
+	q, err := multiqueue.New(sim.Mem(), ar, multiqueue.Config{
+		Processors: cfg.Processors,
+		Procs:      cfg.Procs,
+		CC:         cfg.CC,
+		Mode:       cfg.Mode,
+		OneRound:   cfg.OneRound,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ar.Freeze()
+	return q, nil
+}
+
+// NewMultiStack builds a multiprocessor wait-free LIFO stack inside sim.
+func NewMultiStack(sim *Sim, cfg QueueConfig) (*MultiStack, error) {
+	cfg.defaults(sim)
+	ar, err := arena.New(sim.Mem(), cfg.Capacity, cfg.Procs)
+	if err != nil {
+		return nil, err
+	}
+	st, err := multistack.New(sim.Mem(), ar, multistack.Config{
+		Processors: cfg.Processors,
+		Procs:      cfg.Procs,
+		CC:         cfg.CC,
+		Mode:       cfg.Mode,
+		OneRound:   cfg.OneRound,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ar.Freeze()
+	return st, nil
+}
+
+// NewUniHash builds a uniprocessor wait-free hash table inside sim.
+func NewUniHash(sim *Sim, cfg HashConfig) (*UniHash, error) {
+	if cfg.Capacity == 0 {
+		cfg.Capacity = 1024
+	}
+	if cfg.Procs == 0 {
+		cfg.Procs = 1
+	}
+	if cfg.Buckets == 0 {
+		cfg.Buckets = 16
+	}
+	ar, err := arena.New(sim.Mem(), cfg.Capacity, cfg.Procs)
+	if err != nil {
+		return nil, err
+	}
+	tb, err := unihash.New(sim.Mem(), ar, cfg.Procs, cfg.Buckets)
+	if err != nil {
+		return nil, err
+	}
+	if len(cfg.Seed) > 0 {
+		if err := tb.SeedKeys(cfg.Seed); err != nil {
+			return nil, err
+		}
+	}
+	ar.Freeze()
+	return tb, nil
+}
+
+// NewMultiHash builds a multiprocessor wait-free hash table inside sim.
+func NewMultiHash(sim *Sim, cfg HashConfig) (*MultiHash, error) {
+	if cfg.Capacity == 0 {
+		cfg.Capacity = 1024
+	}
+	if cfg.Procs == 0 {
+		cfg.Procs = 1
+	}
+	if cfg.Buckets == 0 {
+		cfg.Buckets = 16
+	}
+	if cfg.Processors == 0 {
+		cfg.Processors = sim.Processors()
+	}
+	ar, err := arena.New(sim.Mem(), cfg.Capacity, cfg.Procs)
+	if err != nil {
+		return nil, err
+	}
+	tb, err := multihash.New(sim.Mem(), ar, multihash.Config{
+		Processors: cfg.Processors,
+		Procs:      cfg.Procs,
+		Buckets:    cfg.Buckets,
+		CC:         cfg.CC,
+		Mode:       cfg.Mode,
+		OneRound:   cfg.OneRound,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(cfg.Seed) > 0 {
+		if err := tb.SeedKeys(cfg.Seed); err != nil {
+			return nil, err
+		}
+	}
+	ar.Freeze()
+	return tb, nil
+}

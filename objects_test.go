@@ -1,0 +1,94 @@
+package waitfree_test
+
+import (
+	"testing"
+
+	waitfree "repro"
+)
+
+// TestPublicAPIQueueStack drives the facade queue and stack end to end on a
+// priority uniprocessor with preemption.
+func TestPublicAPIQueueStack(t *testing.T) {
+	sim := waitfree.NewSim(waitfree.SimConfig{Processors: 1, Seed: 2})
+	q, err := waitfree.NewUniQueue(sim, waitfree.QueueConfig{Procs: 2, Capacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := waitfree.NewUniStack(sim, waitfree.QueueConfig{Procs: 2, Capacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Spawn(waitfree.JobSpec{Name: "producer", CPU: 0, Prio: 1, Slot: 0, AfterSlices: -1, Body: func(e *waitfree.Env) {
+		for v := uint64(1); v <= 5; v++ {
+			q.Enqueue(e, v)
+			st.Push(e, v)
+		}
+	}})
+	var deqs, pops []uint64
+	sim.Spawn(waitfree.JobSpec{Name: "consumer", CPU: 0, Prio: 5, Slot: 1, AfterSlices: 200, Body: func(e *waitfree.Env) {
+		for {
+			v, ok := q.Dequeue(e)
+			if !ok {
+				break
+			}
+			deqs = append(deqs, v)
+		}
+		for {
+			v, ok := st.Pop(e)
+			if !ok {
+				break
+			}
+			pops = append(pops, v)
+		}
+	}})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range deqs {
+		if v != uint64(i+1) {
+			t.Errorf("queue order broken: %v", deqs)
+			break
+		}
+	}
+	for i, v := range pops {
+		if v != uint64(len(pops)-i) {
+			t.Errorf("stack order broken: %v", pops)
+			break
+		}
+	}
+}
+
+// TestPublicAPIMultiQueueHash drives the multiprocessor queue and hash table
+// through the facade.
+func TestPublicAPIMultiQueueHash(t *testing.T) {
+	sim := waitfree.NewSim(waitfree.SimConfig{Processors: 2, Seed: 3})
+	q, err := waitfree.NewMultiQueue(sim, waitfree.QueueConfig{Procs: 2, Capacity: 64, Mode: waitfree.PriorityHelping})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := waitfree.NewMultiHash(sim, waitfree.HashConfig{Procs: 2, Buckets: 4, Capacity: 64, Seed: []uint64{7, 11}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for cpu := 0; cpu < 2; cpu++ {
+		cpu := cpu
+		sim.Spawn(waitfree.JobSpec{Name: "", CPU: cpu, Prio: 1, Slot: cpu, AfterSlices: -1, Body: func(e *waitfree.Env) {
+			for i := 0; i < 10; i++ {
+				q.Enqueue(e, uint64(100*cpu+i))
+				if h.Insert(e, uint64(100*cpu+i+1), 0) {
+					total++
+				}
+			}
+		}})
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(q.Snapshot()); got != 20 {
+		t.Errorf("queue has %d values, want 20", got)
+	}
+	if got := len(h.Snapshot()); got != total+2 {
+		t.Errorf("table has %d keys, want %d", got, total+2)
+	}
+}

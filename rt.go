@@ -1,0 +1,43 @@
+package waitfree
+
+// Real-time analysis facade: rate-monotonic assignment and response-time
+// analysis with the paper's wait-free helping surcharge (see internal/rt).
+// This is the schedulability story that motivates wait-freedom in the
+// paper's target systems: operation worst cases are bounded (Θ(2T) /
+// Θ(2PT)), so they can be folded into classic response-time analysis —
+// something lock-free retry loops do not permit.
+
+import "repro/internal/rt"
+
+type (
+	// RTTask is a periodic task whose jobs perform wait-free object
+	// operations.
+	RTTask = rt.Task
+	// RTAnalysis is the response-time analysis result for one task.
+	RTAnalysis = rt.Analysis
+)
+
+// AssignRateMonotonic orders tasks highest-priority-first by period.
+func AssignRateMonotonic(tasks []RTTask) []RTTask { return rt.AssignRateMonotonic(tasks) }
+
+// ResponseTimeAnalysis runs the classic recurrence with helping-inflated
+// WCETs on a rate-monotonically ordered task set.
+func ResponseTimeAnalysis(ordered []RTTask) ([]RTAnalysis, error) {
+	return rt.ResponseTimeAnalysis(ordered)
+}
+
+// RTSchedulable reports whether every analyzed task meets its deadline.
+func RTSchedulable(as []RTAnalysis) bool { return rt.Schedulable(as) }
+
+// RTUtilization sums task utilizations (helping surcharge included).
+func RTUtilization(tasks []RTTask) float64 { return rt.TotalUtilization(tasks) }
+
+// RTLiuLaylandBound is the sufficient rate-monotonic utilization bound.
+func RTLiuLaylandBound(n int) float64 { return rt.LiuLaylandBound(n) }
+
+// RTPartitionedAnalysis runs per-processor response-time analysis for a
+// partitioned task set sharing objects on a P-processor helping ring
+// (operations charged at the paper's 2·P·T surcharge).
+func RTPartitionedAnalysis(tasks []RTTask, assign []int, p int) (map[int][]RTAnalysis, error) {
+	return rt.PartitionedAnalysis(tasks, assign, p)
+}

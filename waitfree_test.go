@@ -1,0 +1,148 @@
+package waitfree_test
+
+import (
+	"testing"
+
+	waitfree "repro"
+)
+
+// TestPublicAPIUniList drives the quickstart path end to end.
+func TestPublicAPIUniList(t *testing.T) {
+	sim := waitfree.NewSim(waitfree.SimConfig{Processors: 1, Seed: 1})
+	list, err := waitfree.NewUniList(sim, waitfree.ListConfig{Procs: 2, Capacity: 64, Seed: []uint64{10, 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SpawnAt(0, 0, 1, "worker", func(e *waitfree.Env) {
+		if !list.Insert(e, 15, 150) {
+			t.Error("Insert(15) failed")
+		}
+		if !list.Search(e, 10) {
+			t.Error("Search(10) failed")
+		}
+		if !list.Delete(e, 20) {
+			t.Error("Delete(20) failed")
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := list.Snapshot()
+	if len(got) != 2 || got[0] != 10 || got[1] != 15 {
+		t.Errorf("final list = %v, want [10 15]", got)
+	}
+}
+
+// TestPublicAPIMultiList exercises the multiprocessor list with each CCAS
+// implementation through the facade.
+func TestPublicAPIMultiList(t *testing.T) {
+	for _, cc := range []waitfree.CCAS{waitfree.CCASNative(), waitfree.CCASTagged(), waitfree.CCASDelayed()} {
+		sim := waitfree.NewSim(waitfree.SimConfig{Processors: 2, Seed: 3})
+		list, err := waitfree.NewMultiList(sim, waitfree.ListConfig{Procs: 2, Capacity: 64, CC: cc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cpu := 0; cpu < 2; cpu++ {
+			cpu := cpu
+			sim.Spawn(waitfree.JobSpec{Name: "", CPU: cpu, Prio: 1, Slot: cpu, AfterSlices: -1, Body: func(e *waitfree.Env) {
+				for k := uint64(1 + cpu); k < 20; k += 2 {
+					list.Insert(e, k, k)
+				}
+			}})
+		}
+		if err := sim.Run(); err != nil {
+			t.Fatalf("%s: %v", cc.Name(), err)
+		}
+		if got := len(list.Snapshot()); got != 19 {
+			t.Errorf("%s: final list has %d keys, want 19", cc.Name(), got)
+		}
+	}
+}
+
+// TestPublicAPIUniMWCAS exercises the uniprocessor MWCAS facade.
+func TestPublicAPIUniMWCAS(t *testing.T) {
+	sim := waitfree.NewSim(waitfree.SimConfig{Processors: 1, Seed: 1})
+	obj, err := waitfree.NewUniMWCAS(sim, waitfree.MWCASConfig{Procs: 2, Width: 4, Words: 3, Initial: []uint64{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SpawnAt(0, 0, 1, "p", func(e *waitfree.Env) {
+		if !obj.MWCAS(e, obj.Words, []uint32{1, 2, 3}, []uint32{4, 5, 6}) {
+			t.Error("MWCAS failed")
+		}
+		if got := obj.Read(e, obj.Words[1]); got != 5 {
+			t.Errorf("Read = %d, want 5", got)
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := waitfree.NewUniMWCAS(sim, waitfree.MWCASConfig{Procs: 1, Width: 1, Words: 1, Initial: []uint64{1 << 40}}); err == nil {
+		t.Error("over-wide initial value accepted")
+	}
+}
+
+// TestPublicAPIMultiMWCAS exercises the multiprocessor MWCAS facade with
+// priority helping.
+func TestPublicAPIMultiMWCAS(t *testing.T) {
+	sim := waitfree.NewSim(waitfree.SimConfig{Processors: 2, Seed: 5})
+	obj, err := waitfree.NewMultiMWCAS(sim, waitfree.MWCASConfig{
+		Procs: 2, Width: 2, Words: 2, Mode: waitfree.PriorityHelping,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cpu := 0; cpu < 2; cpu++ {
+		cpu := cpu
+		sim.Spawn(waitfree.JobSpec{Name: "", CPU: cpu, Prio: waitfree.Priority(cpu), Slot: cpu, AfterSlices: -1, Body: func(e *waitfree.Env) {
+			for i := 0; i < 15; i++ {
+				a := obj.Read(e, obj.Words[0])
+				b := obj.Read(e, obj.Words[1])
+				obj.MWCAS(e, obj.Words, []uint64{a, b}, []uint64{a + 1, b + 1})
+			}
+		}})
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The two words move in lockstep under MWCAS atomicity.
+	v0 := obj.Object.Val(obj.Words[0])
+	v1 := obj.Object.Val(obj.Words[1])
+	if v0 != v1 {
+		t.Errorf("words diverged: %d vs %d", v0, v1)
+	}
+}
+
+// TestPublicAPIExperiment drives the experiment harness through the facade.
+func TestPublicAPIExperiment(t *testing.T) {
+	res, err := waitfree.RunListExperiment(waitfree.ListExperiment{
+		Kind: waitfree.KindWaitFree, Processors: 2, TotalOps: 100, ListSize: 20, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 100 {
+		t.Errorf("ops = %d, want 100", res.Ops)
+	}
+}
+
+// TestPublicAPIRT exercises the real-time analysis facade.
+func TestPublicAPIRT(t *testing.T) {
+	tasks := waitfree.AssignRateMonotonic([]waitfree.RTTask{
+		{Name: "fast", Period: 1000, BaseCost: 100, Ops: 2, OpCost: 50},
+		{Name: "slow", Period: 5000, BaseCost: 500, Ops: 4, OpCost: 50},
+	})
+	as, err := waitfree.ResponseTimeAnalysis(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !waitfree.RTSchedulable(as) {
+		t.Errorf("set unschedulable: %+v", as)
+	}
+	if u := waitfree.RTUtilization(tasks); u <= 0 || u >= 1 {
+		t.Errorf("utilization = %f, want in (0,1)", u)
+	}
+	if b := waitfree.RTLiuLaylandBound(2); b < 0.82 || b > 0.83 {
+		t.Errorf("Liu-Layland bound(2) = %f, want ~0.828", b)
+	}
+}
