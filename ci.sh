@@ -1,0 +1,15 @@
+#!/bin/sh
+# ci.sh — the repo's tier-1 gate, runnable anywhere the Go toolchain is.
+#
+#   ./ci.sh
+#
+# Runs vet, a full build, the full test suite, and a race-detector pass
+# over the packages with real goroutine hand-offs (the scheduler's
+# coroutine rendezvous and the trace log). Everything is stdlib-only and
+# deterministic, so a green run on one machine is a green run on all.
+set -eux
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./internal/sched/... ./internal/trace/...

@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"text/tabwriter"
 
 	waitfree "repro"
@@ -35,6 +36,7 @@ import (
 	"repro/internal/core/uniqueue"
 	"repro/internal/core/unistack"
 	"repro/internal/helping"
+	"repro/internal/metrics"
 	"repro/internal/rt"
 	"repro/internal/sched"
 	"repro/internal/shmem"
@@ -42,10 +44,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig1|ext|mwcas|sec34|retries|valois|ablations|all")
+	exp := flag.String("exp", "all", "experiment: fig1|ext|mwcas|sec34|retries|valois|ablations|report|all")
 	ops := flag.Int("ops", 50000, "total operations for the sec34 experiments (the paper used 50000)")
 	procs := flag.Int("procs", 4, "processors for the sec34 experiments (the paper used 4)")
 	seed := flag.Int64("seed", 11, "random seed")
+	outdir := flag.String("outdir", ".", "directory for the BENCH_<object>.json run reports")
 	flag.Parse()
 
 	run := func(name string, f func() error) {
@@ -64,6 +67,7 @@ func main() {
 	run("retries", func() error { return retries(*ops, *procs, *seed) })
 	run("valois", func() error { return valoisCmp(*seed) })
 	run("ablations", func() error { return ablations(*seed) })
+	run("report", func() error { return reports(*outdir, *seed) })
 }
 
 func table(title string, header []string, rows [][]string) {
@@ -691,6 +695,128 @@ func extensions(seed int64) error {
 	table(fmt.Sprintf("Real-time response-time analysis with wait-free helping surcharge (utilization %.2f, Liu-Layland bound %.2f)",
 		rt.TotalUtilization(tasks), rt.LiuLaylandBound(len(tasks))),
 		[]string{"task", "period", "WCET (2T ops)", "response bound", "schedulable"}, rows)
+	return nil
+}
+
+// reports runs a small adversarial workload over each core object and
+// writes one machine-readable run report per object as
+// <outdir>/BENCH_<object>.json: per-process step counts, CAS-failure
+// counts, helping and preemption accounting, and response-time summaries.
+// The runs are deterministic for a fixed seed, so the files are diffable
+// across commits (see EXPERIMENTS.md "Run reports").
+func reports(outdir string, seed int64) error {
+	var written []string
+	writeReport := func(r *metrics.Report) error {
+		path := filepath.Join(outdir, "BENCH_"+string(r.Object)+".json")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := r.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		written = append(written, path)
+		return nil
+	}
+
+	// The list kinds run the Section 3.4 workload at report scale.
+	for _, lk := range []struct {
+		kind  workload.Kind
+		procs int
+	}{
+		{workload.WaitFree, 4},
+		{workload.WaitFreeUni, 1},
+		{workload.LockFreeGC, 4},
+	} {
+		res, err := workload.RunList(workload.ListConfig{
+			Kind: lk.kind, Processors: lk.procs, BurstsPerCPU: 2, BurstOps: 10,
+			TotalOps: 400, ListSize: 100, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		if err := writeReport(res.Report); err != nil {
+			return err
+		}
+	}
+
+	// Queue, stack and MWCAS run a uniprocessor burst workload.
+	uniReport := func(object string, build func(s *sched.Sim) (func(e *sched.Env, i int), error)) error {
+		s := sched.New(sched.Config{Processors: 1, Seed: seed, MemWords: 1 << 18})
+		op, err := build(s)
+		if err != nil {
+			return err
+		}
+		run := func(n int) func(e *sched.Env) {
+			return func(e *sched.Env) {
+				for i := 0; i < n; i++ {
+					start := e.Now()
+					op(e, i)
+					e.RecordOp(e.Now() - start)
+				}
+			}
+		}
+		s.Spawn(sched.JobSpec{Name: "base", CPU: 0, Prio: 1, Slot: 0, AfterSlices: -1, Body: run(20)})
+		s.Spawn(sched.JobSpec{Name: "burst1", CPU: 0, Prio: 5, Slot: 1, AfterSlices: 25, Body: run(5)})
+		s.Spawn(sched.JobSpec{Name: "burst2", CPU: 0, Prio: 9, Slot: 2, AfterSlices: 60, Body: run(5)})
+		if err := s.Run(); err != nil {
+			return err
+		}
+		return writeReport(s.Report(object))
+	}
+	if err := uniReport("uniqueue", func(s *sched.Sim) (func(e *sched.Env, i int), error) {
+		ar, err := arena.New(s.Mem(), 128, 3)
+		if err != nil {
+			return nil, err
+		}
+		q, err := uniqueue.New(s.Mem(), ar, 3)
+		if err != nil {
+			return nil, err
+		}
+		ar.Freeze()
+		return func(e *sched.Env, i int) { q.Enqueue(e, uint64(i+1)); q.Dequeue(e) }, nil
+	}); err != nil {
+		return err
+	}
+	if err := uniReport("unistack", func(s *sched.Sim) (func(e *sched.Env, i int), error) {
+		ar, err := arena.New(s.Mem(), 128, 3)
+		if err != nil {
+			return nil, err
+		}
+		st, err := unistack.New(s.Mem(), ar, 3)
+		if err != nil {
+			return nil, err
+		}
+		ar.Freeze()
+		return func(e *sched.Env, i int) { st.Push(e, uint64(i+1)); st.Pop(e) }, nil
+	}); err != nil {
+		return err
+	}
+	if err := uniReport("unimwcas", func(s *sched.Sim) (func(e *sched.Env, i int), error) {
+		obj, err := unimwcas.New(s.Mem(), 3, 2)
+		if err != nil {
+			return nil, err
+		}
+		base := s.Mem().MustAlloc("app", 2)
+		words := []shmem.Addr{base, base + 1}
+		obj.InitWord(words[0], 0)
+		obj.InitWord(words[1], 0)
+		return func(e *sched.Env, i int) {
+			a := obj.Read(e, words[0])
+			b := obj.Read(e, words[1])
+			obj.MWCAS(e, words, []uint32{a, b}, []uint32{a + 1, b + 1})
+		}, nil
+	}); err != nil {
+		return err
+	}
+
+	for _, p := range written {
+		fmt.Printf("wrote %s\n", p)
+	}
 	return nil
 }
 

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -38,15 +39,25 @@ func main() {
 	suite := flag.String("suite", "all", "suite: unilist|unimwcas|multilist|uniqueue|unistack|unihash|all")
 	maxSlice := flag.Int64("max", 120, "largest release point swept")
 	pairs := flag.Bool("pairs", false, "also sweep pairs of adversaries (quadratic)")
+	keepGoing := flag.Bool("keepgoing", false, "explore past failures and report every failing vector (explore-driven suites)")
 	flag.Parse()
 
 	total := 0
+	failed := false
 	run := func(name string, f func() (int, error)) {
 		if *suite != "all" && *suite != name {
 			return
 		}
 		n, err := f()
 		if err != nil {
+			var fs explore.Failures
+			if errors.As(err, &fs) {
+				// KeepGoing sweep: every failing vector is a reproducer;
+				// report them all and keep running the other suites.
+				fmt.Fprintf(os.Stderr, "wfcheck: %s: %d schedules explored: %v\n", name, n, err)
+				failed = true
+				return
+			}
 			fmt.Fprintf(os.Stderr, "wfcheck: %s: %v\n", name, err)
 			os.Exit(1)
 		}
@@ -58,8 +69,11 @@ func main() {
 	run("multilist", func() (int, error) { return multiListSweep(*maxSlice) })
 	run("uniqueue", func() (int, error) { return uniQueueSweep(*maxSlice) })
 	run("unistack", func() (int, error) { return uniStackSweep(*maxSlice) })
-	run("unihash", func() (int, error) { return uniHashSweep(*maxSlice) })
+	run("unihash", func() (int, error) { return uniHashSweep(*maxSlice, *keepGoing) })
 	fmt.Printf("%-10s %6d schedules total\n", "all", total)
+	if failed {
+		os.Exit(1)
+	}
 }
 
 // uniListSweep releases a high-priority adversary at every slice of a
@@ -326,8 +340,8 @@ func uniStackSweep(maxSlice int64) (int, error) {
 // uniHashSweep drives nested two-adversary release-point sweeps over the
 // uniprocessor hash table via the explore library, with colliding and
 // non-colliding buckets, checked against a set model.
-func uniHashSweep(maxSlice int64) (int, error) {
-	return explore.Sweep(explore.Config{Adversaries: 2, Max: maxSlice, Stride: 2, Gap: 8},
+func uniHashSweep(maxSlice int64, keepGoing bool) (int, error) {
+	return explore.Sweep(explore.Config{Adversaries: 2, Max: maxSlice, Stride: 2, Gap: 8, KeepGoing: keepGoing},
 		func(rel []int64) error {
 			s := sched.New(sched.Config{Processors: 1, Seed: 1, MemWords: 1 << 14})
 			ar, err := arena.New(s.Mem(), 48, 3)

@@ -22,11 +22,15 @@ import (
 	"repro/internal/shmem"
 )
 
-var csvPath string
+var (
+	csvPath    string
+	showReport bool
+)
 
 func main() {
 	scenario := flag.String("scenario", "fig2", "scenario: fig2|fig4|inversion")
 	flag.StringVar(&csvPath, "csv", "", "also write the trace as CSV to this file")
+	flag.BoolVar(&showReport, "report", false, "print the run report (step/help/preemption accounting)")
 	flag.Parse()
 	var err error
 	switch *scenario {
@@ -81,7 +85,19 @@ func fig2() error {
 	fmt.Println()
 	fmt.Print(s.Trace().Gantt(72))
 	fmt.Printf("\nfinal list: %v\n", l.Snapshot())
+	if err := dumpReport(s, "fig2"); err != nil {
+		return err
+	}
 	return dumpCSV(s)
+}
+
+// dumpReport pretty-prints the run report when -report is given.
+func dumpReport(s *sched.Sim, object string) error {
+	if !showReport {
+		return nil
+	}
+	fmt.Println()
+	return s.Report(object).WriteText(os.Stdout)
 }
 
 // dumpCSV writes the trace to the -csv path, if given.
@@ -136,7 +152,7 @@ func fig4() error {
 	show("final:")
 	fmt.Printf("\nproc4 MWCAS(x,y,z: 12,22,8 -> 5,10,17) = %v (interfered with on z)\n", ok4)
 	fmt.Printf("proc9 MWCAS(z: 8 -> 56)               = %v\n", ok9)
-	return nil
+	return dumpReport(s, "fig4")
 }
 
 // inversion demonstrates the motivating failure of lock-based objects on a
@@ -172,7 +188,7 @@ func inversion() error {
 		fmt.Println("spins forever on a lock held by a process it preempted — unbounded")
 		fmt.Println("priority inversion. The wait-free lists complete the same scenario")
 		fmt.Println("via helping (run -scenario fig2).")
-		return nil
+		return dumpReport(s, "inversion")
 	case err != nil:
 		return err
 	default:

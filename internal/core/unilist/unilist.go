@@ -228,6 +228,7 @@ func (l *List) doOp(e *sched.Env) {
 func (l *List) help(e *sched.Env, pid int) {
 	if pid != e.Slot() {
 		e.Tracef("help p=%d", pid)
+		e.NoteHelp(pid)
 	}
 	key := e.Load(l.parAddr(pid, parKey)) // line 32
 	curr := l.findpos(e, key, pid)        // line 33

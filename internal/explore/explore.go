@@ -13,6 +13,7 @@ package explore
 
 import (
 	"fmt"
+	"strings"
 )
 
 // Scenario builds and runs one schedule for the given adversary release
@@ -32,10 +33,47 @@ type Config struct {
 	// [point_i + 1, point_i + Gap]. Zero means independent full ranges
 	// (beware: the space is Max^Adversaries).
 	Gap int64
+	// KeepGoing continues the sweep past failing vectors instead of
+	// stopping at the first, collecting every failure. The returned
+	// error is then a Failures value carrying all failing vectors —
+	// each a complete reproducer — so one sweep maps out the whole
+	// failure region of the release-point space.
+	KeepGoing bool
+	// MaxFailures bounds the failures collected under KeepGoing; once
+	// reached, the sweep stops early. Zero means a default of 100 (a
+	// completely broken scenario fails on every vector; collecting
+	// millions of identical reproducers helps nobody).
+	MaxFailures int
 }
 
+// Failure is one failing release vector and its error.
+type Failure struct {
+	Vector []int64
+	Err    error
+}
+
+// Failures is the aggregate error returned by Sweep under KeepGoing when
+// at least one vector failed.
+type Failures []Failure
+
+// Error summarizes every failing vector, one per line.
+func (fs Failures) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "explore: %d failing vector(s):", len(fs))
+	for _, f := range fs {
+		fmt.Fprintf(&sb, "\n  vector %v: %v", f.Vector, f.Err)
+	}
+	return sb.String()
+}
+
+// DefaultMaxFailures bounds collected failures when Config.MaxFailures is
+// zero.
+const DefaultMaxFailures = 100
+
 // Sweep runs the scenario for every release vector permitted by cfg and
-// returns the number of schedules explored. It stops at the first failure.
+// returns the number of schedules explored. It stops at the first failure
+// unless cfg.KeepGoing is set, in which case it explores the whole space
+// and reports every failing vector as a Failures error.
 func Sweep(cfg Config, s Scenario) (int, error) {
 	if cfg.Adversaries < 1 {
 		return 0, fmt.Errorf("explore: need at least one adversary")
@@ -46,14 +84,25 @@ func Sweep(cfg Config, s Scenario) (int, error) {
 	if cfg.Stride < 1 {
 		cfg.Stride = 1
 	}
+	if cfg.MaxFailures < 1 {
+		cfg.MaxFailures = DefaultMaxFailures
+	}
 	vec := make([]int64, cfg.Adversaries)
 	n := 0
+	var failures Failures
 	var rec func(i int, lo int64) error
 	rec = func(i int, lo int64) error {
 		if i == cfg.Adversaries {
 			n++
-			if err := s(append([]int64(nil), vec...)); err != nil {
-				return fmt.Errorf("explore: vector %v: %w", vec, err)
+			v := append([]int64(nil), vec...)
+			if err := s(v); err != nil {
+				if !cfg.KeepGoing {
+					return fmt.Errorf("explore: vector %v: %w", v, err)
+				}
+				failures = append(failures, Failure{Vector: v, Err: err})
+				if len(failures) >= cfg.MaxFailures {
+					return failures
+				}
 			}
 			return nil
 		}
@@ -75,6 +124,9 @@ func Sweep(cfg Config, s Scenario) (int, error) {
 	}
 	if err := rec(0, 0); err != nil {
 		return n, err
+	}
+	if len(failures) > 0 {
+		return n, failures
 	}
 	return n, nil
 }

@@ -3,6 +3,7 @@ package explore_test
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/arena"
@@ -62,6 +63,62 @@ func TestSweepStopsOnFailure(t *testing.T) {
 	}
 	if n != 4 {
 		t.Errorf("explored %d before failing, want 4", n)
+	}
+}
+
+func TestSweepKeepGoing(t *testing.T) {
+	boom := errors.New("boom")
+	fail := map[int64]bool{2: true, 5: true, 7: true}
+	n, err := explore.Sweep(explore.Config{Adversaries: 1, Max: 10, KeepGoing: true},
+		func(rel []int64) error {
+			if fail[rel[0]] {
+				return fmt.Errorf("at %d: %w", rel[0], boom)
+			}
+			return nil
+		})
+	if n != 10 {
+		t.Fatalf("explored %d vectors, want all 10 despite failures", n)
+	}
+	var fs explore.Failures
+	if !errors.As(err, &fs) {
+		t.Fatalf("err = %T %v, want explore.Failures", err, err)
+	}
+	if len(fs) != 3 {
+		t.Fatalf("collected %d failures, want 3: %v", len(fs), fs)
+	}
+	for i, want := range []int64{2, 5, 7} {
+		if fs[i].Vector[0] != want {
+			t.Errorf("failure %d at vector %v, want [%d]", i, fs[i].Vector, want)
+		}
+		if !errors.Is(fs[i].Err, boom) {
+			t.Errorf("failure %d lost its cause: %v", i, fs[i].Err)
+		}
+	}
+	// The aggregate message must list every reproducer.
+	for _, want := range []string{"3 failing", "[2]", "[5]", "[7]"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("aggregate error lacks %q: %v", want, err)
+		}
+	}
+}
+
+func TestSweepKeepGoingMaxFailures(t *testing.T) {
+	n, err := explore.Sweep(explore.Config{Adversaries: 1, Max: 50, KeepGoing: true, MaxFailures: 5},
+		func(rel []int64) error { return errors.New("always") })
+	var fs explore.Failures
+	if !errors.As(err, &fs) || len(fs) != 5 {
+		t.Fatalf("want exactly 5 collected failures, got %v (n=%d)", err, n)
+	}
+	if n != 5 {
+		t.Errorf("sweep should stop once the failure budget is spent, explored %d", n)
+	}
+}
+
+func TestSweepKeepGoingAllPass(t *testing.T) {
+	n, err := explore.Sweep(explore.Config{Adversaries: 1, Max: 4, KeepGoing: true},
+		func(rel []int64) error { return nil })
+	if err != nil || n != 4 {
+		t.Fatalf("clean sweep returned n=%d err=%v", n, err)
 	}
 }
 

@@ -251,6 +251,12 @@ func (g *Engine) DoOp(e *sched.Env) {
 				}
 				if ver.Needhelp { // line 9
 					e.Tracef("help ring target=%d ver=%d", ver.Target, ver.Cnt)
+					// Metrics only (Peek: no simulated time): the
+					// helped operation is whatever is announced on
+					// the target processor right now.
+					if hp := int(g.mem.Peek(g.annPidAddr(ver.Target))); hp < g.cfg.Procs {
+						e.NoteHelp(hp)
+					}
 					g.cfg.Help(e, ver)
 				}
 				g.Advance(e, ver) // lines 10-13

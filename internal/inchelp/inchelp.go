@@ -94,6 +94,7 @@ func (g *Engine) DoOp(e *sched.Env) {
 	pid := int(e.Load(g.annPid))                        // line 15
 	if pid < g.cfg.Procs && g.Rv(e, pid) == RvPending { // line 16
 		e.Tracef("help p=%d", pid)
+		e.NoteHelp(pid)
 		g.cfg.Help(e, pid) // line 17
 	}
 	e.Store(g.RvAddr(p), RvPending) // line 18

@@ -1,0 +1,116 @@
+// Integration tests for the run-report pipeline: real schedules through
+// internal/sched, asserted against exact metric values. External test
+// package so the tests exercise only the public surface.
+package metrics_test
+
+import (
+	"testing"
+
+	"repro/internal/arena"
+	"repro/internal/core/unilist"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+)
+
+// fig2 builds the paper's Figure 2 incremental-helping schedule: p announces
+// an insert, q preempts p mid-operation and helps it, r preempts q inside
+// Help(p), finishes p's operation, runs its own, then q and p unwind. The
+// release points match TestFigure2Trace in internal/core/unilist.
+func fig2(t *testing.T) *sched.Sim {
+	t.Helper()
+	s := sched.New(sched.Config{Processors: 1, Seed: 1, MemWords: 1 << 15, EnableTrace: true})
+	ar, err := arena.New(s.Mem(), 32, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := unilist.New(s.Mem(), ar, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar.Freeze()
+	s.Spawn(sched.JobSpec{Name: "p", CPU: 0, Prio: 1, Slot: 0, AfterSlices: -1, Body: func(e *sched.Env) {
+		l.Insert(e, 10, 1)
+	}})
+	s.Spawn(sched.JobSpec{Name: "q", CPU: 0, Prio: 2, Slot: 1, AfterSlices: 15, Body: func(e *sched.Env) {
+		l.Insert(e, 20, 2)
+	}})
+	s.Spawn(sched.JobSpec{Name: "r", CPU: 0, Prio: 3, Slot: 2, AfterSlices: 28, Body: func(e *sched.Env) {
+		l.Insert(e, 30, 3)
+	}})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestFigure2HelpAccounting is the metrics-backed regression of Figure 2:
+// the report must show exactly one help given by q, one by r, none by p,
+// and both received by p's slot — cross-checked against the semantic trace.
+func TestFigure2HelpAccounting(t *testing.T) {
+	s := fig2(t)
+	r := s.Report("unilist-fig2")
+
+	byName := map[string]metrics.ProcReport{}
+	for _, pr := range r.Procs {
+		byName[pr.Name] = pr
+	}
+	p, q, rr := byName["p"], byName["q"], byName["r"]
+
+	if p.HelpGiven != 0 || q.HelpGiven != 1 || rr.HelpGiven != 1 {
+		t.Errorf("help given p/q/r = %d/%d/%d, want 0/1/1",
+			p.HelpGiven, q.HelpGiven, rr.HelpGiven)
+	}
+	if p.HelpReceived != 2 || q.HelpReceived != 0 || rr.HelpReceived != 0 {
+		t.Errorf("help received p/q/r = %d/%d/%d, want 2/0/0",
+			p.HelpReceived, q.HelpReceived, rr.HelpReceived)
+	}
+	if r.HelpGiven != 2 || r.HelpReceived != 2 {
+		t.Errorf("report totals given/received = %d/%d, want 2/2", r.HelpGiven, r.HelpReceived)
+	}
+
+	// Figure 2's preemption chain: q preempts p, r preempts q.
+	if p.Preemptions != 1 || q.Preemptions != 1 || rr.Preemptions != 0 {
+		t.Errorf("preemptions p/q/r = %d/%d/%d, want 1/1/0",
+			p.Preemptions, q.Preemptions, rr.Preemptions)
+	}
+
+	// Cross-check the report's counters against the semantic trace: the
+	// helpers of slot 0 are exactly q and r, once each.
+	notes := s.Trace().NoteCounts("help p=0")
+	if len(notes) != 2 || notes["q"] != 1 || notes["r"] != 1 {
+		t.Errorf("trace helpers of p = %v, want q:1 r:1", notes)
+	}
+	for name, pr := range byName {
+		wantFromTrace := 0
+		for helper, n := range notes {
+			if helper == name {
+				wantFromTrace += n
+			}
+		}
+		if pr.HelpGiven != wantFromTrace {
+			t.Errorf("%s: report says %d helps given, trace says %d",
+				name, pr.HelpGiven, wantFromTrace)
+		}
+	}
+
+	// The run is tiny; a generous wait-freedom bound must hold.
+	if err := r.AssertWaitFree(500, 500); err != nil {
+		t.Errorf("fig2 run violates generous wait-freedom bound: %v", err)
+	}
+}
+
+// TestFigure2ReportDeterminism: two identical runs must produce identical
+// reports — the property that makes BENCH_*.json diffable across commits.
+func TestFigure2ReportDeterminism(t *testing.T) {
+	a, err := fig2(t).Report("unilist-fig2").JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fig2(t).Report("unilist-fig2").JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("identical runs produced different reports:\n%s\n---\n%s", a, b)
+	}
+}

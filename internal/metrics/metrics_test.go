@@ -1,0 +1,173 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []int64
+		want    Summary
+	}{
+		{"empty", nil, Summary{}},
+		{"single", []int64{7}, Summary{Count: 1, Min: 7, P50: 7, P95: 7, Max: 7}},
+		// floor((n-1)·95/100) = 1 for n = 3: small samples pin p95 below
+		// the max, which Max still reports.
+		{"unsorted", []int64{9, 1, 5}, Summary{Count: 3, Min: 1, P50: 5, P95: 5, Max: 9}},
+		{
+			// 1..100: rank(p) = sorted[(n-1)*p/100] = sorted[99*p/100].
+			"hundred", seq(1, 100),
+			Summary{Count: 100, Min: 1, P50: 50, P95: 95, Max: 100},
+		},
+	}
+	for _, c := range cases {
+		if got := Summarize(c.samples); got != c.want {
+			t.Errorf("%s: Summarize = %+v, want %+v", c.name, got, c.want)
+		}
+	}
+}
+
+func seq(lo, hi int64) []int64 {
+	var s []int64
+	for v := lo; v <= hi; v++ {
+		s = append(s, v)
+	}
+	return s
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []int64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("Summarize mutated its input: %v", in)
+	}
+}
+
+func TestOpCountsStepsAndAdd(t *testing.T) {
+	a := OpCounts{Loads: 10, Stores: 5, CAS: 3, CASFail: 1, CCAS: 2, CCASFail: 2}
+	if got := a.Steps(); got != 20 {
+		t.Fatalf("Steps = %d, want 20 (failed attempts are still steps)", got)
+	}
+	if got := a.Fails(); got != 3 {
+		t.Fatalf("Fails = %d, want 3", got)
+	}
+	b := OpCounts{Loads: 1, CAS2: 4, CAS2Fail: 2}
+	a.Add(b)
+	if a.Loads != 11 || a.CAS2 != 4 || a.CAS2Fail != 2 {
+		t.Fatalf("Add merged wrong: %+v", a)
+	}
+}
+
+// synthetic builds a minimal two-process report by hand: a victim that
+// executed the given steps under the given interference, plus a quiet
+// bystander.
+func synthetic(steps uint64, interference int) *Report {
+	r := &Report{
+		Object:      "synthetic",
+		Seed:        42,
+		Processors:  1,
+		Granularity: "fine",
+		Procs: []ProcReport{
+			{ID: 0, Name: "victim", Mem: OpCounts{Loads: steps}, Interference: interference,
+				Preemptions: interference, ResponseVT: int64(steps)},
+			{ID: 1, Name: "quiet", Mem: OpCounts{Loads: 3}, ResponseVT: 3},
+		},
+	}
+	r.Finalize()
+	return r
+}
+
+func TestAssertWaitFreePasses(t *testing.T) {
+	// 100 own steps + 2 interferers × 50: exactly at the bound.
+	r := synthetic(200, 2)
+	if err := r.AssertWaitFree(100, 50); err != nil {
+		t.Fatalf("bound met but AssertWaitFree failed: %v", err)
+	}
+}
+
+func TestAssertWaitFreeFailsLoudly(t *testing.T) {
+	// A synthetic step-count blowup: no interference can excuse 10k steps.
+	r := synthetic(10_000, 1)
+	err := r.AssertWaitFree(100, 50)
+	if err == nil {
+		t.Fatal("AssertWaitFree accepted a 10000-step process against a 150-step bound")
+	}
+	for _, want := range []string{"victim", "10000", "seed 42", "1 preemptions"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("failure message %q lacks %q (must be a reproducer)", err, want)
+		}
+	}
+	if strings.Contains(err.Error(), "quiet") {
+		t.Errorf("failure message names the innocent process: %q", err)
+	}
+}
+
+func TestAssertWaitFreeRejectsNegativeBounds(t *testing.T) {
+	if err := synthetic(1, 0).AssertWaitFree(-1, 0); err == nil {
+		t.Fatal("negative maxOwnSteps accepted")
+	}
+}
+
+func TestFinalizeAggregates(t *testing.T) {
+	r := &Report{Procs: []ProcReport{
+		{ResponseVT: 10, DispatchLatencyVT: 1, HelpGiven: 2, HelpReceived: 0, Preemptions: 1},
+		{ResponseVT: 30, DispatchLatencyVT: 3, HelpGiven: 0, HelpReceived: 2, Preemptions: 4},
+	}}
+	r.Finalize()
+	if r.HelpGiven != 2 || r.HelpReceived != 2 || r.Preemptions != 5 {
+		t.Fatalf("totals wrong: %+v", r)
+	}
+	if r.Response.Min != 10 || r.Response.Max != 30 || r.Response.Count != 2 {
+		t.Fatalf("response summary wrong: %+v", r.Response)
+	}
+	if r.DispatchLatency.Max != 3 {
+		t.Fatalf("dispatch latency summary wrong: %+v", r.DispatchLatency)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := synthetic(200, 2)
+	r.SyncCost = 8
+	b, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The documented schema keys (EXPERIMENTS.md "Run reports") must be
+	// present — external tooling diffs these files across commits.
+	for _, key := range []string{
+		`"object"`, `"seed"`, `"processors"`, `"granularity"`, `"sync_cost"`,
+		`"elapsed_vt"`, `"mem_total"`, `"procs"`, `"response_vt"`,
+		`"cas_fail"`, `"help_given"`, `"help_received"`, `"preemptions"`,
+		`"p50"`, `"p95"`, `"interference"`,
+	} {
+		if !strings.Contains(string(b), key) {
+			t.Errorf("JSON lacks schema key %s", key)
+		}
+	}
+	var back Report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Procs[0].Mem.Loads != 200 || back.Seed != 42 || back.SyncCost != 8 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	var sb strings.Builder
+	r := synthetic(200, 2)
+	r.Procs[0].OpTime = Summarize([]int64{5, 7, 9})
+	r.OpTime = r.Procs[0].OpTime
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"synthetic", "victim", "quiet", "p50 7", "response"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text report lacks %q:\n%s", want, out)
+		}
+	}
+}

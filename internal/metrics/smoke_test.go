@@ -1,0 +1,212 @@
+package metrics_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/arena"
+	"repro/internal/core/multilist"
+	"repro/internal/core/unihash"
+	"repro/internal/core/unilist"
+	"repro/internal/core/unimwcas"
+	"repro/internal/core/uniqueue"
+	"repro/internal/core/unistack"
+	"repro/internal/sched"
+	"repro/internal/shmem"
+)
+
+// smokeCase describes one object's randomized-schedule smoke scenario. The
+// build function spawns a small adversarial job set; rel() draws seeded
+// release points so each seed exercises a different preemption pattern.
+type smokeCase struct {
+	name  string
+	procs int // simulated processors
+	build func(t *testing.T, s *sched.Sim, rel func() int64)
+}
+
+func smokeCases() []smokeCase {
+	return []smokeCase{
+		{"unilist", 1, func(t *testing.T, s *sched.Sim, rel func() int64) {
+			ar, err := arena.New(s.Mem(), 32, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			l, err := unilist.New(s.Mem(), ar, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := l.SeedAscending([]uint64{5, 15}); err != nil {
+				t.Fatal(err)
+			}
+			ar.Freeze()
+			s.Spawn(sched.JobSpec{Name: "victim", CPU: 0, Prio: 1, Slot: 0, AfterSlices: -1, Body: func(e *sched.Env) {
+				l.Insert(e, 10, 1)
+				l.Delete(e, 5)
+			}})
+			s.Spawn(sched.JobSpec{Name: "adv", CPU: 0, Prio: 5, Slot: 1, AfterSlices: rel(), Body: func(e *sched.Env) {
+				l.Insert(e, 7, 2)
+			}})
+			s.Spawn(sched.JobSpec{Name: "adv2", CPU: 0, Prio: 9, Slot: 2, AfterSlices: rel(), Body: func(e *sched.Env) {
+				l.Delete(e, 15)
+			}})
+		}},
+		{"uniqueue", 1, func(t *testing.T, s *sched.Sim, rel func() int64) {
+			ar, err := arena.New(s.Mem(), 32, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q, err := uniqueue.New(s.Mem(), ar, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ar.Freeze()
+			s.Spawn(sched.JobSpec{Name: "victim", CPU: 0, Prio: 1, Slot: 0, AfterSlices: -1, Body: func(e *sched.Env) {
+				q.Enqueue(e, 100)
+				q.Enqueue(e, 200)
+				q.Dequeue(e)
+			}})
+			s.Spawn(sched.JobSpec{Name: "adv", CPU: 0, Prio: 5, Slot: 1, AfterSlices: rel(), Body: func(e *sched.Env) {
+				q.Enqueue(e, 300)
+				q.Dequeue(e)
+			}})
+			s.Spawn(sched.JobSpec{Name: "adv2", CPU: 0, Prio: 9, Slot: 2, AfterSlices: rel(), Body: func(e *sched.Env) {
+				q.Dequeue(e)
+			}})
+		}},
+		{"unistack", 1, func(t *testing.T, s *sched.Sim, rel func() int64) {
+			ar, err := arena.New(s.Mem(), 32, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := unistack.New(s.Mem(), ar, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ar.Freeze()
+			s.Spawn(sched.JobSpec{Name: "victim", CPU: 0, Prio: 1, Slot: 0, AfterSlices: -1, Body: func(e *sched.Env) {
+				st.Push(e, 100)
+				st.Push(e, 200)
+				st.Pop(e)
+			}})
+			s.Spawn(sched.JobSpec{Name: "adv", CPU: 0, Prio: 5, Slot: 1, AfterSlices: rel(), Body: func(e *sched.Env) {
+				st.Push(e, 300)
+				st.Pop(e)
+			}})
+			s.Spawn(sched.JobSpec{Name: "adv2", CPU: 0, Prio: 9, Slot: 2, AfterSlices: rel(), Body: func(e *sched.Env) {
+				st.Pop(e)
+			}})
+		}},
+		{"unimwcas", 1, func(t *testing.T, s *sched.Sim, rel func() int64) {
+			obj, err := unimwcas.New(s.Mem(), 3, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := s.Mem().MustAlloc("app", 3)
+			words := []shmem.Addr{base, base + 1, base + 2}
+			for i, v := range []uint32{12, 22, 8} {
+				obj.InitWord(words[i], v)
+			}
+			s.Spawn(sched.JobSpec{Name: "victim", CPU: 0, Prio: 1, Slot: 0, AfterSlices: -1, Body: func(e *sched.Env) {
+				obj.MWCAS(e, words, []uint32{12, 22, 8}, []uint32{5, 10, 17})
+				for _, w := range words {
+					obj.Read(e, w)
+				}
+			}})
+			s.Spawn(sched.JobSpec{Name: "adv", CPU: 0, Prio: 5, Slot: 1, AfterSlices: rel(), Body: func(e *sched.Env) {
+				obj.MWCAS(e, words[1:2], []uint32{22}, []uint32{23})
+			}})
+			s.Spawn(sched.JobSpec{Name: "adv2", CPU: 0, Prio: 9, Slot: 2, AfterSlices: rel(), Body: func(e *sched.Env) {
+				obj.MWCAS(e, words[2:3], []uint32{8}, []uint32{56})
+			}})
+		}},
+		{"unihash", 1, func(t *testing.T, s *sched.Sim, rel func() int64) {
+			ar, err := arena.New(s.Mem(), 48, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tb, err := unihash.New(s.Mem(), ar, 3, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tb.SeedKeys([]uint64{5, 9}); err != nil {
+				t.Fatal(err)
+			}
+			ar.Freeze()
+			s.Spawn(sched.JobSpec{Name: "victim", CPU: 0, Prio: 1, Slot: 0, AfterSlices: -1, Body: func(e *sched.Env) {
+				tb.Insert(e, 13, 1)
+				tb.Delete(e, 5)
+			}})
+			s.Spawn(sched.JobSpec{Name: "adv", CPU: 0, Prio: 5, Slot: 1, AfterSlices: rel(), Body: func(e *sched.Env) {
+				tb.Insert(e, 17, 2)
+				tb.Delete(e, 13)
+			}})
+			s.Spawn(sched.JobSpec{Name: "adv2", CPU: 0, Prio: 9, Slot: 2, AfterSlices: rel(), Body: func(e *sched.Env) {
+				tb.Search(e, 9)
+				tb.Insert(e, 10, 3)
+			}})
+		}},
+		{"multilist", 2, func(t *testing.T, s *sched.Sim, rel func() int64) {
+			ar, err := arena.New(s.Mem(), 64, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			l, err := multilist.New(s.Mem(), ar, multilist.Config{Processors: 2, Procs: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := l.SeedAscending([]uint64{5, 15, 25}); err != nil {
+				t.Fatal(err)
+			}
+			ar.Freeze()
+			for p := 0; p < 4; p++ {
+				p := p
+				s.Spawn(sched.JobSpec{
+					Name: fmt.Sprintf("w%d", p), CPU: p % 2,
+					Prio: sched.Priority(1 + p/2), Slot: p,
+					AfterSlices: rel() * int64(p/2), // two base jobs, two released later
+					Body: func(e *sched.Env) {
+						l.Insert(e, uint64(30+p), uint64(p))
+						l.Search(e, 15)
+						l.Delete(e, uint64(30+p))
+					},
+				})
+			}
+		}},
+	}
+}
+
+// TestSmokeWaitFreeBounds runs each core object under 8 seeded randomized
+// schedules in both granularities and asserts the paper's headline property
+// on the resulting run report: every process finishes within a bounded
+// number of its own steps plus a bounded charge per interference event.
+// The bounds are generous (these are smoke bounds, not the paper's exact
+// constants) but finite — a lock-based or starving implementation whose
+// victim spins would blow through them.
+func TestSmokeWaitFreeBounds(t *testing.T) {
+	for _, c := range smokeCases() {
+		for _, g := range []sched.Granularity{sched.Fine, sched.Coarse} {
+			for seed := int64(1); seed <= 8; seed++ {
+				c, g, seed := c, g, seed
+				t.Run(fmt.Sprintf("%s/%s/seed%d", c.name, g, seed), func(t *testing.T) {
+					s := sched.New(sched.Config{
+						Processors: c.procs, Seed: seed,
+						MemWords: 1 << 15, Granularity: g,
+					})
+					rng := rand.New(rand.NewSource(seed))
+					c.build(t, s, func() int64 { return rng.Int63n(40) })
+					if err := s.Run(); err != nil {
+						t.Fatalf("run: %v", err)
+					}
+					r := s.Report(c.name)
+					if r.Mem.Steps() == 0 || len(r.Procs) == 0 || r.ElapsedVT == 0 {
+						t.Fatalf("degenerate report: %+v", r)
+					}
+					if err := r.AssertWaitFree(5000, 5000); err != nil {
+						t.Errorf("wait-freedom bound violated: %v", err)
+					}
+				})
+			}
+		}
+	}
+}

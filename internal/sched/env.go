@@ -172,6 +172,30 @@ func (e *Env) Tracef(format string, args ...any) {
 	e.sim.emit(trace.KindAnnotate, e.p.spec.CPU, e.p, fmt.Sprintf(format, args...))
 }
 
+// NoteHelp records that this process performed one help invocation on the
+// operation announced under slot pid. It is metrics bookkeeping only — no
+// simulated time is charged and no schedule is perturbed — so the helping
+// engines call it unconditionally. Help given to the caller's own slot is
+// ignored (executing your own operation is not help).
+func (e *Env) NoteHelp(pid int) {
+	if pid == e.p.spec.Slot {
+		return
+	}
+	e.p.helpGiven++
+	e.sim.helpReceived[pid]++
+}
+
+// RecordOp records one completed operation's response time (virtual units)
+// for the run report's per-operation histograms. Like NoteHelp it charges
+// no simulated time. Typical use:
+//
+//	start := e.Now()
+//	obj.Insert(e, key, val)
+//	e.RecordOp(e.Now() - start)
+func (e *Env) RecordOp(elapsed int64) {
+	e.p.opSamples = append(e.p.opSamples, elapsed)
+}
+
 // SyncCostUnits returns the configured virtual cost of a synchronizing
 // operation, for cost models that emulate RMW-heavy algorithms (the Valois
 // baseline's reference counting).

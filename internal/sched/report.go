@@ -1,0 +1,68 @@
+package sched
+
+import (
+	"repro/internal/metrics"
+)
+
+// Report assembles the run's metrics.Report: per-process memory-operation
+// tallies (from shmem), scheduling figures (slices, dispatches,
+// preemptions, dispatch latency, response time), helping counts
+// (Env.NoteHelp) and per-operation samples (Env.RecordOp), plus the
+// object-level summaries. Call it after Run; calling it mid-run yields a
+// consistent snapshot of everything executed so far.
+//
+// The object string names the data structure (or scenario) under
+// measurement; it becomes the report's identity and the BENCH_<object>.json
+// filename in cmd/wfbench.
+func (s *Sim) Report(object string) *metrics.Report {
+	r := &metrics.Report{
+		Object:      object,
+		Seed:        s.cfg.Seed,
+		Processors:  s.cfg.Processors,
+		Granularity: s.cfg.Granularity.String(),
+		SyncCost:    s.cfg.SyncCost,
+		ElapsedVT:   s.Elapsed(),
+		Slices:      s.slices,
+		Mem:         s.mem.TotalOpCounts(),
+	}
+	var allOps []int64
+	for _, p := range s.proc {
+		pr := metrics.ProcReport{
+			ID:           p.id,
+			Name:         p.spec.Name,
+			CPU:          p.spec.CPU,
+			Prio:         int(p.spec.Prio),
+			Slot:         p.spec.Slot,
+			ReleasedVT:   p.Released,
+			StartedVT:    p.Started,
+			CompletedVT:  p.Completed,
+			Slices:       p.Slices,
+			Dispatches:   p.Dispatches,
+			Preemptions:  p.Preemptions,
+			Mem:          s.mem.ProcOpCounts(p.id),
+			HelpGiven:    p.helpGiven,
+			HelpReceived: s.helpReceived[p.spec.Slot],
+			OpTime:       metrics.Summarize(p.opSamples),
+		}
+		if p.started {
+			pr.DispatchLatencyVT = p.Started - p.Released
+		}
+		if p.state == stateDone && p.Completed >= p.Released {
+			pr.ResponseVT = p.Completed - p.Released
+		}
+		// Interference: preemptions on the process's own processor plus
+		// every process concurrently schedulable on another processor
+		// (each can force at most a bounded amount of helping work).
+		pr.Interference = p.Preemptions
+		for _, q := range s.proc {
+			if q != p && q.spec.CPU != p.spec.CPU {
+				pr.Interference++
+			}
+		}
+		allOps = append(allOps, p.opSamples...)
+		r.Procs = append(r.Procs, pr)
+	}
+	r.OpTime = metrics.Summarize(allOps)
+	r.Finalize()
+	return r
+}

@@ -1,0 +1,160 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReportSingleCPURun checks every field of the run report against a
+// hand-computed two-process schedule: a low-priority victim preempted once
+// by a high-priority reader.
+func TestReportSingleCPURun(t *testing.T) {
+	s := New(Config{Processors: 1, Seed: 7})
+	x := s.Mem().MustAlloc("x", 1)
+	s.Mem().Poke(x, 0) // Poke must not appear in any tally
+
+	s.SpawnAt(0, 0, 1, "low", func(e *Env) {
+		start := e.Now()
+		for i := 0; i < 5; i++ {
+			e.Store(x, uint64(i))
+		}
+		if e.CAS(x, 99, 1) { // x is 4: a deliberate CAS failure
+			t.Error("CAS(99) unexpectedly succeeded")
+		}
+		e.NoteHelp(1)
+		e.RecordOp(e.Now() - start)
+	})
+	s.SpawnAt(2, 0, 5, "high", func(e *Env) {
+		e.Load(x)
+		e.Load(x)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	r := s.Report("reporttest")
+	if r.Object != "reporttest" || r.Seed != 7 || r.Processors != 1 || r.Granularity != "fine" {
+		t.Fatalf("report identity wrong: %+v", r)
+	}
+	if r.Slices != s.Slices() || r.ElapsedVT != s.Elapsed() {
+		t.Errorf("slices/elapsed = %d/%d, want %d/%d", r.Slices, r.ElapsedVT, s.Slices(), s.Elapsed())
+	}
+	if len(r.Procs) != 2 {
+		t.Fatalf("got %d proc reports, want 2", len(r.Procs))
+	}
+	low, high := r.Procs[0], r.Procs[1]
+	if low.Name != "low" || high.Name != "high" {
+		t.Fatalf("proc order wrong: %q %q", low.Name, high.Name)
+	}
+
+	// Memory attribution: the victim's 5 stores and 1 failed CAS, the
+	// reader's 2 loads — nothing else, setup Pokes excluded.
+	if low.Mem.Stores != 5 || low.Mem.CAS != 1 || low.Mem.CASFail != 1 || low.Mem.Loads != 0 {
+		t.Errorf("low mem tally wrong: %+v", low.Mem)
+	}
+	if high.Mem.Loads != 2 || high.Mem.Stores != 0 {
+		t.Errorf("high mem tally wrong: %+v", high.Mem)
+	}
+	if r.Mem.Loads != 2 || r.Mem.Stores != 5 || r.Mem.CASFail != 1 {
+		t.Errorf("total mem tally wrong: %+v", r.Mem)
+	}
+
+	// Scheduling: high arrives at t=2 (after two victim stores), preempts,
+	// runs its two loads, completes at t=4; the victim finishes its
+	// remaining 3 stores + CAS at t=8.
+	if low.Preemptions != 1 || high.Preemptions != 0 {
+		t.Errorf("preemptions = %d/%d, want 1/0", low.Preemptions, high.Preemptions)
+	}
+	if low.ReleasedVT != 0 || low.DispatchLatencyVT != 0 || low.ResponseVT != 8 {
+		t.Errorf("low timing wrong: %+v", low)
+	}
+	if high.ReleasedVT != 2 || high.DispatchLatencyVT != 0 || high.ResponseVT != 2 {
+		t.Errorf("high timing wrong: %+v", high)
+	}
+	if low.Slices == 0 || high.Slices == 0 || low.Dispatches != 2 || high.Dispatches != 1 {
+		t.Errorf("slices/dispatches wrong: low %d/%d high %d/%d",
+			low.Slices, low.Dispatches, high.Slices, high.Dispatches)
+	}
+
+	// Helping: the victim noted one help for slot 1 (= high).
+	if low.HelpGiven != 1 || low.HelpReceived != 0 {
+		t.Errorf("low help = %d given / %d received, want 1/0", low.HelpGiven, low.HelpReceived)
+	}
+	if high.HelpGiven != 0 || high.HelpReceived != 1 {
+		t.Errorf("high help = %d given / %d received, want 0/1", high.HelpGiven, high.HelpReceived)
+	}
+	if r.HelpGiven != 1 || r.HelpReceived != 1 || r.Preemptions != 1 {
+		t.Errorf("report totals wrong: %+v", r)
+	}
+
+	// One recorded op spanning the whole victim execution (t=0..8).
+	if low.OpTime.Count != 1 || low.OpTime.Min != 8 || low.OpTime.Max != 8 {
+		t.Errorf("low op summary wrong: %+v", low.OpTime)
+	}
+	if r.OpTime.Count != 1 {
+		t.Errorf("aggregate op summary wrong: %+v", r.OpTime)
+	}
+
+	// Uniprocessor interference is just preemption count.
+	if low.Interference != 1 || high.Interference != 0 {
+		t.Errorf("interference = %d/%d, want 1/0", low.Interference, high.Interference)
+	}
+
+	// The real report must satisfy a generous wait-freedom bound and
+	// violate an absurdly tight one.
+	if err := r.AssertWaitFree(100, 100); err != nil {
+		t.Errorf("generous bound rejected: %v", err)
+	}
+	err := r.AssertWaitFree(1, 0)
+	if err == nil {
+		t.Fatal("1-step bound accepted a 6-step process")
+	}
+	if !strings.Contains(err.Error(), "low") {
+		t.Errorf("violation message does not name the worst process: %v", err)
+	}
+}
+
+// TestReportMultiCPUInterference: with one process per processor and no
+// preemption, interference is the number of remote processes.
+func TestReportMultiCPUInterference(t *testing.T) {
+	s := New(Config{Processors: 3, Seed: 1})
+	x := s.Mem().MustAlloc("x", 1)
+	for cpu := 0; cpu < 3; cpu++ {
+		s.SpawnAt(0, cpu, 1, "", func(e *Env) { e.Load(x) })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	r := s.Report("multi")
+	for _, p := range r.Procs {
+		if p.Preemptions != 0 || p.Interference != 2 {
+			t.Errorf("proc %d: preempt %d interference %d, want 0 and 2",
+				p.ID, p.Preemptions, p.Interference)
+		}
+	}
+}
+
+// TestReportCoarseGranularity: the report records the granularity it ran
+// under, and coarse runs still tally every memory operation.
+func TestReportCoarseGranularity(t *testing.T) {
+	s := New(Config{Processors: 1, Seed: 1, Granularity: Coarse})
+	x := s.Mem().MustAlloc("x", 1)
+	s.SpawnAt(0, 0, 1, "w", func(e *Env) {
+		for i := 0; i < 10; i++ {
+			e.Store(x, uint64(i))
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	r := s.Report("coarse")
+	if r.Granularity != "coarse" {
+		t.Errorf("granularity = %q, want coarse", r.Granularity)
+	}
+	if r.Procs[0].Mem.Stores != 10 {
+		t.Errorf("coarse run lost store tallies: %+v", r.Procs[0].Mem)
+	}
+	if r.Procs[0].Slices >= 10 {
+		t.Errorf("coarse run took %d slices for 10 plain stores; batching broken", r.Procs[0].Slices)
+	}
+}

@@ -58,6 +58,18 @@ const (
 	Coarse
 )
 
+// String returns the granularity name.
+func (g Granularity) String() string {
+	switch g {
+	case Fine:
+		return "fine"
+	case Coarse:
+		return "coarse"
+	default:
+		return fmt.Sprintf("granularity(%d)", int(g))
+	}
+}
+
 // Config configures a simulation.
 type Config struct {
 	// Processors is the number of simulated processors (P in the paper).
@@ -145,6 +157,16 @@ type Proc struct {
 	Completed int64
 	// Preemptions counts how many times the process was preempted.
 	Preemptions int
+	// Slices counts the scheduler slices the process executed;
+	// Dispatches counts how many times it was (re)placed on its
+	// processor. Both feed the run report (internal/metrics).
+	Slices     uint64
+	Dispatches int
+	// helpGiven counts help invocations this process performed on
+	// another process's operation (Env.NoteHelp); opSamples holds the
+	// per-operation response times it recorded (Env.RecordOp).
+	helpGiven int
+	opSamples []int64
 }
 
 // ID returns the process identifier (dense, in spawn order).
@@ -192,6 +214,11 @@ type Sim struct {
 	ran       bool
 	aborting  bool
 	failure   error
+
+	// helpReceived counts, per algorithm-level slot, how many help
+	// invocations other processes performed on operations announced
+	// under that slot (Env.NoteHelp).
+	helpReceived map[int]int
 }
 
 // New creates a simulation from the given configuration.
@@ -212,9 +239,10 @@ func New(cfg Config) *Sim {
 		cfg.SyncCost = 1
 	}
 	s := &Sim{
-		cfg: cfg,
-		mem: shmem.New(cfg.MemWords),
-		rng: rand.New(rand.NewSource(cfg.Seed)),
+		cfg:          cfg,
+		mem:          shmem.New(cfg.MemWords),
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		helpReceived: make(map[int]int),
 	}
 	for i := 0; i < cfg.Processors; i++ {
 		s.cpus = append(s.cpus, &cpuState{id: i})
@@ -403,6 +431,7 @@ func (s *Sim) startIfNeeded(p *Proc) {
 // runSlice resumes p until its next preemption point and applies the cost.
 func (s *Sim) runSlice(c *cpuState, p *Proc) {
 	s.startIfNeeded(p)
+	p.Slices++
 	s.mem.SetCurrentProc(p.id)
 	p.resume <- struct{}{}
 	msg := <-p.yield
@@ -491,6 +520,7 @@ func (s *Sim) Run() error {
 		}
 		if p.state != stateRunning {
 			p.state = stateRunning
+			p.Dispatches++
 			s.emit(trace.KindDispatch, c.id, p, "")
 		}
 		s.runSlice(c, p)

@@ -23,6 +23,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"repro/internal/metrics"
 )
 
 // Addr is the index of a word in a Mem. The zero Addr is valid but reserved
@@ -113,6 +115,14 @@ type Mem struct {
 	observers []Observer
 	steps     uint64
 
+	// counts tallies operations per process (indexed by process id,
+	// grown on demand); setup tallies operations performed outside any
+	// simulated process (curProc == -1). Counting is pure Go-side
+	// bookkeeping: it charges no simulated time, so instrumented runs
+	// execute the same schedules as uninstrumented ones.
+	counts []metrics.OpCounts
+	setup  metrics.OpCounts
+
 	// curProc is maintained by the scheduler so write events can be
 	// attributed; -1 means "outside any simulated process".
 	curProc int
@@ -145,6 +155,39 @@ func (m *Mem) CurrentProc() int { return m.curProc }
 // Steps returns the total number of memory operations executed so far
 // (loads included).
 func (m *Mem) Steps() uint64 { return m.steps }
+
+// tally returns the operation-count bucket for the current process.
+func (m *Mem) tally() *metrics.OpCounts {
+	if m.curProc < 0 {
+		return &m.setup
+	}
+	for m.curProc >= len(m.counts) {
+		m.counts = append(m.counts, metrics.OpCounts{})
+	}
+	return &m.counts[m.curProc]
+}
+
+// ProcOpCounts returns the operation tally of process p (zero if p never
+// executed a memory operation).
+func (m *Mem) ProcOpCounts(p int) metrics.OpCounts {
+	if p < 0 || p >= len(m.counts) {
+		return metrics.OpCounts{}
+	}
+	return m.counts[p]
+}
+
+// SetupOpCounts returns the tally of operations performed outside any
+// simulated process (initialization code).
+func (m *Mem) SetupOpCounts() metrics.OpCounts { return m.setup }
+
+// TotalOpCounts returns the whole memory's operation tally, setup included.
+func (m *Mem) TotalOpCounts() metrics.OpCounts {
+	total := m.setup
+	for _, c := range m.counts {
+		total.Add(c)
+	}
+	return total
+}
 
 // Capacity returns the total number of words in the memory.
 func (m *Mem) Capacity() int { return len(m.words) }
@@ -220,6 +263,7 @@ func (m *Mem) notify(a Addr, old, val uint64, kind OpKind) {
 func (m *Mem) Load(a Addr) uint64 {
 	m.check(a)
 	m.steps++
+	m.tally().Loads++
 	return m.words[a]
 }
 
@@ -227,6 +271,7 @@ func (m *Mem) Load(a Addr) uint64 {
 func (m *Mem) Store(a Addr, v uint64) {
 	m.check(a)
 	m.steps++
+	m.tally().Stores++
 	old := m.words[a]
 	m.words[a] = v
 	m.notify(a, old, v, OpStore)
@@ -237,7 +282,10 @@ func (m *Mem) Store(a Addr, v uint64) {
 func (m *Mem) CAS(a Addr, old, val uint64) bool {
 	m.check(a)
 	m.steps++
+	t := m.tally()
+	t.CAS++
 	if m.words[a] != old {
+		t.CASFail++
 		return false
 	}
 	m.words[a] = val
@@ -255,7 +303,10 @@ func (m *Mem) CAS2(a1, a2 Addr, old1, old2, new1, new2 uint64) bool {
 		panic("shmem: CAS2 on aliased addresses")
 	}
 	m.steps++
+	t := m.tally()
+	t.CAS2++
 	if m.words[a1] != old1 || m.words[a2] != old2 {
+		t.CAS2Fail++
 		return false
 	}
 	o1, o2 := m.words[a1], m.words[a2]
@@ -273,7 +324,10 @@ func (m *Mem) CCAS(v Addr, ver uint64, x Addr, old, val uint64) bool {
 	m.check(v)
 	m.check(x)
 	m.steps++
+	t := m.tally()
+	t.CCAS++
 	if m.words[v] != ver || m.words[x] != old {
+		t.CCASFail++
 		return false
 	}
 	o := m.words[x]

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/metrics"
 )
 
 func TestAllocSequential(t *testing.T) {
@@ -248,5 +250,71 @@ func TestOpKindString(t *testing.T) {
 		if got := k.String(); got != want {
 			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
 		}
+	}
+}
+
+// TestOpCountAttribution: every primitive tallies under the process the
+// scheduler declared current, failures are counted separately, setup code
+// (curProc -1) goes to its own bucket, and Peek/Poke stay invisible.
+func TestOpCountAttribution(t *testing.T) {
+	m := New(16)
+	a := m.MustAlloc("a", 1)
+	v := m.MustAlloc("v", 1)
+
+	m.Store(a, 1) // setup: no SetCurrentProc yet
+
+	m.SetCurrentProc(0)
+	m.Load(a)
+	if !m.CAS(a, 1, 2) {
+		t.Fatal("CAS(1,2) should succeed")
+	}
+	if m.CAS(a, 99, 3) {
+		t.Fatal("CAS(99,3) should fail")
+	}
+
+	m.SetCurrentProc(2) // skip id 1: the tally must grow on demand
+	m.Store(a, 5)
+	if !m.CCAS(v, 0, a, 5, 6) {
+		t.Fatal("CCAS should succeed")
+	}
+	if m.CCAS(v, 1, a, 6, 7) {
+		t.Fatal("CCAS with stale version should fail")
+	}
+	if !m.CAS2(a, v, 6, 0, 8, 1) {
+		t.Fatal("CAS2 should succeed")
+	}
+	if m.CAS2(a, v, 6, 0, 9, 2) {
+		t.Fatal("CAS2 on stale values should fail")
+	}
+	m.Peek(a)    // no step, no tally
+	m.Poke(a, 0) // no step, no tally
+	m.SetCurrentProc(-1)
+	m.Load(a) // back to setup attribution
+
+	p0 := m.ProcOpCounts(0)
+	if p0.Loads != 1 || p0.CAS != 2 || p0.CASFail != 1 || p0.Stores != 0 {
+		t.Errorf("proc 0 tally wrong: %+v", p0)
+	}
+	if p1 := m.ProcOpCounts(1); p1 != (metrics.OpCounts{}) {
+		t.Errorf("proc 1 never ran but has tally %+v", p1)
+	}
+	p2 := m.ProcOpCounts(2)
+	if p2.Stores != 1 || p2.CCAS != 2 || p2.CCASFail != 1 || p2.CAS2 != 2 || p2.CAS2Fail != 1 {
+		t.Errorf("proc 2 tally wrong: %+v", p2)
+	}
+	setup := m.SetupOpCounts()
+	if setup.Stores != 1 || setup.Loads != 1 {
+		t.Errorf("setup tally wrong: %+v", setup)
+	}
+	if out := m.ProcOpCounts(-3); out != (metrics.OpCounts{}) {
+		t.Errorf("out-of-range proc has tally %+v", out)
+	}
+
+	total := m.TotalOpCounts()
+	if total.Steps() != m.Steps() {
+		t.Errorf("total steps %d != Mem.Steps %d", total.Steps(), m.Steps())
+	}
+	if total.Loads != 2 || total.Stores != 2 || total.Fails() != 3 {
+		t.Errorf("total tally wrong: %+v", total)
 	}
 }

@@ -119,6 +119,25 @@ func (l *Log) FindNote(seq int, substr string) int {
 	return l.Find(seq, KindAnnotate, substr)
 }
 
+// NoteCounts returns, per process name, how many annotations contain
+// substr. It lets tests cross-check the run report's helping counters
+// against the semantic trace (e.g. substr "help p=0" counts the helpers of
+// process slot 0 in the Figure 2 scenario).
+func (l *Log) NoteCounts(substr string) map[string]int {
+	out := make(map[string]int)
+	for _, ev := range l.events {
+		if ev.Kind != KindAnnotate || !strings.Contains(ev.Msg, substr) {
+			continue
+		}
+		name := ev.ProcName
+		if name == "" && ev.Proc >= 0 {
+			name = fmt.Sprintf("p%d", ev.Proc)
+		}
+		out[name]++
+	}
+	return out
+}
+
 // WriteTo pretty-prints the log, one event per line, in the style used by
 // cmd/wfsim to render the paper's Figure 2.
 func (l *Log) WriteTo(w io.Writer) (int64, error) {

@@ -166,3 +166,25 @@ func TestWriteCSV(t *testing.T) {
 		t.Error("CSV missing annotation message")
 	}
 }
+
+func TestNoteCounts(t *testing.T) {
+	var l Log
+	fill(&l)
+	l.Append(Event{Time: 25, CPU: 0, Proc: 2, ProcName: "r", Kind: KindAnnotate, Msg: "help p=0"})
+	l.Append(Event{Time: 26, CPU: 0, Proc: 3, Kind: KindAnnotate, Msg: "help p=0"}) // unnamed
+	l.Append(Event{Time: 27, CPU: 0, Proc: 2, ProcName: "r", Kind: KindComplete})   // not a note
+
+	got := l.NoteCounts("help p=0")
+	want := map[string]int{"q": 1, "r": 1, "p3": 1}
+	if len(got) != len(want) {
+		t.Fatalf("NoteCounts = %v, want %v", got, want)
+	}
+	for name, n := range want {
+		if got[name] != n {
+			t.Errorf("NoteCounts[%q] = %d, want %d", name, got[name], n)
+		}
+	}
+	if empty := l.NoteCounts("no such note"); len(empty) != 0 {
+		t.Errorf("NoteCounts on absent substring = %v, want empty", empty)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/core/multilist"
 	"repro/internal/core/unilist"
 	"repro/internal/helping"
+	"repro/internal/metrics"
 	"repro/internal/prim"
 	"repro/internal/sched"
 )
@@ -123,6 +124,11 @@ type ListResult struct {
 	// preemption (unbounded priority inversion), and a hard failure for
 	// every other kind.
 	Livelocked bool
+	// Report is the run's full observability report: per-process step
+	// counts, CAS-failure counts, helping and preemption accounting, and
+	// response-time histograms. On a livelocked run it is the snapshot at
+	// watchdog time.
+	Report *metrics.Report
 }
 
 // build constructs the configured list inside sim.
@@ -275,6 +281,7 @@ func RunList(cfg ListConfig) (*ListResult, error) {
 				chk.EndOp(slot, ok)
 			}
 			elapsed := e.Now() - start
+			e.RecordOp(elapsed)
 			totalOpTime += elapsed
 			if elapsed > res.WorstOp {
 				res.WorstOp = elapsed
@@ -324,6 +331,7 @@ func RunList(cfg ListConfig) (*ListResult, error) {
 			// motivating failure mode for lock-based objects).
 			res.Livelocked = true
 			res.Makespan = s.Elapsed()
+			res.Report = s.Report(string(cfg.Kind))
 			return res, nil
 		}
 		return nil, fmt.Errorf("workload: %w", err)
@@ -348,6 +356,7 @@ func RunList(cfg ListConfig) (*ListResult, error) {
 		res.Retries, res.WorstRetries = st.Retries, st.WorstRetries
 	}
 	res.BaseOp = measureBaseOp(cfg)
+	res.Report = s.Report(string(cfg.Kind))
 	return res, nil
 }
 
