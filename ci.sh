@@ -7,9 +7,17 @@
 # over the packages with real goroutine hand-offs (the scheduler's
 # coroutine rendezvous and the trace log). Everything is stdlib-only and
 # deterministic, so a green run on one machine is a green run on all.
+# Finally, smoke-tests the trace inspector end to end: wftrace replays the
+# Figure 2 scenario and must emit a non-empty Perfetto JSON artifact
+# (written under artifacts/, which stays out of git).
 set -eux
 
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/sched/... ./internal/trace/...
+go test -race ./internal/sched/... ./internal/trace/... ./internal/tracex/...
+
+go build -o /dev/null ./cmd/wftrace
+mkdir -p artifacts
+go run ./cmd/wftrace -object unilist -seed 1 -pattern stagger -export perfetto -o artifacts/fig2.trace.json
+test -s artifacts/fig2.trace.json

@@ -40,8 +40,14 @@ import (
 	"repro/internal/rt"
 	"repro/internal/sched"
 	"repro/internal/shmem"
+	"repro/internal/trace"
+	"repro/internal/tracex"
 	"repro/internal/workload"
 )
+
+// withTrace is the -trace flag: record the report runs' event logs and
+// write span-model exports next to the BENCH_*.json files.
+var withTrace bool
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: fig1|ext|mwcas|sec34|retries|valois|ablations|report|all")
@@ -49,6 +55,7 @@ func main() {
 	procs := flag.Int("procs", 4, "processors for the sec34 experiments (the paper used 4)")
 	seed := flag.Int64("seed", 11, "random seed")
 	outdir := flag.String("outdir", ".", "directory for the BENCH_<object>.json run reports")
+	flag.BoolVar(&withTrace, "trace", false, "with -exp report: also write TRACE_<object>.trace.json span exports (Perfetto)")
 	flag.Parse()
 
 	run := func(name string, f func() error) {
@@ -722,6 +729,21 @@ func reports(outdir string, seed int64) error {
 		written = append(written, path)
 		return nil
 	}
+	writeTrace := func(object string, log *trace.Log) error {
+		if !withTrace || log == nil {
+			return nil
+		}
+		b, err := tracex.Build(log).Perfetto()
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(outdir, "TRACE_"+object+".trace.json")
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			return err
+		}
+		written = append(written, path)
+		return nil
+	}
 
 	// The list kinds run the Section 3.4 workload at report scale.
 	for _, lk := range []struct {
@@ -734,7 +756,7 @@ func reports(outdir string, seed int64) error {
 	} {
 		res, err := workload.RunList(workload.ListConfig{
 			Kind: lk.kind, Processors: lk.procs, BurstsPerCPU: 2, BurstOps: 10,
-			TotalOps: 400, ListSize: 100, Seed: seed,
+			TotalOps: 400, ListSize: 100, Seed: seed, EnableTrace: withTrace,
 		})
 		if err != nil {
 			return err
@@ -742,11 +764,14 @@ func reports(outdir string, seed int64) error {
 		if err := writeReport(res.Report); err != nil {
 			return err
 		}
+		if err := writeTrace(string(lk.kind), res.TraceLog); err != nil {
+			return err
+		}
 	}
 
 	// Queue, stack and MWCAS run a uniprocessor burst workload.
 	uniReport := func(object string, build func(s *sched.Sim) (func(e *sched.Env, i int), error)) error {
-		s := sched.New(sched.Config{Processors: 1, Seed: seed, MemWords: 1 << 18})
+		s := sched.New(sched.Config{Processors: 1, Seed: seed, MemWords: 1 << 18, EnableTrace: withTrace})
 		op, err := build(s)
 		if err != nil {
 			return err
@@ -766,7 +791,10 @@ func reports(outdir string, seed int64) error {
 		if err := s.Run(); err != nil {
 			return err
 		}
-		return writeReport(s.Report(object))
+		if err := writeReport(s.Report(object)); err != nil {
+			return err
+		}
+		return writeTrace(object, s.Trace())
 	}
 	if err := uniReport("uniqueue", func(s *sched.Sim) (func(e *sched.Env, i int), error) {
 		ar, err := arena.New(s.Mem(), 128, 3)

@@ -32,14 +32,21 @@ import (
 	"repro/internal/explore"
 	"repro/internal/sched"
 	"repro/internal/shmem"
+	"repro/internal/tracex"
 	"repro/internal/workload"
 )
+
+// traceFailures is the -trace flag: run the sweeps with event recording on
+// and dump the span model of the first failing schedule, so a violation
+// arrives with its causal history instead of just a release vector.
+var traceFailures bool
 
 func main() {
 	suite := flag.String("suite", "all", "suite: unilist|unimwcas|multilist|uniqueue|unistack|unihash|all")
 	maxSlice := flag.Int64("max", 120, "largest release point swept")
 	pairs := flag.Bool("pairs", false, "also sweep pairs of adversaries (quadratic)")
 	keepGoing := flag.Bool("keepgoing", false, "explore past failures and report every failing vector (explore-driven suites)")
+	flag.BoolVar(&traceFailures, "trace", false, "record traces and write wfcheck_fail.trace.json for a failing schedule")
 	flag.Parse()
 
 	total := 0
@@ -76,6 +83,29 @@ func main() {
 	}
 }
 
+// newSim constructs a sweep simulation; with -trace its runs are recorded
+// so a failing schedule can be dumped as a span model.
+func newSim(memWords int) *sched.Sim {
+	return sched.New(sched.Config{Processors: 1, Seed: 1, MemWords: memWords, EnableTrace: traceFailures})
+}
+
+// dumpFailure, under -trace, writes the failing run's span model and points
+// the error at it.
+func dumpFailure(s *sched.Sim, err error) error {
+	if !traceFailures || err == nil || s.Trace() == nil {
+		return err
+	}
+	b, perr := tracex.Build(s.Trace()).Perfetto()
+	if perr != nil {
+		return err
+	}
+	const path = "wfcheck_fail.trace.json"
+	if werr := os.WriteFile(path, b, 0o644); werr != nil {
+		return err
+	}
+	return fmt.Errorf("%w (span trace written to %s)", err, path)
+}
+
 // uniListSweep releases a high-priority adversary at every slice of a
 // victim's list operations, for several adversary operations; with -pairs it
 // additionally nests a second, higher-priority adversary.
@@ -102,7 +132,7 @@ func uniListSweep(maxSlice int64, pairs bool) (int, error) {
 				}
 			}
 			for _, k2 := range secondaries {
-				s := sched.New(sched.Config{Processors: 1, Seed: 1, MemWords: 1 << 14})
+				s := newSim(1 << 14)
 				ar, err := arena.New(s.Mem(), 32, 3)
 				if err != nil {
 					return n, err
@@ -130,11 +160,11 @@ func uniListSweep(maxSlice int64, pairs bool) (int, error) {
 					}})
 				}
 				if err := s.Run(); err != nil {
-					return n, fmt.Errorf("%s k=%d k2=%d: %w", adv.name, k, k2, err)
+					return n, dumpFailure(s, fmt.Errorf("%s k=%d k2=%d: %w", adv.name, k, k2, err))
 				}
 				chk.Finish()
 				if err := chk.Err(); err != nil {
-					return n, fmt.Errorf("%s k=%d k2=%d: %w", adv.name, k, k2, err)
+					return n, dumpFailure(s, fmt.Errorf("%s k=%d k2=%d: %w", adv.name, k, k2, err))
 				}
 				n++
 			}
@@ -149,7 +179,7 @@ func uniMWCASSweep(maxSlice int64) (int, error) {
 	n := 0
 	for k := int64(0); k < maxSlice; k++ {
 		for variant := 0; variant < 3; variant++ {
-			s := sched.New(sched.Config{Processors: 1, Seed: 1, MemWords: 1 << 14})
+			s := newSim(1 << 14)
 			obj, err := unimwcas.New(s.Mem(), 4, 4)
 			if err != nil {
 				return n, err
@@ -185,10 +215,10 @@ func uniMWCASSweep(maxSlice int64) (int, error) {
 				chk.EndOp(1, obj.MWCAS(e, a, old, val))
 			}})
 			if err := s.Run(); err != nil {
-				return n, fmt.Errorf("k=%d variant=%d: %w", k, variant, err)
+				return n, dumpFailure(s, fmt.Errorf("k=%d variant=%d: %w", k, variant, err))
 			}
 			if err := chk.Err(); err != nil {
-				return n, fmt.Errorf("k=%d variant=%d: %w", k, variant, err)
+				return n, dumpFailure(s, fmt.Errorf("k=%d variant=%d: %w", k, variant, err))
 			}
 			n++
 		}
@@ -223,7 +253,7 @@ func multiListSweep(maxSlice int64) (int, error) {
 func uniQueueSweep(maxSlice int64) (int, error) {
 	n := 0
 	for k := int64(0); k < maxSlice; k++ {
-		s := sched.New(sched.Config{Processors: 1, Seed: 1, MemWords: 1 << 14})
+		s := newSim(1 << 14)
 		ar, err := arena.New(s.Mem(), 32, 3)
 		if err != nil {
 			return n, err
@@ -267,11 +297,11 @@ func uniQueueSweep(maxSlice int64) (int, error) {
 			chk.EndOp(2, ok)
 		}})
 		if err := s.Run(); err != nil {
-			return n, fmt.Errorf("k=%d: %w", k, err)
+			return n, dumpFailure(s, fmt.Errorf("k=%d: %w", k, err))
 		}
 		chk.Finish()
 		if err := chk.Err(); err != nil {
-			return n, fmt.Errorf("k=%d: %w", k, err)
+			return n, dumpFailure(s, fmt.Errorf("k=%d: %w", k, err))
 		}
 		n++
 	}
@@ -282,7 +312,7 @@ func uniQueueSweep(maxSlice int64) (int, error) {
 func uniStackSweep(maxSlice int64) (int, error) {
 	n := 0
 	for k := int64(0); k < maxSlice; k++ {
-		s := sched.New(sched.Config{Processors: 1, Seed: 1, MemWords: 1 << 14})
+		s := newSim(1 << 14)
 		ar, err := arena.New(s.Mem(), 32, 3)
 		if err != nil {
 			return n, err
@@ -326,11 +356,11 @@ func uniStackSweep(maxSlice int64) (int, error) {
 			chk.EndOp(2, ok)
 		}})
 		if err := s.Run(); err != nil {
-			return n, fmt.Errorf("k=%d: %w", k, err)
+			return n, dumpFailure(s, fmt.Errorf("k=%d: %w", k, err))
 		}
 		chk.Finish()
 		if err := chk.Err(); err != nil {
-			return n, fmt.Errorf("k=%d: %w", k, err)
+			return n, dumpFailure(s, fmt.Errorf("k=%d: %w", k, err))
 		}
 		n++
 	}
@@ -343,7 +373,7 @@ func uniStackSweep(maxSlice int64) (int, error) {
 func uniHashSweep(maxSlice int64, keepGoing bool) (int, error) {
 	return explore.Sweep(explore.Config{Adversaries: 2, Max: maxSlice, Stride: 2, Gap: 8, KeepGoing: keepGoing},
 		func(rel []int64) error {
-			s := sched.New(sched.Config{Processors: 1, Seed: 1, MemWords: 1 << 14})
+			s := newSim(1 << 14)
 			ar, err := arena.New(s.Mem(), 48, 3)
 			if err != nil {
 				return err
@@ -398,9 +428,9 @@ func uniHashSweep(maxSlice int64, keepGoing bool) (int, error) {
 				chk.EndOp(2, tb.Insert(e, 10, 3)) // different bucket
 			}})
 			if err := s.Run(); err != nil {
-				return err
+				return dumpFailure(s, err)
 			}
 			chk.Finish()
-			return chk.Err()
+			return dumpFailure(s, chk.Err())
 		})
 }

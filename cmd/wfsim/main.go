@@ -20,16 +20,19 @@ import (
 	"repro/internal/core/unimwcas"
 	"repro/internal/sched"
 	"repro/internal/shmem"
+	"repro/internal/tracex"
 )
 
 var (
 	csvPath    string
+	tracePath  string
 	showReport bool
 )
 
 func main() {
 	scenario := flag.String("scenario", "fig2", "scenario: fig2|fig4|inversion")
 	flag.StringVar(&csvPath, "csv", "", "also write the trace as CSV to this file")
+	flag.StringVar(&tracePath, "trace", "", "also write the span model as Perfetto/Chrome trace-event JSON to this file")
 	flag.BoolVar(&showReport, "report", false, "print the run report (step/help/preemption accounting)")
 	flag.Parse()
 	var err error
@@ -88,7 +91,7 @@ func fig2() error {
 	if err := dumpReport(s, "fig2"); err != nil {
 		return err
 	}
-	return dumpCSV(s)
+	return dumpTrace(s, dumpCSV(s))
 }
 
 // dumpReport pretty-prints the run report when -report is given.
@@ -115,6 +118,23 @@ func dumpCSV(s *sched.Sim) error {
 	}
 	fmt.Printf("trace written to %s\n", csvPath)
 	return f.Close()
+}
+
+// dumpTrace writes the span model to the -trace path, if given; prior is
+// threaded through so callers can chain it after dumpCSV.
+func dumpTrace(s *sched.Sim, prior error) error {
+	if prior != nil || tracePath == "" || s.Trace() == nil {
+		return prior
+	}
+	b, err := tracex.Build(s.Trace()).Perfetto()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(tracePath, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("span trace written to %s\n", tracePath)
+	return nil
 }
 
 // fig4 reproduces the paper's Figure 4: process 4 performs MWCAS on words
@@ -152,7 +172,7 @@ func fig4() error {
 	show("final:")
 	fmt.Printf("\nproc4 MWCAS(x,y,z: 12,22,8 -> 5,10,17) = %v (interfered with on z)\n", ok4)
 	fmt.Printf("proc9 MWCAS(z: 8 -> 56)               = %v\n", ok9)
-	return dumpReport(s, "fig4")
+	return dumpTrace(s, dumpReport(s, "fig4"))
 }
 
 // inversion demonstrates the motivating failure of lock-based objects on a

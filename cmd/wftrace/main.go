@@ -1,0 +1,132 @@
+// Command wftrace runs a named scenario and inspects its causal structure:
+// operation spans (invoke → announce → linearization → response), scheduler
+// slices, helping edges and CAS-failure edges, reconstructed from the run's
+// event log by internal/tracex.
+//
+// Usage:
+//
+//	wftrace -object uniqueue -seed 1                  # span report on stdout
+//	wftrace -object unilist -pattern stagger -export perfetto -o fig2.trace.json
+//	wftrace -object multiqueue -export text           # deterministic text form
+//
+// The perfetto export is Chrome trace-event JSON: open it at ui.perfetto.dev
+// or chrome://tracing. Time units are virtual (one unit per shared-memory
+// access), not wall-clock.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/scenario"
+	"repro/internal/tracex"
+)
+
+func main() {
+	object := flag.String("object", "unilist", "object: "+strings.Join(scenario.Objects(), "|"))
+	seed := flag.Int64("seed", 1, "simulation seed")
+	pat := flag.String("pattern", "stagger", "preemption pattern: "+strings.Join(scenario.Patterns(), "|"))
+	export := flag.String("export", "", "also export the span model: perfetto|text")
+	out := flag.String("o", "", "export path (default <object>.trace.json or <object>.trace.txt)")
+	report := flag.Bool("report", false, "print the run report after the span summary")
+	flag.Parse()
+
+	if err := run(*object, *seed, *pat, *export, *out, *report); err != nil {
+		fmt.Fprintf(os.Stderr, "wftrace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(object string, seed int64, pat, export, out string, report bool) error {
+	s, err := scenario.Run(scenario.Config{Object: object, Seed: seed, Pattern: pat, Trace: true})
+	if err != nil {
+		return err
+	}
+	t := tracex.Build(s.Trace())
+
+	fmt.Printf("%s seed=%d pattern=%s: %d events, %d slices, %d operations\n",
+		object, seed, pat, s.Trace().Len(), len(t.SliceSpans()), len(t.OpSpans()))
+	fmt.Println()
+	printOps(t)
+	printEdges(t)
+
+	if report {
+		fmt.Println()
+		if err := s.Report(object).WriteText(os.Stdout); err != nil {
+			return err
+		}
+	}
+
+	switch export {
+	case "":
+		return nil
+	case "perfetto":
+		b, err := t.Perfetto()
+		if err != nil {
+			return err
+		}
+		return write(defaultPath(out, object+".trace.json"), b)
+	case "text":
+		return write(defaultPath(out, object+".trace.txt"), []byte(t.Text()))
+	default:
+		return fmt.Errorf("unknown export format %q (want perfetto or text)", export)
+	}
+}
+
+func defaultPath(out, fallback string) string {
+	if out != "" {
+		return out
+	}
+	return fallback
+}
+
+func write(path string, b []byte) error {
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s (%d bytes)\n", path, len(b))
+	return nil
+}
+
+// printOps renders each operation span as a small tree: its lifecycle
+// marks, then its interference breakdown.
+func printOps(t *tracex.Trace) {
+	fmt.Println("operations:")
+	for _, sp := range t.OpSpans() {
+		state := ""
+		if sp.Open {
+			state = "  [never completed]"
+		}
+		fmt.Printf("  op #%d  %s (slot %d, cpu%d)  t=[%d,%d]%s\n",
+			sp.ID, sp.ProcName, sp.Slot, sp.CPU, sp.Start, sp.End, state)
+		if sp.Announce != nil {
+			fmt.Printf("  ├─ announce   t=%d\n", sp.Announce.Time)
+		}
+		if sp.Linearize != nil {
+			who := "by owner"
+			if sp.Linearize.Proc != sp.Proc {
+				who = fmt.Sprintf("by helper proc %d", sp.Linearize.Proc)
+			}
+			fmt.Printf("  ├─ linearize  t=%d  %s (%s)\n", sp.Linearize.Time, sp.LinearizeKey, who)
+		}
+		fmt.Printf("  └─ interference: %d helps received, %d CAS failures, %d preemptions\n",
+			sp.HelpsReceived, sp.CASFails, sp.Preemptions)
+	}
+}
+
+// printEdges renders the causality edges and the helping-depth summary.
+func printEdges(t *tracex.Trace) {
+	help, casf := t.HelpEdges(), t.CASFailEdges()
+	fmt.Printf("\ncausality: %d help edges, %d casfail edges, longest help chain %d\n",
+		len(help), len(casf), t.LongestHelpChain())
+	for _, e := range help {
+		fmt.Printf("  help    proc %d → proc %d  (span #%d → #%d)  t=%d\n",
+			e.FromProc, e.ToProc, e.From, e.To, e.Time)
+	}
+	for _, e := range casf {
+		fmt.Printf("  casfail proc %d → proc %d  (span #%d → #%d)  addr=%d t=%d\n",
+			e.FromProc, e.ToProc, e.From, e.To, e.Addr, e.Time)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"repro/internal/prim"
 	"repro/internal/sched"
 	"repro/internal/shmem"
+	"repro/internal/trace"
 )
 
 // Operation codes stored in Par[p].op.
@@ -229,7 +230,7 @@ func (t *Table) help(e *sched.Env, ver helping.Version) {
 		if nextkey != key {
 			t.cc.Exec(e, t.eng.VAddr(), vw, t.ar.NextAddr(newNode), uint64(arena.NIL), uint64(nextp))
 			if t.cc.Exec(e, t.eng.VAddr(), vw, t.ar.NextAddr(curr), uint64(nextp), uint64(newNode)) {
-				e.Tracef("hsplice p=%d key=%d", pid, key)
+				e.Note("hsplice", trace.I("p", int64(pid)), trace.I("key", int64(key)))
 			}
 		} else if arena.Ref(t.cc.Read(e, t.ar.NextAddr(newNode))) == arena.NIL {
 			t.cc.Exec(e, t.eng.VAddr(), vw, t.eng.RvAddr(pid), RvPending, RvFalse)
@@ -239,7 +240,7 @@ func (t *Table) help(e *sched.Env, ver helping.Version) {
 		if nextkey == key {
 			t.cc.Exec(e, t.eng.VAddr(), vw, t.parAddr(pid, parNode), uint64(arena.NIL), uint64(nextp))
 			if t.cc.Exec(e, t.eng.VAddr(), vw, t.ar.NextAddr(curr), uint64(nextp), uint64(nextnextp)) {
-				e.Tracef("hunsplice p=%d key=%d", pid, key)
+				e.Note("hunsplice", trace.I("p", int64(pid)), trace.I("key", int64(key)))
 			}
 		} else if arena.Ref(t.cc.Read(e, t.parAddr(pid, parNode))) == arena.NIL {
 			t.cc.Exec(e, t.eng.VAddr(), vw, t.eng.RvAddr(pid), RvPending, RvFalse)

@@ -38,6 +38,7 @@ import (
 	"repro/internal/prim"
 	"repro/internal/sched"
 	"repro/internal/shmem"
+	"repro/internal/trace"
 )
 
 // Operation codes stored in Par[p].op.
@@ -272,7 +273,7 @@ func (l *List) help(e *sched.Env, ver helping.Version) {
 		if nextkey != key {                                         // line 48
 			l.cc.Exec(e, l.eng.VAddr(), vw, l.ar.NextAddr(newNode), uint64(arena.NIL), uint64(nextp)) // line 50
 			if l.cc.Exec(e, l.eng.VAddr(), vw, l.ar.NextAddr(curr), uint64(nextp), uint64(newNode)) { // line 51
-				e.Tracef("splice p=%d key=%d", pid, key)
+				e.Note("splice", trace.I("p", int64(pid)), trace.I("key", int64(key)))
 			}
 		} else if arena.Ref(l.cc.Read(e, l.ar.NextAddr(newNode))) == arena.NIL {
 			// True duplicate. Distinguishing it from "our own node
@@ -293,7 +294,7 @@ func (l *List) help(e *sched.Env, ver helping.Version) {
 		if nextkey == key { // line 52
 			l.cc.Exec(e, l.eng.VAddr(), vw, l.parAddr(pid, parNode), uint64(arena.NIL), uint64(nextp))  // line 53
 			if l.cc.Exec(e, l.eng.VAddr(), vw, l.ar.NextAddr(curr), uint64(nextp), uint64(nextnextp)) { // line 54
-				e.Tracef("unsplice p=%d key=%d", pid, key)
+				e.Note("unsplice", trace.I("p", int64(pid)), trace.I("key", int64(key)))
 			}
 		} else if arena.Ref(l.cc.Read(e, l.parAddr(pid, parNode))) == arena.NIL {
 			// True absence, distinguished from "we just unspliced

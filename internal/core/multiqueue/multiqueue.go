@@ -21,6 +21,7 @@ import (
 	"repro/internal/prim"
 	"repro/internal/sched"
 	"repro/internal/shmem"
+	"repro/internal/trace"
 )
 
 // Operation codes stored in Par[p].op.
@@ -190,7 +191,7 @@ func (q *Queue) helpEnq(e *sched.Env, vw uint64, ver helping.Version, pid int) {
 		q.cc.Exec(e, q.eng.VAddr(), vw, q.ar.NextAddr(newNode), uint64(arena.NIL), uint64(q.last))
 		if nextp == q.last {
 			if q.cc.Exec(e, q.eng.VAddr(), vw, q.ar.NextAddr(curr), uint64(q.last), uint64(newNode)) {
-				e.Tracef("enqueue p=%d node=%d", pid, newNode)
+				e.Note("enqueue", trace.I("p", int64(pid)), trace.I("node", int64(newNode)))
 			}
 		}
 	}
@@ -222,7 +223,7 @@ func (q *Queue) helpDeq(e *sched.Env, vw uint64, pid int) {
 		return
 	}
 	if q.cc.Exec(e, q.eng.VAddr(), vw, q.ar.NextAddr(q.first), uint64(victim), uint64(succ)) {
-		e.Tracef("dequeue p=%d node=%d", pid, victim)
+		e.Note("dequeue", trace.I("p", int64(pid)), trace.I("node", int64(victim)))
 	}
 	q.cc.Exec(e, q.eng.VAddr(), vw, q.eng.RvAddr(pid), RvPending, RvTrue)
 }

@@ -18,6 +18,7 @@ import (
 	"repro/internal/prim"
 	"repro/internal/sched"
 	"repro/internal/shmem"
+	"repro/internal/trace"
 )
 
 // Operation codes stored in Par[p].op.
@@ -173,7 +174,7 @@ func (s *Stack) helpPush(e *sched.Env, vw uint64, pid int) {
 		succ := arena.Ref(s.cc.Read(e, s.ar.NextAddr(newNode)))
 		if succ == head {
 			if s.cc.Exec(e, s.eng.VAddr(), vw, s.ar.NextAddr(s.first), uint64(head), uint64(newNode)) {
-				e.Tracef("mpush p=%d node=%d", pid, newNode)
+				e.Note("mpush", trace.I("p", int64(pid)), trace.I("node", int64(newNode)))
 			}
 		}
 	}
@@ -203,7 +204,7 @@ func (s *Stack) helpPop(e *sched.Env, vw uint64, pid int) {
 		return
 	}
 	if s.cc.Exec(e, s.eng.VAddr(), vw, s.ar.NextAddr(s.first), uint64(victim), uint64(succ)) {
-		e.Tracef("mpop p=%d node=%d", pid, victim)
+		e.Note("mpop", trace.I("p", int64(pid)), trace.I("node", int64(victim)))
 	}
 	s.cc.Exec(e, s.eng.VAddr(), vw, s.eng.RvAddr(pid), RvPending, RvTrue)
 }

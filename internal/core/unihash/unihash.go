@@ -23,6 +23,7 @@ import (
 	"repro/internal/inchelp"
 	"repro/internal/sched"
 	"repro/internal/shmem"
+	"repro/internal/trace"
 )
 
 // Operation codes stored in Par[p].op.
@@ -183,7 +184,7 @@ func (t *Table) help(e *sched.Env, pid int) {
 		nextp = packPtr(nextRef, 1)
 		if t.eng.Rv(e, pid) == inchelp.RvPending {
 			if e.CAS(t.ar.NextAddr(curr), nextp, packPtr(newNode, 0)) {
-				e.Tracef("hsplice p=%d key=%d", pid, key)
+				e.Note("hsplice", trace.I("p", int64(pid)), trace.I("key", int64(key)))
 			}
 		} else {
 			e.CAS(t.ar.NextAddr(curr), nextp, packPtr(nextRef, 0))
@@ -194,7 +195,7 @@ func (t *Table) help(e *sched.Env, pid int) {
 			return
 		}
 		if e.CAS(t.ar.NextAddr(curr), nextp, packPtr(nextnextRef, 0)) {
-			e.Tracef("hunsplice p=%d key=%d", pid, key)
+			e.Note("hunsplice", trace.I("p", int64(pid)), trace.I("key", int64(key)))
 		}
 		e.Store(t.parAddr(pid, parNode), uint64(nextRef))
 	case opSch:

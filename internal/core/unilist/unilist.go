@@ -35,6 +35,7 @@ import (
 	"repro/internal/arena"
 	"repro/internal/sched"
 	"repro/internal/shmem"
+	"repro/internal/trace"
 )
 
 // Operation codes stored in Par[p].op.
@@ -210,6 +211,7 @@ func (l *List) Search(e *sched.Env, key uint64) bool {
 // operation, announce ours, execute it, and clear the announcement.
 func (l *List) doOp(e *sched.Env) {
 	p := e.Slot()
+	e.Note("invoke", trace.I("p", int64(p)))
 	pid := int(e.Load(l.annPid()))                       // line 15
 	if pid < l.n && e.Load(l.RvAddr(pid)) == RvPending { // line 16
 		l.help(e, pid) // line 17
@@ -217,17 +219,17 @@ func (l *List) doOp(e *sched.Env) {
 	e.Store(l.RvAddr(p), RvPending)      // line 18
 	e.Store(l.annPtr(), uint64(l.first)) // line 19
 	e.Store(l.annPid(), uint64(p))       // line 20
-	e.Tracef("announce p=%d", p)
+	e.Note("announce", trace.I("p", int64(p)))
 	l.help(e, p)                         // line 21
 	e.Store(l.annPtr(), uint64(l.first)) // line 22
 	e.Store(l.annPid(), uint64(l.n))     // line 23
+	e.Note("response", trace.I("p", int64(p)))
 }
 
 // help executes (or helps) process pid's announced operation (the Help
 // procedure, lines 32-51).
 func (l *List) help(e *sched.Env, pid int) {
 	if pid != e.Slot() {
-		e.Tracef("help p=%d", pid)
 		e.NoteHelp(pid)
 	}
 	key := e.Load(l.parAddr(pid, parKey)) // line 32
@@ -259,7 +261,7 @@ func (l *List) help(e *sched.Env, pid int) {
 		nextp = packPtr(nextRef, 1)
 		if e.Load(l.RvAddr(pid)) == RvPending { // line 44
 			if e.CAS(l.ar.NextAddr(curr), nextp, packPtr(newNode, 0)) { // line 45
-				e.Tracef("splice p=%d key=%d", pid, key)
+				e.Note("splice", trace.I("p", int64(pid)), trace.I("key", int64(key)))
 			}
 		} else {
 			e.CAS(l.ar.NextAddr(curr), nextp, packPtr(nextRef, 0)) // line 46
@@ -267,7 +269,7 @@ func (l *List) help(e *sched.Env, pid int) {
 	case opDel:
 		if nextkey == key { // line 47
 			if e.CAS(l.ar.NextAddr(curr), nextp, packPtr(nextnextRef, 0)) { // line 48
-				e.Tracef("unsplice p=%d key=%d", pid, key)
+				e.Note("unsplice", trace.I("p", int64(pid)), trace.I("key", int64(key)))
 			}
 			e.Store(l.parAddr(pid, parNode), uint64(nextRef)) // line 49
 		} else {

@@ -29,6 +29,7 @@ import (
 	"repro/internal/inchelp"
 	"repro/internal/sched"
 	"repro/internal/shmem"
+	"repro/internal/trace"
 )
 
 // Operation codes stored in Par[p].op.
@@ -171,7 +172,7 @@ func (q *Queue) helpEnq(e *sched.Env, pid int) {
 	nextp = packPtr(nextRef, 1)
 	if q.eng.Rv(e, pid) == inchelp.RvPending {
 		if e.CAS(q.ar.NextAddr(curr), nextp, packPtr(newNode, 0)) {
-			e.Tracef("enqueue p=%d node=%d", pid, newNode)
+			e.Note("enqueue", trace.I("p", int64(pid)), trace.I("node", int64(newNode)))
 		}
 	} else {
 		e.CAS(q.ar.NextAddr(curr), nextp, packPtr(nextRef, 0))
@@ -213,7 +214,7 @@ func (q *Queue) helpDeq(e *sched.Env, pid int) {
 	}
 	if ptr == victim {
 		if e.CAS(q.ar.NextAddr(q.first), raw, packPtr(succ, 0)) {
-			e.Tracef("dequeue p=%d node=%d", pid, victim)
+			e.Note("dequeue", trace.I("p", int64(pid)), trace.I("node", int64(victim)))
 		}
 	}
 	q.eng.SetRv(e, pid, inchelp.RvTrue)

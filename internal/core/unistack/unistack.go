@@ -17,6 +17,7 @@ import (
 	"repro/internal/inchelp"
 	"repro/internal/sched"
 	"repro/internal/shmem"
+	"repro/internal/trace"
 )
 
 // Operation codes stored in Par[p].op.
@@ -139,7 +140,7 @@ func (s *Stack) helpPush(e *sched.Env, pid int) {
 	nextp = packPtr(nextRef, 1)
 	if s.eng.Rv(e, pid) == inchelp.RvPending {
 		if e.CAS(s.ar.NextAddr(s.first), nextp, packPtr(newNode, 0)) {
-			e.Tracef("push p=%d node=%d", pid, newNode)
+			e.Note("push", trace.I("p", int64(pid)), trace.I("node", int64(newNode)))
 		}
 	} else {
 		e.CAS(s.ar.NextAddr(s.first), nextp, packPtr(nextRef, 0))
@@ -172,7 +173,7 @@ func (s *Stack) helpPop(e *sched.Env, pid int) {
 	}
 	if ptr == victim {
 		if e.CAS(s.ar.NextAddr(s.first), raw, packPtr(succ, 0)) {
-			e.Tracef("pop p=%d node=%d", pid, victim)
+			e.Note("pop", trace.I("p", int64(pid)), trace.I("node", int64(victim)))
 		}
 	}
 	s.eng.SetRv(e, pid, inchelp.RvTrue)

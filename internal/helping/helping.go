@@ -30,6 +30,7 @@ import (
 	"repro/internal/prim"
 	"repro/internal/sched"
 	"repro/internal/shmem"
+	"repro/internal/trace"
 )
 
 // Mode selects the counter-advance policy.
@@ -229,6 +230,7 @@ func (g *Engine) DoOp(e *sched.Env) {
 	if p >= g.cfg.Procs {
 		panic(fmt.Sprintf("helping: slot %d out of range [0,%d)", p, g.cfg.Procs))
 	}
+	e.Note("invoke", trace.I("p", int64(p)))
 	for i := 0; i < 2; i++ { // line 3
 		if i == 0 && g.cfg.OneRound {
 			g.announce(e, mypr, p)
@@ -250,10 +252,11 @@ func (g *Engine) DoOp(e *sched.Env) {
 					break
 				}
 				if ver.Needhelp { // line 9
-					e.Tracef("help ring target=%d ver=%d", ver.Target, ver.Cnt)
-					// Metrics only (Peek: no simulated time): the
-					// helped operation is whatever is announced on
-					// the target processor right now.
+					e.Note("help ring", trace.I("target", int64(ver.Target)), trace.I("ver", int64(ver.Cnt)))
+					// Observability only (Peek: no simulated time):
+					// the helped operation is whatever is announced
+					// on the target processor right now. NoteHelp
+					// counts it and emits the help causality edge.
 					if hp := int(g.mem.Peek(g.annPidAddr(ver.Target))); hp < g.cfg.Procs {
 						e.NoteHelp(hp)
 					}
@@ -265,6 +268,7 @@ func (g *Engine) DoOp(e *sched.Env) {
 		g.announce(e, mypr, p) // line 14
 	}
 	e.Store(g.annPidAddr(mypr), uint64(g.cfg.Procs)) // line 15
+	e.Note("response", trace.I("p", int64(p)))
 }
 
 // announce publishes process p as the pending operation on processor mypr.
@@ -274,7 +278,7 @@ func (g *Engine) announce(e *sched.Env, mypr, p int) {
 		e.Store(g.annPrioAddr(mypr), prioWord(e.Prio()))
 	}
 	e.Store(g.annPidAddr(mypr), uint64(p))
-	e.Tracef("announce p=%d", p)
+	e.Note("announce", trace.I("p", int64(p)))
 }
 
 // Advance moves the help counter one step (lines 10-13 of Figure 6). Under
@@ -314,7 +318,10 @@ func (g *Engine) Advance(e *sched.Env, ver Version) {
 	}
 	next := Version{Cnt: (ver.Cnt + 1) & cntMask, Target: nextTarget, Needhelp: needhelp}
 	if e.CAS(g.v, PackVersion(ver), PackVersion(next)) { // lines 11-13
-		e.Tracef("advance ring ver=%d target=%d needhelp=%v", next.Cnt, next.Target, next.Needhelp)
+		e.Note("advance ring",
+			trace.I("ver", int64(next.Cnt)),
+			trace.I("target", int64(next.Target)),
+			trace.B("needhelp", next.Needhelp))
 	}
 	prim.AfterAdvance(g.cfg.CC, e)
 }

@@ -89,6 +89,15 @@ func Summarize(samples []int64) Summary {
 	}
 }
 
+// String renders the summary compactly for terminal reports
+// ("n=12 min=34 p50=40 p95=180 max=210"); the zero Summary renders "n=0".
+func (s Summary) String() string {
+	if s.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d min=%d p50=%d p95=%d max=%d", s.Count, s.Min, s.P50, s.P95, s.Max)
+}
+
 // ProcReport is the per-process slice of a Report.
 type ProcReport struct {
 	ID   int    `json:"id"`

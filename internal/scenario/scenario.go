@@ -1,0 +1,258 @@
+// Package scenario builds small, named, reproducible runs of the paper's
+// objects for inspection tooling. Where internal/workload drives throughput
+// experiments, a scenario is the opposite: a handful of processes with a
+// deterministic preemption pattern, sized so a human can read the resulting
+// trace. cmd/wftrace loads one by (object, seed, pattern) and renders its
+// span model; the tests in this package pin down that the same triple
+// always yields byte-identical traces.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arena"
+	"repro/internal/core/multilist"
+	"repro/internal/core/multiqueue"
+	"repro/internal/core/unihash"
+	"repro/internal/core/unilist"
+	"repro/internal/core/uniqueue"
+	"repro/internal/core/unistack"
+	"repro/internal/sched"
+)
+
+// Config selects a scenario.
+type Config struct {
+	// Object is one of Objects(): unilist, uniqueue, unistack, unihash,
+	// multilist, multiqueue.
+	Object string
+	// Seed seeds the simulation.
+	Seed int64
+	// Pattern is one of Patterns(); empty means "stagger".
+	Pattern string
+	// Trace enables event recording; cmd/wftrace always sets it.
+	Trace bool
+}
+
+// pattern gives the slice counts after which the two adversaries (or, for
+// multiprocessor objects, the two per-processor preemptors) are released.
+// A negative count releases the job at time zero, which on a uniprocessor
+// serializes the jobs by priority and produces no mid-operation preemption.
+type pattern struct {
+	k1, k2 int64
+}
+
+var patterns = map[string]pattern{
+	// stagger reproduces the Figure 2 shape: the second process arrives
+	// mid-scan of the first, the third mid-help of the second.
+	"stagger": {k1: 15, k2: 28},
+	// burst releases both adversaries almost together, early.
+	"burst": {k1: 6, k2: 8},
+	// none releases everything at time zero: priority order serializes
+	// the operations and no helping occurs (the control case).
+	"none": {k1: -1, k2: -1},
+}
+
+// Patterns returns the known preemption pattern names, sorted.
+func Patterns() []string {
+	var out []string
+	for name := range patterns {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Objects returns the object names scenarios exist for.
+func Objects() []string {
+	return []string{"multilist", "multiqueue", "unihash", "unilist", "uniqueue", "unistack"}
+}
+
+// Run builds and executes the scenario, returning the completed simulation
+// (trace, report and final memory are read off it).
+func Run(cfg Config) (*sched.Sim, error) {
+	pat, ok := patterns[patternName(cfg)]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown pattern %q (have %v)", cfg.Pattern, Patterns())
+	}
+	build, ok := builders[cfg.Object]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown object %q (have %v)", cfg.Object, Objects())
+	}
+	s, err := build(cfg, pat)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Run(); err != nil {
+		return nil, fmt.Errorf("scenario %s/%s: %w", cfg.Object, patternName(cfg), err)
+	}
+	return s, nil
+}
+
+func patternName(cfg Config) string {
+	if cfg.Pattern == "" {
+		return "stagger"
+	}
+	return cfg.Pattern
+}
+
+type builder func(Config, pattern) (*sched.Sim, error)
+
+var builders = map[string]builder{
+	"unilist":    buildUnilist,
+	"uniqueue":   buildUniqueue,
+	"unistack":   buildUnistack,
+	"unihash":    buildUnihash,
+	"multilist":  buildMultilist,
+	"multiqueue": buildMultiqueue,
+}
+
+// newUniSim makes a one-processor simulation for the incremental-helping
+// objects.
+func newUniSim(cfg Config) *sched.Sim {
+	return sched.New(sched.Config{Processors: 1, Seed: cfg.Seed, MemWords: 1 << 15, EnableTrace: cfg.Trace})
+}
+
+// spawnUniTrio spawns the Figure 2 cast on cpu0: a low-priority victim and
+// two adversaries released after k1 and k2 slices, each performing one
+// operation through the given bodies.
+func spawnUniTrio(s *sched.Sim, pat pattern, victim, adv1, adv2 func(*sched.Env)) {
+	s.Spawn(sched.JobSpec{Name: "p", CPU: 0, Prio: 1, Slot: 0, AfterSlices: -1, Body: victim})
+	s.Spawn(sched.JobSpec{Name: "q", CPU: 0, Prio: 5, Slot: 1, AfterSlices: pat.k1, Body: adv1})
+	s.Spawn(sched.JobSpec{Name: "r", CPU: 0, Prio: 9, Slot: 2, AfterSlices: pat.k2, Body: adv2})
+}
+
+func buildUnilist(cfg Config, pat pattern) (*sched.Sim, error) {
+	s := newUniSim(cfg)
+	ar, err := arena.New(s.Mem(), 32, 3)
+	if err != nil {
+		return nil, err
+	}
+	l, err := unilist.New(s.Mem(), ar, 3)
+	if err != nil {
+		return nil, err
+	}
+	ar.Freeze()
+	spawnUniTrio(s, pat,
+		func(e *sched.Env) { l.Insert(e, 10, 1) },
+		func(e *sched.Env) { l.Insert(e, 20, 2) },
+		func(e *sched.Env) { l.Insert(e, 30, 3) })
+	return s, nil
+}
+
+func buildUniqueue(cfg Config, pat pattern) (*sched.Sim, error) {
+	s := newUniSim(cfg)
+	ar, err := arena.New(s.Mem(), 32, 3)
+	if err != nil {
+		return nil, err
+	}
+	q, err := uniqueue.New(s.Mem(), ar, 3)
+	if err != nil {
+		return nil, err
+	}
+	ar.Freeze()
+	spawnUniTrio(s, pat,
+		func(e *sched.Env) { q.Enqueue(e, 10) },
+		func(e *sched.Env) { q.Enqueue(e, 20) },
+		func(e *sched.Env) { q.Dequeue(e) })
+	return s, nil
+}
+
+func buildUnistack(cfg Config, pat pattern) (*sched.Sim, error) {
+	s := newUniSim(cfg)
+	ar, err := arena.New(s.Mem(), 32, 3)
+	if err != nil {
+		return nil, err
+	}
+	st, err := unistack.New(s.Mem(), ar, 3)
+	if err != nil {
+		return nil, err
+	}
+	ar.Freeze()
+	spawnUniTrio(s, pat,
+		func(e *sched.Env) { st.Push(e, 10) },
+		func(e *sched.Env) { st.Push(e, 20) },
+		func(e *sched.Env) { st.Pop(e) })
+	return s, nil
+}
+
+func buildUnihash(cfg Config, pat pattern) (*sched.Sim, error) {
+	s := newUniSim(cfg)
+	ar, err := arena.New(s.Mem(), 64, 3)
+	if err != nil {
+		return nil, err
+	}
+	h, err := unihash.New(s.Mem(), ar, 3, 4)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.SeedKeys([]uint64{40, 41}); err != nil {
+		return nil, err
+	}
+	ar.Freeze()
+	spawnUniTrio(s, pat,
+		func(e *sched.Env) { h.Insert(e, 10, 1) },
+		func(e *sched.Env) { h.Insert(e, 20, 2) },
+		func(e *sched.Env) { h.Delete(e, 40) })
+	return s, nil
+}
+
+// newMultiSim makes a two-processor simulation for the ring-helping
+// objects.
+func newMultiSim(cfg Config) *sched.Sim {
+	return sched.New(sched.Config{Processors: 2, Seed: cfg.Seed, MemWords: 1 << 16, EnableTrace: cfg.Trace})
+}
+
+// spawnMultiCast spawns one worker per processor plus, for patterns that
+// preempt, a high-priority compute burst per processor (delaying, not
+// touching the object) released after k1/k2 slices. A preempted worker's
+// announced operation is what the other processor's helping ring picks up.
+func spawnMultiCast(s *sched.Sim, pat pattern, w0, w1 func(*sched.Env)) {
+	s.Spawn(sched.JobSpec{Name: "w0", CPU: 0, Prio: 1, Slot: 0, AfterSlices: -1, Body: w0})
+	s.Spawn(sched.JobSpec{Name: "w1", CPU: 1, Prio: 1, Slot: 1, AfterSlices: -1, Body: w1})
+	if pat.k1 >= 0 {
+		s.Spawn(sched.JobSpec{Name: "hi0", CPU: 0, Prio: 9, Slot: -1, AfterSlices: pat.k1,
+			Body: func(e *sched.Env) { e.Delay(60) }})
+	}
+	if pat.k2 >= 0 {
+		s.Spawn(sched.JobSpec{Name: "hi1", CPU: 1, Prio: 9, Slot: -1, AfterSlices: pat.k2,
+			Body: func(e *sched.Env) { e.Delay(60) }})
+	}
+}
+
+func buildMultilist(cfg Config, pat pattern) (*sched.Sim, error) {
+	s := newMultiSim(cfg)
+	ar, err := arena.New(s.Mem(), 64, 2)
+	if err != nil {
+		return nil, err
+	}
+	l, err := multilist.New(s.Mem(), ar, multilist.Config{Processors: 2, Procs: 2})
+	if err != nil {
+		return nil, err
+	}
+	if err := l.SeedAscending([]uint64{5, 50}); err != nil {
+		return nil, err
+	}
+	ar.Freeze()
+	spawnMultiCast(s, pat,
+		func(e *sched.Env) { l.Insert(e, 10, 1); l.Insert(e, 20, 2) },
+		func(e *sched.Env) { l.Insert(e, 15, 3); l.Insert(e, 25, 4) })
+	return s, nil
+}
+
+func buildMultiqueue(cfg Config, pat pattern) (*sched.Sim, error) {
+	s := newMultiSim(cfg)
+	ar, err := arena.New(s.Mem(), 64, 2)
+	if err != nil {
+		return nil, err
+	}
+	q, err := multiqueue.New(s.Mem(), ar, multiqueue.Config{Processors: 2, Procs: 2})
+	if err != nil {
+		return nil, err
+	}
+	ar.Freeze()
+	spawnMultiCast(s, pat,
+		func(e *sched.Env) { q.Enqueue(e, 10); q.Enqueue(e, 20) },
+		func(e *sched.Env) { q.Dequeue(e); q.Dequeue(e) })
+	return s, nil
+}

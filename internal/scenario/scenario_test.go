@@ -1,0 +1,195 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/tracex"
+)
+
+// TestTraceDeterminism pins the tentpole guarantee of the inspection layer:
+// the same (object, seed, pattern) triple always yields the identical span
+// tree and identical exporter bytes, run to run. Both exporters are compared
+// because they serialize different subsets of the model.
+func TestTraceDeterminism(t *testing.T) {
+	for _, object := range Objects() {
+		for _, pat := range Patterns() {
+			t.Run(object+"/"+pat, func(t *testing.T) {
+				run := func() *tracex.Trace {
+					s, err := Run(Config{Object: object, Seed: 1, Pattern: pat, Trace: true})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return tracex.Build(s.Trace())
+				}
+				a, b := run(), run()
+				if a.Text() != b.Text() {
+					t.Errorf("text export differs between two identical runs")
+				}
+				pa, err := a.Perfetto()
+				if err != nil {
+					t.Fatal(err)
+				}
+				pb, err := b.Perfetto()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(pa, pb) {
+					t.Errorf("perfetto export differs between two identical runs")
+				}
+			})
+		}
+	}
+}
+
+// TestUniqueueStaggerTrace asserts the exact span model of the uniqueue
+// acceptance run (`wftrace -object uniqueue -seed 1 -export perfetto`): the
+// Figure 2 shape transplanted onto the queue — the victim's enqueue is helped
+// across two preemptions and linearized by the highest-priority helper.
+func TestUniqueueStaggerTrace(t *testing.T) {
+	s, err := Run(Config{Object: "uniqueue", Seed: 1, Pattern: "stagger", Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tracex.Build(s.Trace())
+
+	if got := len(tr.OpSpans()); got != 3 {
+		t.Errorf("op spans = %d, want 3", got)
+	}
+	if got := len(tr.SliceSpans()); got != 5 {
+		t.Errorf("slice spans = %d, want 5", got)
+	}
+	if got := len(tr.HelpEdges()); got != 2 {
+		t.Errorf("help edges = %d, want 2", got)
+	}
+	if got := len(tr.CASFailEdges()); got != 0 {
+		t.Errorf("casfail edges = %d, want 0", got)
+	}
+	if got := tr.LongestHelpChain(); got != 1 {
+		t.Errorf("longest help chain = %d, want 1", got)
+	}
+
+	// The victim's op span (slot 0) must be linearized by a helper.
+	victim := tr.OpSpans()[0]
+	if victim.Slot != 0 || victim.HelpsReceived != 2 {
+		t.Errorf("victim span = %+v, want slot 0 with 2 helps received", victim)
+	}
+	if victim.Linearize == nil || victim.LinearizeKey != "enqueue" || victim.Linearize.Proc == victim.Proc {
+		t.Errorf("victim linearize = %+v key=%q, want enqueue by a helper", victim.Linearize, victim.LinearizeKey)
+	}
+
+	// The exported bytes must be a valid Chrome trace-event document whose
+	// event population matches the span model.
+	b, err := tr.Perfetto()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("perfetto export is not valid JSON: %v", err)
+	}
+	counts := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		counts[ev.Ph]++
+	}
+	if want := len(tr.Spans); counts["X"] != want {
+		t.Errorf("complete events = %d, want %d (one per span)", counts["X"], want)
+	}
+	if counts["s"] != 2 || counts["f"] != 2 {
+		t.Errorf("flow events = s:%d f:%d, want 2/2 (one pair per help edge)", counts["s"], counts["f"])
+	}
+}
+
+// TestPatternsShapeHelping checks that the pattern knob actually changes the
+// schedule it claims to: "none" serializes the uniprocessor trio so no
+// helping occurs, while "stagger" forces it.
+func TestPatternsShapeHelping(t *testing.T) {
+	for _, object := range []string{"unilist", "uniqueue", "unistack", "unihash"} {
+		s, err := Run(Config{Object: object, Seed: 1, Pattern: "none", Trace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := tracex.Build(s.Trace())
+		if got := len(tr.HelpEdges()); got != 0 {
+			t.Errorf("%s/none: help edges = %d, want 0 (serialized schedule)", object, got)
+		}
+		s, err = Run(Config{Object: object, Seed: 1, Pattern: "stagger", Trace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr = tracex.Build(s.Trace())
+		if got := len(tr.HelpEdges()); got == 0 {
+			t.Errorf("%s/stagger: no help edges, want at least one", object)
+		}
+	}
+}
+
+// TestReportUnaffectedByTracing is the acceptance criterion that
+// instrumentation is free: the run report of a traced run must be
+// byte-identical to the report of the identical untraced run. Annotations
+// charge zero virtual time, so the schedules — and therefore every counter
+// and virtual-time figure — coincide exactly.
+func TestReportUnaffectedByTracing(t *testing.T) {
+	for _, object := range Objects() {
+		report := func(traced bool) []byte {
+			s, err := Run(Config{Object: object, Seed: 1, Pattern: "stagger", Trace: traced})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := s.Report(object).JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b
+		}
+		traced, untraced := report(true), report(false)
+		if !bytes.Equal(traced, untraced) {
+			t.Errorf("%s: traced run report differs from untraced run report", object)
+		}
+	}
+}
+
+// TestFig2SpansMatchReport cross-checks the span model against the metrics
+// layer on the canonical unilist stagger run (the Figure 2 shape): the number
+// of help edges reconstructed from annotations must equal the total helps the
+// scheduler counted, and the chain depth must match the figure (each helper
+// helps the victim directly, so the longest chain is one edge).
+func TestFig2SpansMatchReport(t *testing.T) {
+	s, err := Run(Config{Object: "unilist", Seed: 1, Pattern: "stagger", Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tracex.Build(s.Trace())
+	rep := s.Report("unilist")
+
+	if got, want := len(tr.HelpEdges()), rep.HelpGiven; got != want {
+		t.Errorf("help edges = %d, report help_given_total = %d; must agree", got, want)
+	}
+	if rep.HelpGiven != 2 || rep.HelpReceived != 2 {
+		t.Errorf("report helps = given %d received %d, want 2/2 (Figure 2)", rep.HelpGiven, rep.HelpReceived)
+	}
+	if got := tr.LongestHelpChain(); got != 1 {
+		t.Errorf("longest help chain = %d, want 1 (helpers act on the victim directly)", got)
+	}
+
+	// Per-process: q and r each help p once; the span model records both
+	// helps on p's op span.
+	victim := tr.OpSpans()[0]
+	if victim.Slot != 0 || victim.HelpsReceived != 2 {
+		t.Errorf("victim span = slot %d helps %d, want slot 0 with 2", victim.Slot, victim.HelpsReceived)
+	}
+	for _, p := range rep.Procs {
+		wantGiven := 1
+		if p.Slot == 0 {
+			wantGiven = 0
+		}
+		if p.HelpGiven != wantGiven {
+			t.Errorf("proc %s help_given = %d, want %d", p.Name, p.HelpGiven, wantGiven)
+		}
+	}
+}

@@ -162,9 +162,24 @@ func (e *Env) Rand() *rand.Rand {
 	return e.rng
 }
 
-// Tracef records an algorithm annotation in the run trace (no-op when
-// tracing is disabled). Annotations carry the semantic events — announce,
-// help, commit — that the Figure 2 reproduction asserts on.
+// Note records a structured algorithm annotation in the run trace (no-op
+// when tracing is disabled). The key names the semantic event ("invoke",
+// "announce", "splice", "response", ...) and the fields carry its typed
+// arguments; the span layer (internal/tracex) reconstructs operation spans
+// and causality edges from these. Like all trace emission it charges zero
+// virtual time, so instrumented schedules are identical to uninstrumented
+// ones.
+func (e *Env) Note(key string, args ...trace.Field) {
+	if e.sim.log == nil {
+		return
+	}
+	e.sim.emitNote(e.p.spec.CPU, e.p, key, args)
+}
+
+// Tracef records a free-form algorithm annotation in the run trace (no-op
+// when tracing is disabled). It is the legacy shim over Note: the message is
+// pre-formatted, so it carries no structured key/args and the span layer
+// ignores it. New instrumentation should use Note.
 func (e *Env) Tracef(format string, args ...any) {
 	if e.sim.log == nil {
 		return
@@ -173,16 +188,20 @@ func (e *Env) Tracef(format string, args ...any) {
 }
 
 // NoteHelp records that this process performed one help invocation on the
-// operation announced under slot pid. It is metrics bookkeeping only — no
-// simulated time is charged and no schedule is perturbed — so the helping
+// operation announced under slot pid. It is observability bookkeeping only —
+// no simulated time is charged and no schedule is perturbed — so the helping
 // engines call it unconditionally. Help given to the caller's own slot is
-// ignored (executing your own operation is not help).
+// ignored (executing your own operation is not help). NoteHelp is also the
+// canonical emission point for the trace's help causality edges: it emits
+// the structured "help p=<pid>" annotation that internal/tracex turns into a
+// helper-span → helpee-span edge.
 func (e *Env) NoteHelp(pid int) {
 	if pid == e.p.spec.Slot {
 		return
 	}
 	e.p.helpGiven++
 	e.sim.helpReceived[pid]++
+	e.Note("help", trace.I("p", int64(pid)))
 }
 
 // RecordOp records one completed operation's response time (virtual units)

@@ -249,6 +249,23 @@ func New(cfg Config) *Sim {
 	}
 	if cfg.EnableTrace {
 		s.log = &trace.Log{}
+		// Attribute failed synchronization attempts to the writer that
+		// won the word: the hook fires inside the failing operation's
+		// simulator step, charges no virtual time, and becomes a
+		// "casfail" annotation that internal/tracex turns into a
+		// failed-step → winning-writer causality edge.
+		s.mem.SetFailHook(func(ev shmem.FailEvent) {
+			if ev.Proc < 0 || ev.Proc >= len(s.proc) {
+				return
+			}
+			p := s.proc[ev.Proc]
+			s.emitNote(p.spec.CPU, p, "casfail",
+				[]trace.Field{
+					trace.I("addr", int64(ev.Addr)),
+					trace.I("winner", int64(ev.Winner)),
+					trace.I("wstep", int64(ev.WinnerStep)),
+				})
+		})
 	}
 	return s
 }
@@ -317,6 +334,26 @@ func (s *Sim) emit(kind trace.Kind, cpu int, p *Proc, msg string) {
 		return
 	}
 	ev := trace.Event{Time: s.cpus[cpu].clock, CPU: cpu, Proc: -1, Kind: kind, Msg: msg}
+	if p != nil {
+		ev.Proc = p.id
+		ev.ProcName = p.spec.Name
+	}
+	s.log.Append(ev)
+}
+
+// emitNote appends a structured annotation: key/args carry the typed form
+// consumed by internal/tracex, and Msg carries the rendered text so existing
+// substring-based assertions and printers keep working.
+func (s *Sim) emitNote(cpu int, p *Proc, key string, args []trace.Field) {
+	if s.log == nil {
+		return
+	}
+	ev := trace.Event{
+		Time: s.cpus[cpu].clock, CPU: cpu, Proc: -1,
+		Kind: trace.KindAnnotate,
+		Msg:  trace.FormatNote(key, args),
+		Key:  key, Args: args,
+	}
 	if p != nil {
 		ev.Proc = p.id
 		ev.ProcName = p.spec.Name

@@ -1,0 +1,92 @@
+package shmem
+
+import "testing"
+
+// TestFailHookAttribution exercises the fail hook on every primitive,
+// checking the winning-writer attribution the trace layer builds causality
+// edges from.
+func TestFailHookAttribution(t *testing.T) {
+	m := New(16)
+	a := m.MustAlloc("a", 1)
+	b := m.MustAlloc("b", 1)
+
+	var got []FailEvent
+	m.SetFailHook(func(ev FailEvent) { got = append(got, ev) })
+
+	// A word never successfully written has no winner.
+	m.SetCurrentProc(0)
+	if m.CAS(a, 99, 1) {
+		t.Fatal("CAS against wrong old value should fail")
+	}
+	if len(got) != 1 {
+		t.Fatalf("fail events = %d, want 1", len(got))
+	}
+	if ev := got[0]; ev.Addr != a || ev.Kind != OpCAS || ev.Proc != 0 || ev.Winner != -1 {
+		t.Errorf("unwritten-word failure = %+v, want addr %d OpCAS proc 0 winner -1", ev, a)
+	}
+
+	// proc 1 writes a; proc 0's next failure on a must attribute proc 1 at
+	// the write's step number.
+	m.SetCurrentProc(1)
+	m.Store(a, 5)
+	wstep := m.Steps()
+	m.SetCurrentProc(0)
+	if m.CAS(a, 99, 1) {
+		t.Fatal("CAS should fail")
+	}
+	if ev := got[1]; ev.Winner != 1 || ev.WinnerStep != wstep {
+		t.Errorf("failure after write = %+v, want winner 1 at step %d", ev, wstep)
+	}
+
+	// CAS2 reports the first mismatching word in comparison order.
+	m.SetCurrentProc(1)
+	m.Store(b, 7)
+	m.SetCurrentProc(0)
+	if m.CAS2(a, b, 5, 99, 0, 0) {
+		t.Fatal("CAS2 should fail on the second word")
+	}
+	if ev := got[len(got)-1]; ev.Addr != b || ev.Kind != OpCAS2 || ev.Winner != 1 {
+		t.Errorf("CAS2 failure = %+v, want addr %d OpCAS2 winner 1", ev, b)
+	}
+
+	// CCAS checks the version word first.
+	if m.CCAS(a, 99, b, 7, 8) {
+		t.Fatal("CCAS should fail on the version word")
+	}
+	if ev := got[len(got)-1]; ev.Addr != a || ev.Kind != OpCCAS {
+		t.Errorf("CCAS failure = %+v, want version word %d OpCCAS", ev, a)
+	}
+
+	// Disabling the hook stops delivery but a successful CAS still updates
+	// the last-writer table for a potential later re-enable.
+	n := len(got)
+	m.SetFailHook(nil)
+	if m.CAS(a, 99, 1) {
+		t.Fatal("CAS should fail")
+	}
+	if len(got) != n {
+		t.Errorf("hook fired after being disabled")
+	}
+}
+
+// TestFailHookLazyAllocation checks untraced runs pay nothing: the
+// last-writer table exists only once a hook is installed.
+func TestFailHookLazyAllocation(t *testing.T) {
+	m := New(8)
+	a := m.MustAlloc("a", 1)
+	m.Store(a, 1)
+	if m.lastWriter != nil || m.lastStep != nil {
+		t.Fatal("last-writer tracking allocated without a fail hook")
+	}
+	m.SetFailHook(func(FailEvent) {})
+	if len(m.lastWriter) != m.Capacity() || len(m.lastStep) != m.Capacity() {
+		t.Fatalf("last-writer tables sized %d/%d, want %d", len(m.lastWriter), len(m.lastStep), m.Capacity())
+	}
+	// The store above predates the hook, so a is attributed to setup (-1).
+	var ev FailEvent
+	m.SetFailHook(func(e FailEvent) { ev = e })
+	m.CAS(a, 99, 2)
+	if ev.Winner != -1 {
+		t.Errorf("pre-hook write attributed to %d, want -1", ev.Winner)
+	}
+}

@@ -80,6 +80,29 @@ type WriteEvent struct {
 	Step uint64
 }
 
+// FailEvent describes one failed synchronization attempt (CAS, CAS2 or
+// CCAS whose comparison did not match) together with the attribution of the
+// conflict: the process that performed the last successful write of the
+// mismatching word. The trace layer turns these into failed-step →
+// winning-writer causality edges.
+type FailEvent struct {
+	// Addr is the word whose comparison failed (for CAS2/CCAS, the first
+	// mismatching word in comparison order).
+	Addr Addr
+	// Kind reports which primitive failed.
+	Kind OpKind
+	// Proc is the process whose attempt failed, or -1 outside any process.
+	Proc int
+	// Step is the global memory-operation sequence number of the failed
+	// attempt.
+	Step uint64
+	// Winner is the process that performed the last successful write of
+	// Addr, or -1 when the word was last written by setup code (or never).
+	Winner int
+	// WinnerStep is the global step number of that winning write.
+	WinnerStep uint64
+}
+
 // Observer receives every successful write performed on a Mem.
 type Observer interface {
 	OnWrite(ev WriteEvent)
@@ -126,6 +149,14 @@ type Mem struct {
 	// curProc is maintained by the scheduler so write events can be
 	// attributed; -1 means "outside any simulated process".
 	curProc int
+
+	// failHook, when set, receives every failed synchronization attempt
+	// with its winning-writer attribution. lastWriter/lastStep track the
+	// most recent successful writer per word; they are allocated only when
+	// the hook is installed, so untraced runs pay nothing.
+	failHook   func(FailEvent)
+	lastWriter []int32
+	lastStep   []uint64
 }
 
 // New creates a memory with capacity for the given number of words.
@@ -143,6 +174,32 @@ func New(capacity int) *Mem {
 // AddObserver registers an observer for all subsequent writes.
 func (m *Mem) AddObserver(o Observer) {
 	m.observers = append(m.observers, o)
+}
+
+// SetFailHook installs the failed-synchronization hook and enables
+// last-writer tracking. The hook runs inside the failing operation's
+// simulator step and must not touch simulated memory. Pass nil to disable.
+func (m *Mem) SetFailHook(h func(FailEvent)) {
+	m.failHook = h
+	if h != nil && m.lastWriter == nil {
+		m.lastWriter = make([]int32, len(m.words))
+		for i := range m.lastWriter {
+			m.lastWriter[i] = -1
+		}
+		m.lastStep = make([]uint64, len(m.words))
+	}
+}
+
+// fail reports a failed synchronization attempt on word a to the hook,
+// attributing the last successful writer of a as the winner.
+func (m *Mem) fail(a Addr, kind OpKind) {
+	if m.failHook == nil {
+		return
+	}
+	m.failHook(FailEvent{
+		Addr: a, Kind: kind, Proc: m.curProc, Step: m.steps,
+		Winner: int(m.lastWriter[a]), WinnerStep: m.lastStep[a],
+	})
 }
 
 // SetCurrentProc records which simulated process is executing; the scheduler
@@ -253,6 +310,10 @@ func (m *Mem) notify(a Addr, old, val uint64, kind OpKind) {
 		// A degenerate store still "happened" for observers: checkers
 		// may key on it (e.g. re-arming Status). Report it.
 	}
+	if m.lastWriter != nil {
+		m.lastWriter[a] = int32(m.curProc)
+		m.lastStep[a] = m.steps
+	}
 	ev := WriteEvent{Addr: a, Old: old, New: val, Kind: kind, Proc: m.curProc, Step: m.steps}
 	for _, o := range m.observers {
 		o.OnWrite(ev)
@@ -286,6 +347,7 @@ func (m *Mem) CAS(a Addr, old, val uint64) bool {
 	t.CAS++
 	if m.words[a] != old {
 		t.CASFail++
+		m.fail(a, OpCAS)
 		return false
 	}
 	m.words[a] = val
@@ -307,6 +369,11 @@ func (m *Mem) CAS2(a1, a2 Addr, old1, old2, new1, new2 uint64) bool {
 	t.CAS2++
 	if m.words[a1] != old1 || m.words[a2] != old2 {
 		t.CAS2Fail++
+		if m.words[a1] != old1 {
+			m.fail(a1, OpCAS2)
+		} else {
+			m.fail(a2, OpCAS2)
+		}
 		return false
 	}
 	o1, o2 := m.words[a1], m.words[a2]
@@ -328,6 +395,11 @@ func (m *Mem) CCAS(v Addr, ver uint64, x Addr, old, val uint64) bool {
 	t.CCAS++
 	if m.words[v] != ver || m.words[x] != old {
 		t.CCASFail++
+		if m.words[v] != ver {
+			m.fail(v, OpCCAS)
+		} else {
+			m.fail(x, OpCCAS)
+		}
 		return false
 	}
 	o := m.words[x]

@@ -1,0 +1,77 @@
+package trace
+
+import "testing"
+
+func TestFieldAndFormatNote(t *testing.T) {
+	if got := I("p", 3).String(); got != "p=3" {
+		t.Errorf("I = %q, want p=3", got)
+	}
+	if got := B("needhelp", true).String(); got != "needhelp=true" {
+		t.Errorf("B(true) = %q, want needhelp=true", got)
+	}
+	if got := B("needhelp", false).String(); got != "needhelp=false" {
+		t.Errorf("B(false) = %q, want needhelp=false", got)
+	}
+	if got := FormatNote("splice", []Field{I("p", 0), I("key", 30)}); got != "splice p=0 key=30" {
+		t.Errorf("FormatNote = %q, want \"splice p=0 key=30\"", got)
+	}
+	if got := FormatNote("advance", nil); got != "advance" {
+		t.Errorf("FormatNote with no args = %q, want \"advance\"", got)
+	}
+}
+
+func TestEventArg(t *testing.T) {
+	ev := Event{Key: "casfail", Args: []Field{I("addr", 7), I("winner", 2)}}
+	if v, ok := ev.Arg("winner"); !ok || v != 2 {
+		t.Errorf("Arg(winner) = %d,%v, want 2,true", v, ok)
+	}
+	if _, ok := ev.Arg("absent"); ok {
+		t.Error("Arg(absent) reported present")
+	}
+}
+
+func TestAppendRejectsStaleSeq(t *testing.T) {
+	l := &Log{}
+	l.Append(Event{Kind: KindDispatch})
+	// Re-appending an event that still carries its old position must panic:
+	// Seq is authoritative and assigned exactly once.
+	defer func() {
+		if recover() == nil {
+			t.Error("Append accepted an event with a stale Seq")
+		}
+	}()
+	ev := l.Events()[0]
+	l.Append(ev) // ev.Seq == 0 ≠ position 1... but 0 means unset
+	// Seq 0 is indistinguishable from "unset", so the first re-append is
+	// admitted; the now-assigned Seq 1 conflicts on the next.
+	l.Append(l.Events()[1])
+}
+
+func TestAppendRejectsTimeRegression(t *testing.T) {
+	l := &Log{}
+	l.Append(Event{Time: 10, CPU: 0, Kind: KindDispatch})
+	l.Append(Event{Time: 5, CPU: 1, Kind: KindDispatch}) // other CPU: fine
+	defer func() {
+		if recover() == nil {
+			t.Error("Append accepted a time regression on cpu0")
+		}
+	}()
+	l.Append(Event{Time: 9, CPU: 0, Kind: KindPreempt})
+}
+
+func TestAppendStructuredRoundTrip(t *testing.T) {
+	l := &Log{}
+	args := []Field{I("p", 1), B("done", true)}
+	l.Append(Event{Kind: KindAnnotate, Key: "announce", Args: args,
+		Msg: FormatNote("announce", args)})
+	ev := l.Events()[0]
+	if ev.Key != "announce" {
+		t.Errorf("Key = %q, want announce", ev.Key)
+	}
+	if ev.Msg != "announce p=1 done=true" {
+		t.Errorf("Msg = %q, want rendered form", ev.Msg)
+	}
+	if v, ok := ev.Arg("p"); !ok || v != 1 {
+		t.Errorf("Arg(p) = %d,%v, want 1,true", v, ok)
+	}
+}

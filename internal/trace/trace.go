@@ -49,9 +49,56 @@ func (k Kind) String() string {
 	}
 }
 
+// Field is one typed argument of a structured annotation: a named integer
+// (or boolean) value such as p=2, key=30 or needhelp=true. Structured
+// arguments are what the span layer (internal/tracex) consumes; the rendered
+// Msg form exists for humans and for substring assertions in tests.
+type Field struct {
+	// Key names the argument ("p", "key", "target", ...).
+	Key string
+	// Val is the argument value; for boolean fields it is 0 or 1.
+	Val int64
+	// IsBool renders the value as false/true instead of a number.
+	IsBool bool
+}
+
+// I builds an integer field.
+func I(key string, val int64) Field { return Field{Key: key, Val: val} }
+
+// B builds a boolean field.
+func B(key string, val bool) Field {
+	f := Field{Key: key, IsBool: true}
+	if val {
+		f.Val = 1
+	}
+	return f
+}
+
+// String renders the field as "key=value".
+func (f Field) String() string {
+	if f.IsBool {
+		return fmt.Sprintf("%s=%v", f.Key, f.Val != 0)
+	}
+	return fmt.Sprintf("%s=%d", f.Key, f.Val)
+}
+
+// FormatNote renders a structured annotation the way Env.Note stores it in
+// Event.Msg: the key followed by space-separated key=value fields.
+func FormatNote(key string, args []Field) string {
+	var sb strings.Builder
+	sb.WriteString(key)
+	for _, f := range args {
+		sb.WriteByte(' ')
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}
+
 // Event is one entry in the log.
 type Event struct {
-	// Seq is the index of the event in the log.
+	// Seq is the index of the event in the log. It is assigned by Append
+	// and is authoritative: an Event carrying a conflicting nonzero Seq is
+	// rejected.
 	Seq int
 	// Time is the virtual time of the event's processor when it occurred.
 	Time int64
@@ -63,17 +110,52 @@ type Event struct {
 	ProcName string
 	// Kind classifies the event.
 	Kind Kind
-	// Msg is the annotation text for KindAnnotate, otherwise empty.
+	// Msg is the annotation text for KindAnnotate, otherwise empty. For
+	// structured annotations it is the FormatNote rendering of (Key, Args).
 	Msg string
+	// Key is the structured annotation key ("announce", "help", "splice",
+	// ...) for annotations emitted through Env.Note; empty for scheduler
+	// events and for legacy free-form Tracef annotations.
+	Key string
+	// Args are the structured annotation arguments, if any.
+	Args []Field
+}
+
+// Arg returns the value of the named structured argument and whether it is
+// present.
+func (ev Event) Arg(key string) (int64, bool) {
+	for _, f := range ev.Args {
+		if f.Key == key {
+			return f.Val, true
+		}
+	}
+	return 0, false
 }
 
 // Log is an append-only event log. The zero value is ready to use.
 type Log struct {
 	events []Event
+	// lastTime tracks the last appended Time per CPU so Append can assert
+	// per-processor monotonicity (processor clocks never run backwards).
+	lastTime map[int]int64
 }
 
-// Append adds an event, assigning its sequence number.
+// Append adds an event, assigning its sequence number. The assigned Seq is
+// authoritative: passing an event whose Seq is already set to a different
+// position panics, as does an event whose Time precedes an earlier event on
+// the same CPU — either indicates a corrupted emission path.
 func (l *Log) Append(ev Event) {
+	if ev.Seq != 0 && ev.Seq != len(l.events) {
+		panic(fmt.Sprintf("trace: Append with stale Seq %d at position %d", ev.Seq, len(l.events)))
+	}
+	if l.lastTime == nil {
+		l.lastTime = make(map[int]int64)
+	}
+	if last, ok := l.lastTime[ev.CPU]; ok && ev.Time < last {
+		panic(fmt.Sprintf("trace: time moved backwards on cpu%d: %d after %d (event %q)",
+			ev.CPU, ev.Time, last, ev.Kind))
+	}
+	l.lastTime[ev.CPU] = ev.Time
 	ev.Seq = len(l.events)
 	l.events = append(l.events, ev)
 }

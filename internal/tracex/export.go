@@ -1,0 +1,242 @@
+// Exporters for the span model: a deterministic text rendering for tests
+// and terminals, and Chrome/Perfetto trace-event JSON for trace viewers.
+package tracex
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteText renders the span model deterministically: slice spans grouped
+// per processor, operation spans as a flat tree with their marks and
+// interference counters, then the causality edges. Two identical runs
+// produce byte-identical output.
+func (t *Trace) WriteText(w io.Writer) (int64, error) {
+	var sb strings.Builder
+
+	slices := t.SliceSpans()
+	cpus := map[int]bool{}
+	for _, sp := range slices {
+		cpus[sp.CPU] = true
+	}
+	var cpuIDs []int
+	for c := range cpus {
+		cpuIDs = append(cpuIDs, c)
+	}
+	sort.Ints(cpuIDs)
+	for _, c := range cpuIDs {
+		fmt.Fprintf(&sb, "cpu%d slices:\n", c)
+		for _, sp := range slices {
+			if sp.CPU != c {
+				continue
+			}
+			open := ""
+			if sp.Open {
+				open = " (open)"
+			}
+			fmt.Fprintf(&sb, "  [%6d,%6d] %-10s #%d%s\n", sp.Start, sp.End, sp.ProcName, sp.ID, open)
+		}
+	}
+
+	sb.WriteString("operations:\n")
+	for _, sp := range t.OpSpans() {
+		open := ""
+		if sp.Open {
+			open = " (open)"
+		}
+		fmt.Fprintf(&sb, "  #%d op slot=%d proc=%s cpu%d [%d,%d]%s\n",
+			sp.ID, sp.Slot, sp.ProcName, sp.CPU, sp.Start, sp.End, open)
+		if sp.Announce != nil {
+			fmt.Fprintf(&sb, "     announce  t=%d seq=%d\n", sp.Announce.Time, sp.Announce.Seq)
+		}
+		if sp.Linearize != nil {
+			by := ""
+			if sp.Linearize.Proc != sp.Proc {
+				by = fmt.Sprintf(" by proc %d (helper)", sp.Linearize.Proc)
+			}
+			fmt.Fprintf(&sb, "     linearize t=%d seq=%d %s%s\n",
+				sp.Linearize.Time, sp.Linearize.Seq, sp.LinearizeKey, by)
+		}
+		if sp.HelpsReceived > 0 || sp.CASFails > 0 || sp.Preemptions > 0 {
+			fmt.Fprintf(&sb, "     interference helps=%d casfails=%d preemptions=%d\n",
+				sp.HelpsReceived, sp.CASFails, sp.Preemptions)
+		}
+	}
+
+	sb.WriteString("edges:\n")
+	for _, e := range t.Edges {
+		switch e.Kind {
+		case EdgeHelp:
+			fmt.Fprintf(&sb, "  help    #%d -> #%d (proc %d -> proc %d) t=%d seq=%d\n",
+				e.From, e.To, e.FromProc, e.ToProc, e.Time, e.Seq)
+		case EdgeCASFail:
+			fmt.Fprintf(&sb, "  casfail #%d -> #%d (proc %d -> proc %d) addr=%d t=%d seq=%d\n",
+				e.From, e.To, e.FromProc, e.ToProc, e.Addr, e.Time, e.Seq)
+		}
+	}
+	fmt.Fprintf(&sb, "longest help chain: %d\n", t.LongestHelpChain())
+
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// Text renders the span model as WriteText would.
+func (t *Trace) Text() string {
+	var sb strings.Builder
+	_, _ = t.WriteText(&sb)
+	return sb.String()
+}
+
+// opTrackPID is the Perfetto "process" id used for the operation track; the
+// scheduler slice tracks use the simulated processor index. Any simulated
+// processor count below this leaves the tracks distinct.
+const opTrackPID = 1000
+
+// pfEvent is one Chrome trace-event. Field order is fixed and args maps are
+// marshalled with sorted keys (encoding/json's map behaviour), so the JSON
+// bytes are a pure function of the span model.
+type pfEvent struct {
+	Name string           `json:"name"`
+	Ph   string           `json:"ph"`
+	Ts   int64            `json:"ts"`
+	Pid  int              `json:"pid"`
+	Tid  int              `json:"tid"`
+	Dur  *int64           `json:"dur,omitempty"`
+	Cat  string           `json:"cat,omitempty"`
+	ID   *int             `json:"id,omitempty"`
+	BP   string           `json:"bp,omitempty"`
+	S    string           `json:"s,omitempty"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+// pfMeta is a metadata ("M") trace event naming a process or thread track.
+type pfMeta struct {
+	Name string     `json:"name"`
+	Ph   string     `json:"ph"`
+	Pid  int        `json:"pid"`
+	Tid  int        `json:"tid"`
+	Args pfMetaArgs `json:"args"`
+}
+
+type pfMetaArgs struct {
+	Name string `json:"name"`
+}
+
+// Perfetto renders the span model as Chrome/Perfetto trace-event JSON:
+// one Perfetto "process" per simulated processor holding its slice spans
+// (one thread row per simulated process), one extra process for the
+// operation spans (one thread row per slot), instant events for announce
+// and linearization points, and flow events for help and CAS-failure
+// edges. The output bytes are deterministic.
+func (t *Trace) Perfetto() ([]byte, error) {
+	var events []pfEvent
+	var metas []pfMeta
+
+	seenCPU := map[int]bool{}
+	seenThread := map[[2]int]bool{}
+	meta := func(pid, tid int, processName, threadName string) {
+		if processName != "" && !seenCPU[pid] {
+			seenCPU[pid] = true
+			metas = append(metas, pfMeta{Name: "process_name", Ph: "M", Pid: pid,
+				Args: pfMetaArgs{Name: processName}})
+		}
+		if threadName != "" && !seenThread[[2]int{pid, tid}] {
+			seenThread[[2]int{pid, tid}] = true
+			metas = append(metas, pfMeta{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+				Args: pfMetaArgs{Name: threadName}})
+		}
+	}
+
+	dur := func(sp Span) *int64 {
+		d := sp.End - sp.Start
+		if d < 0 {
+			d = 0
+		}
+		return &d
+	}
+
+	for _, sp := range t.Spans {
+		switch sp.Kind {
+		case SpanSlice:
+			meta(sp.CPU, sp.Proc, fmt.Sprintf("cpu%d", sp.CPU), sp.ProcName)
+			events = append(events, pfEvent{
+				Name: sp.ProcName, Ph: "X", Ts: sp.Start, Pid: sp.CPU, Tid: sp.Proc,
+				Dur: dur(sp), Cat: "slice",
+				Args: map[string]int64{"span": int64(sp.ID)},
+			})
+		case SpanOp:
+			meta(opTrackPID, sp.Slot, "operations", fmt.Sprintf("slot %d", sp.Slot))
+			events = append(events, pfEvent{
+				Name: fmt.Sprintf("op %s", sp.ProcName), Ph: "X", Ts: sp.Start,
+				Pid: opTrackPID, Tid: sp.Slot, Dur: dur(sp), Cat: "op",
+				Args: map[string]int64{
+					"span":        int64(sp.ID),
+					"proc":        int64(sp.Proc),
+					"cpu":         int64(sp.CPU),
+					"helps":       int64(sp.HelpsReceived),
+					"casfails":    int64(sp.CASFails),
+					"preemptions": int64(sp.Preemptions),
+				},
+			})
+			if sp.Announce != nil {
+				events = append(events, pfEvent{
+					Name: "announce", Ph: "i", Ts: sp.Announce.Time,
+					Pid: opTrackPID, Tid: sp.Slot, S: "t",
+				})
+			}
+			if sp.Linearize != nil {
+				events = append(events, pfEvent{
+					Name: sp.LinearizeKey, Ph: "i", Ts: sp.Linearize.Time,
+					Pid: opTrackPID, Tid: sp.Slot, S: "t",
+					Args: map[string]int64{"by": int64(sp.Linearize.Proc)},
+				})
+			}
+		}
+	}
+
+	// Flow events bind a start ("s") on the From span's track to a finish
+	// ("f", bp "e") on the To span's track. Edges with an unresolved end
+	// are skipped: a flow needs both anchors.
+	for i, e := range t.Edges {
+		if e.From < 0 || e.To < 0 {
+			continue
+		}
+		id := i
+		cat := e.Kind.String()
+		events = append(events, pfEvent{
+			Name: cat, Ph: "s", Ts: e.Time, Pid: opTrackPID,
+			Tid: t.Spans[e.From].Slot, Cat: cat, ID: &id,
+		}, pfEvent{
+			Name: cat, Ph: "f", Ts: e.Time, Pid: opTrackPID,
+			Tid: t.Spans[e.To].Slot, Cat: cat, ID: &id, BP: "e",
+		})
+	}
+
+	// Metadata first, then payload events in span/edge order. Both
+	// sequences are deterministic, so the marshalled bytes are too.
+	all := make([]json.RawMessage, 0, len(metas)+len(events))
+	for _, m := range metas {
+		b, err := json.Marshal(m)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, b)
+	}
+	for _, ev := range events {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, b)
+	}
+	type outFile struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+		// DisplayTimeUnit: virtual time units have no wall-clock
+		// meaning; "ns" keeps viewers from rescaling them.
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	return json.MarshalIndent(outFile{TraceEvents: all, DisplayTimeUnit: "ns"}, "", " ")
+}

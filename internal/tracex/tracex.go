@@ -1,0 +1,398 @@
+// Package tracex reconstructs a structured span model from a run's event
+// log (internal/trace).
+//
+// The raw log is flat: scheduler events (arrive/dispatch/preempt/complete)
+// interleaved with algorithm annotations (invoke, announce, splice, help,
+// casfail, response). This package rebuilds the two-level structure those
+// events describe:
+//
+//   - slice spans: one per scheduler dispatch, closed by the matching
+//     preempt or complete — "process X occupied cpu C from t1 to t2";
+//   - operation spans: one per object operation, opened by the engine's
+//     "invoke" annotation and closed by its "response", carrying the
+//     announce and linearization points observed in between;
+//   - causality edges: help edges (helper operation → helped operation,
+//     from the "help" annotations NoteHelp emits) and CAS-failure edges
+//     (failed operation → the operation of the writer that won the word,
+//     from the scheduler's "casfail" annotations).
+//
+// Everything here is a pure function of the log: building spans never
+// touches the simulation, so it can run after the fact on any traced run.
+// Exporters render the model as a deterministic text form (WriteText) and
+// as Chrome/Perfetto trace-event JSON (Perfetto).
+package tracex
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// SpanKind classifies a span.
+type SpanKind int
+
+const (
+	// SpanSlice is a scheduler slice: one process occupying one processor
+	// between a dispatch and the matching preempt/complete.
+	SpanSlice SpanKind = iota + 1
+	// SpanOp is one object operation: invoke to response on one slot.
+	SpanOp
+)
+
+// String returns the mnemonic for the kind.
+func (k SpanKind) String() string {
+	switch k {
+	case SpanSlice:
+		return "slice"
+	case SpanOp:
+		return "op"
+	default:
+		return fmt.Sprintf("spankind(%d)", int(k))
+	}
+}
+
+// Mark anchors a point annotation (announce, linearization) inside a span.
+type Mark struct {
+	// Seq is the log position of the annotation.
+	Seq int
+	// Time is the virtual time of the annotation's processor.
+	Time int64
+	// Proc is the process that emitted the annotation — for a
+	// linearization mark this may be a helper, not the span's owner.
+	Proc int
+}
+
+// Span is one reconstructed interval.
+type Span struct {
+	// ID is the span's index in Trace.Spans.
+	ID int
+	// Kind is SpanSlice or SpanOp.
+	Kind SpanKind
+	// CPU is the processor of the opening event.
+	CPU int
+	// Proc and ProcName identify the owning process (for an op span, the
+	// process whose operation this is — helpers appear only via edges).
+	Proc     int
+	ProcName string
+	// Slot is the algorithm-level process index for op spans; -1 for
+	// slice spans.
+	Slot int
+	// Start/End are virtual times; StartSeq/EndSeq the log positions of
+	// the opening and closing events.
+	Start, End       int64
+	StartSeq, EndSeq int
+	// Open reports that the span never closed before the log ended (a
+	// preempted process still parked at shutdown, an operation cut off
+	// mid-flight). End/EndSeq then hold the last observed position.
+	Open bool
+
+	// Announce is the operation's announce point, if observed (op spans).
+	Announce *Mark
+	// Linearize is the operation's linearization point, if observed, and
+	// LinearizeKey the annotation that marked it ("splice", "enqueue",
+	// "mpop", ...). Linearize.Proc is the process that performed the
+	// linearizing step — the owner, or a helper that finished the job.
+	Linearize    *Mark
+	LinearizeKey string
+
+	// Interference counters (op spans): help invocations received from
+	// other processes, synchronization failures suffered, and times the
+	// owner was preempted while the operation was in flight.
+	HelpsReceived int
+	CASFails      int
+	Preemptions   int
+}
+
+// EdgeKind classifies a causality edge.
+type EdgeKind int
+
+const (
+	// EdgeHelp: the From operation performed a help invocation on the To
+	// operation (emitted by Env.NoteHelp).
+	EdgeHelp EdgeKind = iota + 1
+	// EdgeCASFail: a synchronization step of the From operation failed
+	// because the To operation's process had won the word.
+	EdgeCASFail
+)
+
+// String returns the mnemonic for the kind.
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeHelp:
+		return "help"
+	case EdgeCASFail:
+		return "casfail"
+	default:
+		return fmt.Sprintf("edgekind(%d)", int(k))
+	}
+}
+
+// Edge is one causality edge between operation spans. From/To are span IDs
+// and may be -1 when the corresponding operation had no open span at the
+// edge's emission point (e.g. a CAS lost to setup code, or helping observed
+// outside any operation); FromProc/ToProc always carry the process ids.
+type Edge struct {
+	Kind     EdgeKind
+	From, To int
+	FromProc int
+	ToProc   int
+	// Seq/Time locate the emitting annotation in the log.
+	Seq  int
+	Time int64
+	// Addr is the contended word for EdgeCASFail; 0 otherwise.
+	Addr int64
+}
+
+// Trace is the reconstructed span model of one run.
+type Trace struct {
+	Spans []Span
+	Edges []Edge
+}
+
+// linearizeKeys are the annotation keys that mark an operation's
+// linearization point, one or two per object type.
+var linearizeKeys = map[string]bool{
+	"splice": true, "unsplice": true, // unilist, multilist
+	"enqueue": true, "dequeue": true, // uniqueue, multiqueue
+	"push": true, "pop": true, // unistack
+	"mpush": true, "mpop": true, // multistack
+	"hsplice": true, "hunsplice": true, // unihash, multihash
+}
+
+// Build reconstructs the span model from a log. It is total: unknown
+// annotation keys and free-form Tracef messages are ignored, and spans left
+// open at the end of the log are reported with Open set rather than
+// dropped.
+func Build(l *trace.Log) *Trace {
+	t := &Trace{}
+	openSlice := map[int]int{}    // CPU → span id
+	openOpBySlot := map[int]int{} // slot → span id
+	openOpByProc := map[int]int{} // proc → span id
+	lastOpByProc := map[int]int{} // proc → most recent op span id
+	lastTime := map[int]int64{}   // CPU → last observed time
+	lastSeq := 0
+
+	closeSpan := func(id int, tm int64, seq int) {
+		sp := &t.Spans[id]
+		sp.End = tm
+		sp.EndSeq = seq
+		sp.Open = false
+	}
+
+	for _, ev := range l.Events() {
+		lastTime[ev.CPU] = ev.Time
+		lastSeq = ev.Seq
+		switch ev.Kind {
+		case trace.KindDispatch:
+			id := len(t.Spans)
+			t.Spans = append(t.Spans, Span{
+				ID: id, Kind: SpanSlice, CPU: ev.CPU,
+				Proc: ev.Proc, ProcName: ev.ProcName, Slot: -1,
+				Start: ev.Time, StartSeq: ev.Seq, Open: true,
+			})
+			openSlice[ev.CPU] = id
+
+		case trace.KindPreempt, trace.KindComplete:
+			if id, ok := openSlice[ev.CPU]; ok {
+				closeSpan(id, ev.Time, ev.Seq)
+				delete(openSlice, ev.CPU)
+			}
+			if ev.Kind == trace.KindPreempt {
+				if id, ok := openOpByProc[ev.Proc]; ok {
+					t.Spans[id].Preemptions++
+				}
+			}
+
+		case trace.KindAnnotate:
+			t.annotate(ev, openOpBySlot, openOpByProc, lastOpByProc)
+		}
+	}
+
+	// Close nothing at log end: spans still open keep Open=true but get a
+	// defined right edge so exporters can draw them.
+	for _, id := range openSlice {
+		t.Spans[id].End = lastTime[t.Spans[id].CPU]
+		t.Spans[id].EndSeq = lastSeq
+	}
+	for _, id := range openOpBySlot {
+		t.Spans[id].End = lastTime[t.Spans[id].CPU]
+		t.Spans[id].EndSeq = lastSeq
+	}
+	return t
+}
+
+// annotate folds one structured annotation into the model.
+func (t *Trace) annotate(ev trace.Event, openOpBySlot, openOpByProc, lastOpByProc map[int]int) {
+	switch {
+	case ev.Key == "invoke":
+		slot, ok := ev.Arg("p")
+		if !ok {
+			return
+		}
+		// A new invoke on a slot whose previous span never saw its
+		// response means the log was cut mid-operation; the old span
+		// stays Open.
+		id := len(t.Spans)
+		t.Spans = append(t.Spans, Span{
+			ID: id, Kind: SpanOp, CPU: ev.CPU,
+			Proc: ev.Proc, ProcName: ev.ProcName, Slot: int(slot),
+			Start: ev.Time, StartSeq: ev.Seq, Open: true,
+		})
+		openOpBySlot[int(slot)] = id
+		openOpByProc[ev.Proc] = id
+		lastOpByProc[ev.Proc] = id
+
+	case ev.Key == "response":
+		slot, ok := ev.Arg("p")
+		if !ok {
+			return
+		}
+		if id, ok := openOpBySlot[int(slot)]; ok {
+			sp := &t.Spans[id]
+			sp.End = ev.Time
+			sp.EndSeq = ev.Seq
+			sp.Open = false
+			delete(openOpBySlot, int(slot))
+			delete(openOpByProc, sp.Proc)
+		}
+
+	case ev.Key == "announce":
+		slot, ok := ev.Arg("p")
+		if !ok {
+			return
+		}
+		if id, ok := openOpBySlot[int(slot)]; ok && t.Spans[id].Announce == nil {
+			t.Spans[id].Announce = &Mark{Seq: ev.Seq, Time: ev.Time, Proc: ev.Proc}
+		}
+
+	case linearizeKeys[ev.Key]:
+		slot, ok := ev.Arg("p")
+		if !ok {
+			return
+		}
+		if id, ok := openOpBySlot[int(slot)]; ok && t.Spans[id].Linearize == nil {
+			t.Spans[id].Linearize = &Mark{Seq: ev.Seq, Time: ev.Time, Proc: ev.Proc}
+			t.Spans[id].LinearizeKey = ev.Key
+		}
+
+	case ev.Key == "help":
+		slot, ok := ev.Arg("p")
+		if !ok {
+			return
+		}
+		from, to := -1, -1
+		if id, ok := openOpByProc[ev.Proc]; ok {
+			from = id
+		}
+		toProc := -1
+		if id, ok := openOpBySlot[int(slot)]; ok {
+			to = id
+			toProc = t.Spans[id].Proc
+			t.Spans[id].HelpsReceived++
+		}
+		t.Edges = append(t.Edges, Edge{
+			Kind: EdgeHelp, From: from, To: to,
+			FromProc: ev.Proc, ToProc: toProc,
+			Seq: ev.Seq, Time: ev.Time,
+		})
+
+	case ev.Key == "casfail":
+		winner, ok := ev.Arg("winner")
+		if !ok {
+			return
+		}
+		addr, _ := ev.Arg("addr")
+		from := -1
+		if id, ok := openOpByProc[ev.Proc]; ok {
+			from = id
+			t.Spans[id].CASFails++
+		}
+		// The winning write may belong to an operation that has already
+		// responded; fall back to the winner's most recent span.
+		to := -1
+		if id, ok := openOpByProc[int(winner)]; ok {
+			to = id
+		} else if id, ok := lastOpByProc[int(winner)]; ok {
+			to = id
+		}
+		t.Edges = append(t.Edges, Edge{
+			Kind: EdgeCASFail, From: from, To: to,
+			FromProc: ev.Proc, ToProc: int(winner),
+			Seq: ev.Seq, Time: ev.Time, Addr: addr,
+		})
+	}
+}
+
+// OpSpans returns the operation spans in log order.
+func (t *Trace) OpSpans() []Span { return t.spansOf(SpanOp) }
+
+// SliceSpans returns the scheduler slice spans in log order.
+func (t *Trace) SliceSpans() []Span { return t.spansOf(SpanSlice) }
+
+func (t *Trace) spansOf(k SpanKind) []Span {
+	var out []Span
+	for _, sp := range t.Spans {
+		if sp.Kind == k {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// HelpEdges returns the help causality edges in log order.
+func (t *Trace) HelpEdges() []Edge { return t.edgesOf(EdgeHelp) }
+
+// CASFailEdges returns the CAS-failure causality edges in log order.
+func (t *Trace) CASFailEdges() []Edge { return t.edgesOf(EdgeCASFail) }
+
+func (t *Trace) edgesOf(k EdgeKind) []Edge {
+	var out []Edge
+	for _, e := range t.Edges {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// LongestHelpChain returns the length (in edges) of the longest helper →
+// helpee chain: 0 when no helping occurred, 1 when helpers helped only
+// operations that helped nobody, and so on. The paper's incremental-helping
+// bound (each process helps at most one other on a uniprocessor) shows up
+// here as a chain no longer than the processor's process count.
+func (t *Trace) LongestHelpChain() int {
+	adj := map[int][]int{}
+	for _, e := range t.Edges {
+		if e.Kind == EdgeHelp && e.From >= 0 && e.To >= 0 && e.From != e.To {
+			adj[e.From] = append(adj[e.From], e.To)
+		}
+	}
+	memo := map[int]int{}
+	onPath := map[int]bool{}
+	var depth func(id int) int
+	depth = func(id int) int {
+		if d, ok := memo[id]; ok {
+			return d
+		}
+		if onPath[id] {
+			return 0 // cycle guard: mutual helping cannot extend a chain
+		}
+		onPath[id] = true
+		best := 0
+		for _, to := range adj[id] {
+			if d := 1 + depth(to); d > best {
+				best = d
+			}
+		}
+		delete(onPath, id)
+		memo[id] = best
+		return best
+	}
+	best := 0
+	for from := range adj {
+		if d := depth(from); d > best {
+			best = d
+		}
+	}
+	return best
+}

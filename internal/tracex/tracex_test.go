@@ -1,0 +1,208 @@
+package tracex
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// buildLog hand-assembles the event log of a minimal helped schedule on one
+// processor: proc0 (slot 0) invokes and announces, is preempted by proc1
+// (slot 1), which helps slot 0 to its linearization point, completes its own
+// operation, and yields back to proc0 which observes the response.
+func buildLog() *trace.Log {
+	l := &trace.Log{}
+	app := func(kind trace.Kind, t int64, proc int, name string) {
+		l.Append(trace.Event{Time: t, CPU: 0, Proc: proc, ProcName: name, Kind: kind})
+	}
+	note := func(t int64, proc int, name, key string, args ...trace.Field) {
+		l.Append(trace.Event{Time: t, CPU: 0, Proc: proc, ProcName: name,
+			Kind: trace.KindAnnotate, Key: key, Args: args,
+			Msg: trace.FormatNote(key, args)})
+	}
+	app(trace.KindDispatch, 0, 0, "p")
+	note(0, 0, "p", "invoke", trace.I("p", 0))
+	note(2, 0, "p", "announce", trace.I("p", 0))
+	app(trace.KindPreempt, 5, 0, "p")
+	app(trace.KindDispatch, 5, 1, "q")
+	note(5, 1, "q", "invoke", trace.I("p", 1))
+	note(6, 1, "q", "help", trace.I("p", 0))
+	note(8, 1, "q", "splice", trace.I("p", 0), trace.I("key", 10))
+	note(9, 1, "q", "response", trace.I("p", 1))
+	app(trace.KindComplete, 10, 1, "q")
+	app(trace.KindDispatch, 10, 0, "p")
+	note(12, 0, "p", "response", trace.I("p", 0))
+	app(trace.KindComplete, 13, 0, "p")
+	return l
+}
+
+func TestBuildSpans(t *testing.T) {
+	tr := Build(buildLog())
+
+	slices := tr.SliceSpans()
+	if len(slices) != 3 {
+		t.Fatalf("slice spans = %d, want 3", len(slices))
+	}
+	// First slice: p dispatched at 0, preempted at 5.
+	if s := slices[0]; s.ProcName != "p" || s.Start != 0 || s.End != 5 || s.Open {
+		t.Errorf("slice 0 = %+v, want p [0,5] closed", s)
+	}
+
+	ops := tr.OpSpans()
+	if len(ops) != 2 {
+		t.Fatalf("op spans = %d, want 2", len(ops))
+	}
+	p0 := ops[0]
+	if p0.Slot != 0 || p0.Start != 0 || p0.End != 12 || p0.Open {
+		t.Errorf("op 0 = %+v, want slot 0 [0,12] closed", p0)
+	}
+	if p0.Announce == nil || p0.Announce.Time != 2 {
+		t.Errorf("op 0 announce = %+v, want t=2", p0.Announce)
+	}
+	if p0.Linearize == nil || p0.Linearize.Time != 8 || p0.LinearizeKey != "splice" {
+		t.Errorf("op 0 linearize = %+v key=%q, want t=8 splice", p0.Linearize, p0.LinearizeKey)
+	}
+	if p0.Linearize.Proc != 1 {
+		t.Errorf("op 0 linearized by proc %d, want helper proc 1", p0.Linearize.Proc)
+	}
+	if p0.HelpsReceived != 1 || p0.Preemptions != 1 || p0.CASFails != 0 {
+		t.Errorf("op 0 interference = helps %d preempts %d casfails %d, want 1/1/0",
+			p0.HelpsReceived, p0.Preemptions, p0.CASFails)
+	}
+
+	edges := tr.HelpEdges()
+	if len(edges) != 1 {
+		t.Fatalf("help edges = %d, want 1", len(edges))
+	}
+	e := edges[0]
+	if e.From != ops[1].ID || e.To != p0.ID || e.FromProc != 1 || e.ToProc != 0 {
+		t.Errorf("help edge = %+v, want span %d -> %d (proc 1 -> 0)", e, ops[1].ID, p0.ID)
+	}
+	if got := tr.LongestHelpChain(); got != 1 {
+		t.Errorf("longest help chain = %d, want 1", got)
+	}
+}
+
+func TestBuildCASFail(t *testing.T) {
+	l := &trace.Log{}
+	note := func(cpu int, t int64, proc int, key string, args ...trace.Field) {
+		l.Append(trace.Event{Time: t, CPU: cpu, Proc: proc, ProcName: "",
+			Kind: trace.KindAnnotate, Key: key, Args: args, Msg: trace.FormatNote(key, args)})
+	}
+	note(0, 0, 0, "invoke", trace.I("p", 0))
+	note(1, 0, 1, "invoke", trace.I("p", 1))
+	note(0, 3, 0, "casfail", trace.I("addr", 7), trace.I("winner", 1), trace.I("wstep", 2))
+	note(1, 4, 1, "response", trace.I("p", 1))
+	// A second failure after the winner's response must fall back to the
+	// winner's most recent (now closed) span.
+	note(0, 6, 0, "casfail", trace.I("addr", 7), trace.I("winner", 1), trace.I("wstep", 3))
+	note(0, 8, 0, "response", trace.I("p", 0))
+
+	tr := Build(l)
+	ops := tr.OpSpans()
+	if len(ops) != 2 {
+		t.Fatalf("op spans = %d, want 2", len(ops))
+	}
+	if ops[0].CASFails != 2 {
+		t.Errorf("op 0 casfails = %d, want 2", ops[0].CASFails)
+	}
+	edges := tr.CASFailEdges()
+	if len(edges) != 2 {
+		t.Fatalf("casfail edges = %d, want 2", len(edges))
+	}
+	for i, e := range edges {
+		if e.From != ops[0].ID || e.To != ops[1].ID || e.ToProc != 1 || e.Addr != 7 {
+			t.Errorf("casfail edge %d = %+v, want span %d -> %d addr 7", i, e, ops[0].ID, ops[1].ID)
+		}
+	}
+}
+
+func TestOpenSpansAtLogEnd(t *testing.T) {
+	l := &trace.Log{}
+	l.Append(trace.Event{Time: 0, CPU: 0, Proc: 0, Kind: trace.KindDispatch})
+	l.Append(trace.Event{Time: 1, CPU: 0, Proc: 0, Kind: trace.KindAnnotate,
+		Key: "invoke", Args: []trace.Field{trace.I("p", 0)}, Msg: "invoke p=0"})
+	// Log ends mid-operation: both the slice and the op stay open.
+	tr := Build(l)
+	if len(tr.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(tr.Spans))
+	}
+	for _, sp := range tr.Spans {
+		if !sp.Open {
+			t.Errorf("span %+v should be open", sp)
+		}
+		if sp.End != 1 {
+			t.Errorf("span %d end = %d, want last observed time 1", sp.ID, sp.End)
+		}
+	}
+}
+
+func TestLongestHelpChainDepthAndCycle(t *testing.T) {
+	// Chain 0→1→2 plus a cycle 3↔4: the chain wins, the cycle terminates.
+	tr := &Trace{
+		Spans: make([]Span, 5),
+		Edges: []Edge{
+			{Kind: EdgeHelp, From: 0, To: 1},
+			{Kind: EdgeHelp, From: 1, To: 2},
+			{Kind: EdgeHelp, From: 3, To: 4},
+			{Kind: EdgeHelp, From: 4, To: 3},
+		},
+	}
+	if got := tr.LongestHelpChain(); got != 2 {
+		t.Errorf("longest help chain = %d, want 2", got)
+	}
+}
+
+func TestPerfettoValidJSON(t *testing.T) {
+	tr := Build(buildLog())
+	b, err := tr.Perfetto()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Pid  int    `json:"pid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("perfetto output is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q, want ns", doc.DisplayTimeUnit)
+	}
+	valid := map[string]bool{"X": true, "i": true, "s": true, "f": true, "M": true}
+	counts := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if !valid[ev.Ph] {
+			t.Errorf("unexpected event phase %q", ev.Ph)
+		}
+		counts[ev.Ph]++
+	}
+	// 3 slices + 2 ops = 5 complete events; announce + splice = 2 instants;
+	// 1 resolved help edge = 1 flow start + 1 flow finish.
+	if counts["X"] != 5 || counts["i"] != 2 || counts["s"] != 1 || counts["f"] != 1 {
+		t.Errorf("event counts = %v, want X:5 i:2 s:1 f:1", counts)
+	}
+}
+
+func TestExportsDeterministic(t *testing.T) {
+	a, b := Build(buildLog()), Build(buildLog())
+	if a.Text() != b.Text() {
+		t.Error("text export differs between identical logs")
+	}
+	pa, err := a.Perfetto()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := b.Perfetto()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pa) != string(pb) {
+		t.Error("perfetto export differs between identical logs")
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/prim"
 	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 // List is the common surface of all list implementations under test.
@@ -97,6 +98,10 @@ type ListConfig struct {
 	SearchPercent int
 	// Check attaches the structural linearizability checker (slower).
 	Check bool
+	// EnableTrace records the run's event log (ListResult.TraceLog) for
+	// span reconstruction with internal/tracex. Emission charges no
+	// virtual time, so traced and untraced runs measure identically.
+	EnableTrace bool
 }
 
 // ListResult is the measured outcome of one run.
@@ -129,6 +134,9 @@ type ListResult struct {
 	// response-time histograms. On a livelocked run it is the snapshot at
 	// watchdog time.
 	Report *metrics.Report
+	// TraceLog is the run's event log when Cfg.EnableTrace was set, nil
+	// otherwise; feed it to tracex.Build for the span model.
+	TraceLog *trace.Log
 }
 
 // build constructs the configured list inside sim.
@@ -241,6 +249,7 @@ func RunList(cfg ListConfig) (*ListResult, error) {
 		Granularity: cfg.Granularity,
 		SyncCost:    cfg.SyncCost,
 		MaxSteps:    uint64(cfg.TotalOps)*uint64(cfg.ListSize+64)*8*uint64(max(cfg.SyncCost, 1)) + 1<<22,
+		EnableTrace: cfg.EnableTrace,
 	})
 	l, _, err := build(cfg, s, slots)
 	if err != nil {
@@ -332,6 +341,7 @@ func RunList(cfg ListConfig) (*ListResult, error) {
 			res.Livelocked = true
 			res.Makespan = s.Elapsed()
 			res.Report = s.Report(string(cfg.Kind))
+			res.TraceLog = s.Trace()
 			return res, nil
 		}
 		return nil, fmt.Errorf("workload: %w", err)
@@ -357,6 +367,7 @@ func RunList(cfg ListConfig) (*ListResult, error) {
 	}
 	res.BaseOp = measureBaseOp(cfg)
 	res.Report = s.Report(string(cfg.Kind))
+	res.TraceLog = s.Trace()
 	return res, nil
 }
 
