@@ -3,21 +3,37 @@
 #
 #   ./ci.sh
 #
-# Runs vet, a full build, the full test suite, and a race-detector pass
-# over the packages with real goroutine hand-offs (the scheduler's
-# coroutine rendezvous and the trace log). Everything is stdlib-only and
-# deterministic, so a green run on one machine is a green run on all.
-# Finally, smoke-tests the trace inspector end to end: wftrace replays the
-# Figure 2 scenario and must emit a non-empty Perfetto JSON artifact
-# (written under artifacts/, which stays out of git).
+# Runs gofmt/vet, a full build, the full test suite, and a race-detector
+# pass over the packages with real goroutine hand-offs (the scheduler's
+# coroutine rendezvous, the trace log, and the parallel sweep harness).
+# Everything is stdlib-only and deterministic, so a green run on one
+# machine is a green run on all. Then three end-to-end smokes into
+# artifacts/ (which stays out of git): the Figure 2 trace export, the
+# parallel-vs-serial byte-identity of wfcheck's sweep output, and the
+# wfbench full-matrix sweep (which asserts the same identity internally
+# and records the serial/parallel timing in BENCH_sweep.json).
 set -eux
 
+test -z "$(gofmt -l .)"
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/sched/... ./internal/trace/... ./internal/tracex/...
+go test -race ./internal/sched/... ./internal/trace/... ./internal/tracex/... ./internal/harness/...
+
+# The registry must cover every internal/core/ and internal/baseline/
+# package; this is the gate that keeps "drive everything through the
+# registry" honest.
+go test ./internal/registry/ -run TestRegistryCompleteness
+
+mkdir -p artifacts
 
 go build -o /dev/null ./cmd/wftrace
-mkdir -p artifacts
 go run ./cmd/wftrace -object unilist -seed 1 -pattern stagger -export perfetto -o artifacts/fig2.trace.json
 test -s artifacts/fig2.trace.json
+
+go run ./cmd/wfcheck -max 40 -par 1 > artifacts/wfcheck_serial.txt
+go run ./cmd/wfcheck -max 40 -par 0 > artifacts/wfcheck_par.txt
+cmp artifacts/wfcheck_serial.txt artifacts/wfcheck_par.txt
+
+go run ./cmd/wfbench -exp sweep -sweepseeds 1 -outdir artifacts
+test -s artifacts/BENCH_sweep.json

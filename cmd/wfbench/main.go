@@ -17,11 +17,15 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"text/tabwriter"
+	"time"
 
 	waitfree "repro"
 	"repro/internal/arena"
@@ -35,9 +39,13 @@ import (
 	"repro/internal/core/unimwcas"
 	"repro/internal/core/uniqueue"
 	"repro/internal/core/unistack"
+	"repro/internal/harness"
 	"repro/internal/helping"
 	"repro/internal/metrics"
+	"repro/internal/prim"
+	"repro/internal/registry"
 	"repro/internal/rt"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/shmem"
 	"repro/internal/trace"
@@ -50,13 +58,19 @@ import (
 var withTrace bool
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig1|ext|mwcas|sec34|retries|valois|ablations|report|all")
+	exp := flag.String("exp", "all", "experiment: fig1|ext|mwcas|sec34|retries|valois|ablations|report|sweep|all")
 	ops := flag.Int("ops", 50000, "total operations for the sec34 experiments (the paper used 50000)")
 	procs := flag.Int("procs", 4, "processors for the sec34 experiments (the paper used 4)")
 	seed := flag.Int64("seed", 11, "random seed")
+	sweepSeeds := flag.Int("sweepseeds", 3, "seeds per cell for the -exp sweep matrix")
 	outdir := flag.String("outdir", ".", "directory for the BENCH_<object>.json run reports")
 	flag.BoolVar(&withTrace, "trace", false, "with -exp report: also write TRACE_<object>.trace.json span exports (Perfetto)")
 	flag.Parse()
+
+	if err := os.MkdirAll(*outdir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "wfbench: %v\n", err)
+		os.Exit(1)
+	}
 
 	run := func(name string, f func() error) {
 		switch *exp {
@@ -75,6 +89,7 @@ func main() {
 	run("valois", func() error { return valoisCmp(*seed) })
 	run("ablations", func() error { return ablations(*seed) })
 	run("report", func() error { return reports(*outdir, *seed) })
+	run("sweep", func() error { return sweep(*outdir, *sweepSeeds) })
 }
 
 func table(title string, header []string, rows [][]string) {
@@ -769,82 +784,189 @@ func reports(outdir string, seed int64) error {
 		}
 	}
 
-	// Queue, stack and MWCAS run a uniprocessor burst workload.
-	uniReport := func(object string, build func(s *sched.Sim) (func(e *sched.Env, i int), error)) error {
-		s := sched.New(sched.Config{Processors: 1, Seed: seed, MemWords: 1 << 18, EnableTrace: withTrace})
-		op, err := build(s)
+	// Every core object runs a priority-burst workload generated from its
+	// registry descriptor: uniprocessor objects get a base worker plus two
+	// staggered higher-priority bursts; multiprocessor objects one worker
+	// per processor plus a burst per processor.
+	for _, name := range registry.CoreNames() {
+		s, err := objectReportRun(name, seed)
 		if err != nil {
 			return err
 		}
-		run := func(n int) func(e *sched.Env) {
-			return func(e *sched.Env) {
-				for i := 0; i < n; i++ {
-					start := e.Now()
-					op(e, i)
-					e.RecordOp(e.Now() - start)
-				}
-			}
-		}
-		s.Spawn(sched.JobSpec{Name: "base", CPU: 0, Prio: 1, Slot: 0, AfterSlices: -1, Body: run(20)})
-		s.Spawn(sched.JobSpec{Name: "burst1", CPU: 0, Prio: 5, Slot: 1, AfterSlices: 25, Body: run(5)})
-		s.Spawn(sched.JobSpec{Name: "burst2", CPU: 0, Prio: 9, Slot: 2, AfterSlices: 60, Body: run(5)})
-		if err := s.Run(); err != nil {
+		if err := writeReport(s.Report(name)); err != nil {
 			return err
 		}
-		if err := writeReport(s.Report(object)); err != nil {
+		if err := writeTrace(name, s.Trace()); err != nil {
 			return err
 		}
-		return writeTrace(object, s.Trace())
-	}
-	if err := uniReport("uniqueue", func(s *sched.Sim) (func(e *sched.Env, i int), error) {
-		ar, err := arena.New(s.Mem(), 128, 3)
-		if err != nil {
-			return nil, err
-		}
-		q, err := uniqueue.New(s.Mem(), ar, 3)
-		if err != nil {
-			return nil, err
-		}
-		ar.Freeze()
-		return func(e *sched.Env, i int) { q.Enqueue(e, uint64(i+1)); q.Dequeue(e) }, nil
-	}); err != nil {
-		return err
-	}
-	if err := uniReport("unistack", func(s *sched.Sim) (func(e *sched.Env, i int), error) {
-		ar, err := arena.New(s.Mem(), 128, 3)
-		if err != nil {
-			return nil, err
-		}
-		st, err := unistack.New(s.Mem(), ar, 3)
-		if err != nil {
-			return nil, err
-		}
-		ar.Freeze()
-		return func(e *sched.Env, i int) { st.Push(e, uint64(i+1)); st.Pop(e) }, nil
-	}); err != nil {
-		return err
-	}
-	if err := uniReport("unimwcas", func(s *sched.Sim) (func(e *sched.Env, i int), error) {
-		obj, err := unimwcas.New(s.Mem(), 3, 2)
-		if err != nil {
-			return nil, err
-		}
-		base := s.Mem().MustAlloc("app", 2)
-		words := []shmem.Addr{base, base + 1}
-		obj.InitWord(words[0], 0)
-		obj.InitWord(words[1], 0)
-		return func(e *sched.Env, i int) {
-			a := obj.Read(e, words[0])
-			b := obj.Read(e, words[1])
-			obj.MWCAS(e, words, []uint32{a, b}, []uint32{a + 1, b + 1})
-		}, nil
-	}); err != nil {
-		return err
 	}
 
 	for _, p := range written {
 		fmt.Printf("wrote %s\n", p)
 	}
+	return nil
+}
+
+// objectReportRun executes the report workload for one core object and
+// returns the completed simulation.
+func objectReportRun(name string, seed int64) (*sched.Sim, error) {
+	d := registry.Lookup0(name)
+	procs := 1
+	if d.Family == registry.FamilyMulti {
+		procs = 2
+	}
+	s := sched.New(sched.Config{Processors: procs, Seed: seed, MemWords: 1 << 18, EnableTrace: withTrace})
+	cfg := registry.Config{Procs: 4, Capacity: 128, Buckets: 4, Words: 4, Width: 2}
+	if d.Model == registry.ModelSorted {
+		cfg.SeedKeys = []uint64{2, 4, 6, 8, 10, 12, 14, 16}
+	}
+	inst, err := registry.Build(s, name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	run := func(slot, n int) func(e *sched.Env) {
+		ops := d.Ops(cfg, seed, slot, n)
+		return func(e *sched.Env) {
+			for _, op := range ops {
+				start := e.Now()
+				inst.Apply(e, slot, op)
+				e.RecordOp(e.Now() - start)
+			}
+		}
+	}
+	if d.Family == registry.FamilyUni {
+		s.Spawn(sched.JobSpec{Name: "base", CPU: 0, Prio: 1, Slot: 0, AfterSlices: -1, Body: run(0, 20)})
+		s.Spawn(sched.JobSpec{Name: "burst1", CPU: 0, Prio: 5, Slot: 1, AfterSlices: 25, Body: run(1, 5)})
+		s.Spawn(sched.JobSpec{Name: "burst2", CPU: 0, Prio: 9, Slot: 2, AfterSlices: 60, Body: run(2, 5)})
+	} else {
+		s.Spawn(sched.JobSpec{Name: "w0", CPU: 0, Prio: 1, Slot: 0, AfterSlices: -1, Body: run(0, 20)})
+		s.Spawn(sched.JobSpec{Name: "w1", CPU: 1, Prio: 1, Slot: 1, AfterSlices: -1, Body: run(1, 20)})
+		s.Spawn(sched.JobSpec{Name: "burst0", CPU: 0, Prio: 9, Slot: 2, AfterSlices: 25, Body: run(2, 5)})
+		s.Spawn(sched.JobSpec{Name: "burst1", CPU: 1, Prio: 9, Slot: 3, AfterSlices: 60, Body: run(3, 5)})
+	}
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// sweepCell identifies one cell of the full-matrix sweep: an object, a CCAS
+// implementation and helping mode (multiprocessor objects only), a
+// preemption pattern and a seed.
+type sweepCell struct {
+	Object  string `json:"object"`
+	CC      string `json:"cc,omitempty"`
+	Mode    string `json:"mode,omitempty"`
+	Pattern string `json:"pattern"`
+	Seed    int64  `json:"seed"`
+}
+
+// sweepCells enumerates the matrix over every core registry object.
+func sweepCells(seeds int) []sweepCell {
+	var out []sweepCell
+	for _, name := range registry.CoreNames() {
+		d := registry.Lookup0(name)
+		for _, pat := range scenario.Patterns() {
+			for seed := int64(1); seed <= int64(seeds); seed++ {
+				if d.Family != registry.FamilyMulti {
+					out = append(out, sweepCell{Object: name, Pattern: pat, Seed: seed})
+					continue
+				}
+				for _, cc := range prim.All() {
+					for _, mode := range []helping.Mode{helping.Cyclic, helping.Priority} {
+						out = append(out, sweepCell{Object: name, CC: cc.Name(), Mode: mode.String(), Pattern: pat, Seed: seed})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// runSweepCell executes one cell and returns its canonical report bytes.
+func runSweepCell(c sweepCell) ([]byte, error) {
+	cfg := scenario.Config{Object: c.Object, Seed: c.Seed, Pattern: c.Pattern}
+	if c.CC != "" {
+		impl, err := prim.ByName(c.CC)
+		if err != nil {
+			return nil, err
+		}
+		cfg.CC = impl
+	}
+	if c.Mode == helping.Priority.String() {
+		cfg.Mode = helping.Priority
+	}
+	s, err := scenario.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Report(c.Object).JSON()
+}
+
+// sweep runs the full object × CCAS × helping-mode × pattern × seed matrix
+// twice — serially and fanned out across all cores via internal/harness —
+// asserts the merged outputs are byte-identical, and records both wall-clock
+// times (the repo's first real-parallelism figure) in
+// <outdir>/BENCH_sweep.json.
+func sweep(outdir string, seeds int) error {
+	cells := sweepCells(seeds)
+	timed := func(workers int) ([][]byte, time.Duration, error) {
+		start := time.Now()
+		out, err := harness.Map(len(cells), harness.Options{Workers: workers},
+			func(i int) ([]byte, error) { return runSweepCell(cells[i]) })
+		return out, time.Since(start), err
+	}
+	serial, serialDur, err := timed(1)
+	if err != nil {
+		return fmt.Errorf("serial sweep: %w", err)
+	}
+	// At least two workers even on a single-core host, so the concurrent
+	// dispatch/merge path is always exercised; on >= 2 cores the same
+	// setting is where the wall-clock speedup comes from.
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	parallel, parallelDur, err := timed(workers)
+	if err != nil {
+		return fmt.Errorf("parallel sweep: %w", err)
+	}
+	for i := range cells {
+		if !bytes.Equal(serial[i], parallel[i]) {
+			return fmt.Errorf("sweep cell %+v: parallel report differs from serial report", cells[i])
+		}
+	}
+	doc := struct {
+		Cells      int     `json:"cells"`
+		Workers    int     `json:"workers"`
+		SerialMs   float64 `json:"serial_ms"`
+		ParallelMs float64 `json:"parallel_ms"`
+		Speedup    float64 `json:"speedup"`
+		Identical  bool    `json:"byte_identical"`
+	}{
+		Cells:      len(cells),
+		Workers:    workers,
+		SerialMs:   float64(serialDur.Microseconds()) / 1000,
+		ParallelMs: float64(parallelDur.Microseconds()) / 1000,
+		Speedup:    float64(serialDur) / float64(parallelDur),
+		Identical:  true,
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(outdir, "BENCH_sweep.json")
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	table("Full-matrix sweep — serial vs parallel harness (byte-identical merged reports)",
+		[]string{"cells", "workers", "serial ms", "parallel ms", "speedup"},
+		[][]string{{
+			fmt.Sprint(doc.Cells), fmt.Sprint(doc.Workers),
+			fmt.Sprintf("%.1f", doc.SerialMs), fmt.Sprintf("%.1f", doc.ParallelMs),
+			fmt.Sprintf("%.2fx", doc.Speedup),
+		}})
+	fmt.Printf("wrote %s\n", path)
 	return nil
 }
 

@@ -3,16 +3,22 @@
 //
 // The scheduler's deterministic slice-triggered releases make "preempt the
 // victim at exactly its k-th step" a first-class scheduling handle; wfcheck
-// sweeps k (and pairs of release points for two adversaries) across entire
-// operations, checking every resulting schedule. This covers, exhaustively
-// at small scale, the preemption-window arguments the paper makes in prose
-// (e.g. "if p is preempted between lines 37 and 48...").
+// sweeps pairs of release points across entire operations, checking every
+// resulting schedule. This covers, exhaustively at small scale, the
+// preemption-window arguments the paper makes in prose (e.g. "if p is
+// preempted between lines 37 and 48...").
+//
+// The object suites come from internal/registry: every core object (all ten)
+// is swept through one generic driver, so registering a new object adds a
+// suite with no wfcheck change. The extra "workload" suite drives the
+// checked multiprocessor list workload across seeds.
 //
 // Usage:
 //
 //	wfcheck                  # all suites, default depth
-//	wfcheck -suite unilist   # one suite
+//	wfcheck -suite uniqueue  # one object
 //	wfcheck -max 200         # widen the release-point range
+//	wfcheck -par 0           # sweep objects in parallel on all cores
 package main
 
 import (
@@ -20,216 +26,82 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 
-	"repro/internal/arena"
-	"repro/internal/check"
-	"repro/internal/core/unihash"
-	"repro/internal/core/unilist"
-	"repro/internal/core/unimwcas"
-	"repro/internal/core/uniqueue"
-	"repro/internal/core/unistack"
 	"repro/internal/explore"
+	"repro/internal/harness"
+	"repro/internal/registry"
 	"repro/internal/sched"
-	"repro/internal/shmem"
-	"repro/internal/tracex"
 	"repro/internal/workload"
 )
 
-// traceFailures is the -trace flag: run the sweeps with event recording on
-// and dump the span model of the first failing schedule, so a violation
-// arrives with its causal history instead of just a release vector.
-var traceFailures bool
-
 func main() {
-	suite := flag.String("suite", "all", "suite: unilist|unimwcas|multilist|uniqueue|unistack|unihash|all")
+	suite := flag.String("suite", "all", "suite: any core registry object, workload, or all")
 	maxSlice := flag.Int64("max", 120, "largest release point swept")
-	pairs := flag.Bool("pairs", false, "also sweep pairs of adversaries (quadratic)")
-	keepGoing := flag.Bool("keepgoing", false, "explore past failures and report every failing vector (explore-driven suites)")
-	flag.BoolVar(&traceFailures, "trace", false, "record traces and write wfcheck_fail.trace.json for a failing schedule")
+	keepGoing := flag.Bool("keepgoing", false, "explore past failures and report every failing vector")
+	par := flag.Int("par", 1, "workers for sweeping suites in parallel (0 = all cores); output is identical at any setting")
+	traceFailures := flag.Bool("trace", false, "record traces and write wfcheck_fail.trace.json for a failing schedule")
 	flag.Parse()
+
+	names := append(registry.CoreNames(), "workload")
+	if *suite != "all" {
+		found := false
+		for _, n := range names {
+			if n == *suite {
+				found = true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "wfcheck: unknown suite %q (have %v)\n", *suite, names)
+			os.Exit(1)
+		}
+		names = []string{*suite}
+	}
+
+	type outcome struct {
+		n   int
+		err error
+	}
+	// Suites are independent simulations; fan them out and report in name
+	// order so -par only changes wall-clock, never output.
+	results, _ := harness.Map(len(names), harness.Options{Workers: *par}, func(i int) (outcome, error) {
+		var o outcome
+		if names[i] == "workload" {
+			o.n, o.err = workloadSweep(*maxSlice)
+			return o, nil
+		}
+		d := registry.Lookup0(names[i])
+		o.n, o.err = d.Sweep(registry.SweepConfig{Max: *maxSlice, KeepGoing: *keepGoing, Trace: *traceFailures})
+		return o, nil
+	})
 
 	total := 0
 	failed := false
-	run := func(name string, f func() (int, error)) {
-		if *suite != "all" && *suite != name {
-			return
-		}
-		n, err := f()
-		if err != nil {
+	for i, o := range results {
+		if o.err != nil {
 			var fs explore.Failures
-			if errors.As(err, &fs) {
+			if errors.As(o.err, &fs) {
 				// KeepGoing sweep: every failing vector is a reproducer;
-				// report them all and keep running the other suites.
-				fmt.Fprintf(os.Stderr, "wfcheck: %s: %d schedules explored: %v\n", name, n, err)
+				// report them all and keep going.
+				fmt.Fprintf(os.Stderr, "wfcheck: %s: %d schedules explored: %v\n", names[i], o.n, o.err)
 				failed = true
-				return
+				continue
 			}
-			fmt.Fprintf(os.Stderr, "wfcheck: %s: %v\n", name, err)
+			fmt.Fprintf(os.Stderr, "wfcheck: %s: %v\n", names[i], o.err)
 			os.Exit(1)
 		}
-		fmt.Printf("%-10s %6d schedules explored, 0 violations\n", name, n)
-		total += n
+		fmt.Printf("%-10s %6d schedules explored, 0 violations\n", names[i], o.n)
+		total += o.n
 	}
-	run("unilist", func() (int, error) { return uniListSweep(*maxSlice, *pairs) })
-	run("unimwcas", func() (int, error) { return uniMWCASSweep(*maxSlice) })
-	run("multilist", func() (int, error) { return multiListSweep(*maxSlice) })
-	run("uniqueue", func() (int, error) { return uniQueueSweep(*maxSlice) })
-	run("unistack", func() (int, error) { return uniStackSweep(*maxSlice) })
-	run("unihash", func() (int, error) { return uniHashSweep(*maxSlice, *keepGoing) })
 	fmt.Printf("%-10s %6d schedules total\n", "all", total)
 	if failed {
 		os.Exit(1)
 	}
 }
 
-// newSim constructs a sweep simulation; with -trace its runs are recorded
-// so a failing schedule can be dumped as a span model.
-func newSim(memWords int) *sched.Sim {
-	return sched.New(sched.Config{Processors: 1, Seed: 1, MemWords: memWords, EnableTrace: traceFailures})
-}
-
-// dumpFailure, under -trace, writes the failing run's span model and points
-// the error at it.
-func dumpFailure(s *sched.Sim, err error) error {
-	if !traceFailures || err == nil || s.Trace() == nil {
-		return err
-	}
-	b, perr := tracex.Build(s.Trace()).Perfetto()
-	if perr != nil {
-		return err
-	}
-	const path = "wfcheck_fail.trace.json"
-	if werr := os.WriteFile(path, b, 0o644); werr != nil {
-		return err
-	}
-	return fmt.Errorf("%w (span trace written to %s)", err, path)
-}
-
-// uniListSweep releases a high-priority adversary at every slice of a
-// victim's list operations, for several adversary operations; with -pairs it
-// additionally nests a second, higher-priority adversary.
-func uniListSweep(maxSlice int64, pairs bool) (int, error) {
-	type advOp struct {
-		name string
-		run  func(l *unilist.List, e *sched.Env) bool
-	}
-	advs := []advOp{
-		{"del10", func(l *unilist.List, e *sched.Env) bool { return l.Delete(e, 10) }},
-		{"ins10", func(l *unilist.List, e *sched.Env) bool { return l.Insert(e, 10, 9) }},
-		{"ins7", func(l *unilist.List, e *sched.Env) bool { return l.Insert(e, 7, 9) }},
-		{"del15", func(l *unilist.List, e *sched.Env) bool { return l.Delete(e, 15) }},
-		{"sch10", func(l *unilist.List, e *sched.Env) bool { return l.Search(e, 10) }},
-	}
-	n := 0
-	for _, adv := range advs {
-		for k := int64(0); k < maxSlice; k++ {
-			secondaries := []int64{-1}
-			if pairs {
-				secondaries = nil
-				for j := k + 1; j < k+20; j += 3 {
-					secondaries = append(secondaries, j)
-				}
-			}
-			for _, k2 := range secondaries {
-				s := newSim(1 << 14)
-				ar, err := arena.New(s.Mem(), 32, 3)
-				if err != nil {
-					return n, err
-				}
-				l, err := unilist.New(s.Mem(), ar, 3)
-				if err != nil {
-					return n, err
-				}
-				if err := l.SeedAscending([]uint64{5, 15}); err != nil {
-					return n, err
-				}
-				ar.Freeze()
-				chk := check.NewUniListChecker(l, s.Mem(), 3)
-				s.Spawn(sched.JobSpec{Name: "victim", CPU: 0, Prio: 1, Slot: 0, AfterSlices: -1, Body: func(e *sched.Env) {
-					chk.EndOp(0, l.Insert(e, 10, 1))
-					chk.EndOp(0, l.Delete(e, 5))
-				}})
-				adv := adv
-				s.Spawn(sched.JobSpec{Name: "adv", CPU: 0, Prio: 5, Slot: 1, AfterSlices: k, Body: func(e *sched.Env) {
-					chk.EndOp(1, adv.run(l, e))
-				}})
-				if k2 >= 0 {
-					s.Spawn(sched.JobSpec{Name: "adv2", CPU: 0, Prio: 9, Slot: 2, AfterSlices: k2, Body: func(e *sched.Env) {
-						chk.EndOp(2, l.Insert(e, 12, 0))
-					}})
-				}
-				if err := s.Run(); err != nil {
-					return n, dumpFailure(s, fmt.Errorf("%s k=%d k2=%d: %w", adv.name, k, k2, err))
-				}
-				chk.Finish()
-				if err := chk.Err(); err != nil {
-					return n, dumpFailure(s, fmt.Errorf("%s k=%d k2=%d: %w", adv.name, k, k2, err))
-				}
-				n++
-			}
-		}
-	}
-	return n, nil
-}
-
-// uniMWCASSweep releases an interfering MWCAS at every slice of a victim
-// 3-word MWCAS, checking linearizability of both.
-func uniMWCASSweep(maxSlice int64) (int, error) {
-	n := 0
-	for k := int64(0); k < maxSlice; k++ {
-		for variant := 0; variant < 3; variant++ {
-			s := newSim(1 << 14)
-			obj, err := unimwcas.New(s.Mem(), 4, 4)
-			if err != nil {
-				return n, err
-			}
-			base := s.Mem().MustAlloc("app", 3)
-			words := []shmem.Addr{base, base + 1, base + 2}
-			for i, v := range []uint32{12, 22, 8} {
-				obj.InitWord(words[i], v)
-			}
-			chk := check.NewMWCASChecker(obj, s.Mem(), words)
-			s.Spawn(sched.JobSpec{Name: "victim", CPU: 0, Prio: 1, Slot: 0, AfterSlices: -1, Body: func(e *sched.Env) {
-				chk.BeginOp(0, words, []uint32{12, 22, 8}, []uint32{5, 10, 17})
-				chk.EndOp(0, obj.MWCAS(e, words, []uint32{12, 22, 8}, []uint32{5, 10, 17}))
-				// Reads after the operation must also linearize.
-				for _, w := range words {
-					rw := chk.BeginRead(w)
-					chk.EndRead(rw, obj.Read(e, w))
-				}
-			}})
-			variant := variant
-			s.Spawn(sched.JobSpec{Name: "adv", CPU: 0, Prio: 9, Slot: 1, AfterSlices: k, Body: func(e *sched.Env) {
-				var a []shmem.Addr
-				var old, val []uint32
-				switch variant {
-				case 0: // overlap one word
-					a, old, val = words[2:3], []uint32{8}, []uint32{56}
-				case 1: // overlap all words (stale olds: should fail or win)
-					a, old, val = words, []uint32{12, 22, 8}, []uint32{1, 2, 3}
-				default: // read-modify on the middle word
-					a, old, val = words[1:2], []uint32{22}, []uint32{23}
-				}
-				chk.BeginOp(1, a, old, val)
-				chk.EndOp(1, obj.MWCAS(e, a, old, val))
-			}})
-			if err := s.Run(); err != nil {
-				return n, dumpFailure(s, fmt.Errorf("k=%d variant=%d: %w", k, variant, err))
-			}
-			if err := chk.Err(); err != nil {
-				return n, dumpFailure(s, fmt.Errorf("k=%d variant=%d: %w", k, variant, err))
-			}
-			n++
-		}
-	}
-	return n, nil
-}
-
-// multiListSweep drives the checked multiprocessor workload across many
+// workloadSweep drives the checked multiprocessor workload across many
 // seeds (each seed is a distinct schedule of cross-processor interleavings
 // and preemptions).
-func multiListSweep(maxSlice int64) (int, error) {
+func workloadSweep(maxSlice int64) (int, error) {
 	n := 0
 	for seed := int64(0); seed < maxSlice; seed++ {
 		res, err := workload.RunList(workload.ListConfig{
@@ -246,191 +118,4 @@ func multiListSweep(maxSlice int64) (int, error) {
 		n++
 	}
 	return n, nil
-}
-
-// uniQueueSweep releases adversaries at every slice of a victim's queue
-// operations, checked against a FIFO model.
-func uniQueueSweep(maxSlice int64) (int, error) {
-	n := 0
-	for k := int64(0); k < maxSlice; k++ {
-		s := newSim(1 << 14)
-		ar, err := arena.New(s.Mem(), 32, 3)
-		if err != nil {
-			return n, err
-		}
-		q, err := uniqueue.New(s.Mem(), ar, 3)
-		if err != nil {
-			return n, err
-		}
-		ar.Freeze()
-		var model []uint64
-		chk := check.NewSerialChecker(s.Mem(), q.Engine().AnnPidAddr(), 3,
-			func(p int) bool {
-				node, op := q.PeekPar(p)
-				if op == 1 {
-					model = append(model, s.Mem().Peek(ar.ValAddr(arena.Ref(node))))
-					return true
-				}
-				if len(model) == 0 {
-					return false
-				}
-				model = model[1:]
-				return true
-			},
-			func() error { return check.SliceEqual(q.Snapshot(), model) })
-		s.Spawn(sched.JobSpec{Name: "victim", CPU: 0, Prio: 1, Slot: 0, AfterSlices: -1, Body: func(e *sched.Env) {
-			q.Enqueue(e, 100)
-			chk.EndOp(0, true)
-			q.Enqueue(e, 200)
-			chk.EndOp(0, true)
-			_, ok := q.Dequeue(e)
-			chk.EndOp(0, ok)
-		}})
-		s.Spawn(sched.JobSpec{Name: "adv", CPU: 0, Prio: 5, Slot: 1, AfterSlices: k, Body: func(e *sched.Env) {
-			q.Enqueue(e, 300)
-			chk.EndOp(1, true)
-			_, ok := q.Dequeue(e)
-			chk.EndOp(1, ok)
-		}})
-		s.Spawn(sched.JobSpec{Name: "adv2", CPU: 0, Prio: 9, Slot: 2, AfterSlices: k + 9, Body: func(e *sched.Env) {
-			_, ok := q.Dequeue(e)
-			chk.EndOp(2, ok)
-		}})
-		if err := s.Run(); err != nil {
-			return n, dumpFailure(s, fmt.Errorf("k=%d: %w", k, err))
-		}
-		chk.Finish()
-		if err := chk.Err(); err != nil {
-			return n, dumpFailure(s, fmt.Errorf("k=%d: %w", k, err))
-		}
-		n++
-	}
-	return n, nil
-}
-
-// uniStackSweep is the LIFO analog of uniQueueSweep.
-func uniStackSweep(maxSlice int64) (int, error) {
-	n := 0
-	for k := int64(0); k < maxSlice; k++ {
-		s := newSim(1 << 14)
-		ar, err := arena.New(s.Mem(), 32, 3)
-		if err != nil {
-			return n, err
-		}
-		st, err := unistack.New(s.Mem(), ar, 3)
-		if err != nil {
-			return n, err
-		}
-		ar.Freeze()
-		var model []uint64 // model[0] = top
-		chk := check.NewSerialChecker(s.Mem(), st.Engine().AnnPidAddr(), 3,
-			func(p int) bool {
-				node, op := st.PeekPar(p)
-				if op == 1 {
-					model = append([]uint64{s.Mem().Peek(ar.ValAddr(arena.Ref(node)))}, model...)
-					return true
-				}
-				if len(model) == 0 {
-					return false
-				}
-				model = model[1:]
-				return true
-			},
-			func() error { return check.SliceEqual(st.Snapshot(), model) })
-		s.Spawn(sched.JobSpec{Name: "victim", CPU: 0, Prio: 1, Slot: 0, AfterSlices: -1, Body: func(e *sched.Env) {
-			st.Push(e, 100)
-			chk.EndOp(0, true)
-			st.Push(e, 200)
-			chk.EndOp(0, true)
-			_, ok := st.Pop(e)
-			chk.EndOp(0, ok)
-		}})
-		s.Spawn(sched.JobSpec{Name: "adv", CPU: 0, Prio: 5, Slot: 1, AfterSlices: k, Body: func(e *sched.Env) {
-			st.Push(e, 300)
-			chk.EndOp(1, true)
-			_, ok := st.Pop(e)
-			chk.EndOp(1, ok)
-		}})
-		s.Spawn(sched.JobSpec{Name: "adv2", CPU: 0, Prio: 9, Slot: 2, AfterSlices: k + 7, Body: func(e *sched.Env) {
-			_, ok := st.Pop(e)
-			chk.EndOp(2, ok)
-		}})
-		if err := s.Run(); err != nil {
-			return n, dumpFailure(s, fmt.Errorf("k=%d: %w", k, err))
-		}
-		chk.Finish()
-		if err := chk.Err(); err != nil {
-			return n, dumpFailure(s, fmt.Errorf("k=%d: %w", k, err))
-		}
-		n++
-	}
-	return n, nil
-}
-
-// uniHashSweep drives nested two-adversary release-point sweeps over the
-// uniprocessor hash table via the explore library, with colliding and
-// non-colliding buckets, checked against a set model.
-func uniHashSweep(maxSlice int64, keepGoing bool) (int, error) {
-	return explore.Sweep(explore.Config{Adversaries: 2, Max: maxSlice, Stride: 2, Gap: 8, KeepGoing: keepGoing},
-		func(rel []int64) error {
-			s := newSim(1 << 14)
-			ar, err := arena.New(s.Mem(), 48, 3)
-			if err != nil {
-				return err
-			}
-			tb, err := unihash.New(s.Mem(), ar, 3, 4)
-			if err != nil {
-				return err
-			}
-			if err := tb.SeedKeys([]uint64{5, 9}); err != nil {
-				return err
-			}
-			ar.Freeze()
-			model := map[uint64]bool{5: true, 9: true}
-			chk := check.NewSerialChecker(s.Mem(), tb.Engine().AnnPidAddr(), 3,
-				func(p int) bool {
-					_, key, op := tb.PeekPar(p)
-					switch op {
-					case 1:
-						if model[key] {
-							return false
-						}
-						model[key] = true
-						return true
-					case 2:
-						if model[key] {
-							delete(model, key)
-							return true
-						}
-						return false
-					default:
-						return model[key]
-					}
-				},
-				func() error {
-					want := make([]uint64, 0, len(model))
-					for k := range model {
-						want = append(want, k)
-					}
-					sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
-					return check.SliceEqual(tb.Snapshot(), want)
-				})
-			s.Spawn(sched.JobSpec{Name: "victim", CPU: 0, Prio: 1, Slot: 0, AfterSlices: -1, Body: func(e *sched.Env) {
-				chk.EndOp(0, tb.Insert(e, 13, 1)) // collides with 5, 9
-				chk.EndOp(0, tb.Delete(e, 5))
-			}})
-			s.Spawn(sched.JobSpec{Name: "adv", CPU: 0, Prio: 5, Slot: 1, AfterSlices: rel[0], Body: func(e *sched.Env) {
-				chk.EndOp(1, tb.Insert(e, 17, 2)) // same bucket
-				chk.EndOp(1, tb.Delete(e, 13))
-			}})
-			s.Spawn(sched.JobSpec{Name: "adv2", CPU: 0, Prio: 9, Slot: 2, AfterSlices: rel[1], Body: func(e *sched.Env) {
-				chk.EndOp(2, tb.Search(e, 9))
-				chk.EndOp(2, tb.Insert(e, 10, 3)) // different bucket
-			}})
-			if err := s.Run(); err != nil {
-				return dumpFailure(s, err)
-			}
-			chk.Finish()
-			return dumpFailure(s, chk.Err())
-		})
 }

@@ -1,0 +1,72 @@
+// Package harness is the parallel sweep driver: it fans independent
+// simulation tasks out across OS workers and merges their results in input
+// order, so a sweep's output is byte-identical to running the same tasks
+// serially — just N-cores faster. Each sched.Sim is self-contained (no
+// package-level mutable state), which is what makes "one goroutine per
+// in-flight Sim" sound; the harness adds nothing but dispatch and a
+// deterministic merge.
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures a parallel map.
+type Options struct {
+	// Workers is the number of OS workers; 0 means GOMAXPROCS. 1 degrades
+	// to a plain serial loop on the calling goroutine.
+	Workers int
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs f(0..n-1) across the configured workers and returns the results
+// in input order. The returned error, if any, is f's error for the smallest
+// failing index — the same one a serial loop would have hit first — and the
+// results slice is truncated just before it, so callers cannot observe any
+// scheduling-dependent state. All n tasks are started regardless (tasks are
+// independent; there is no cancellation channel to leak determinism
+// through).
+func Map[T any](n int, opts Options, f func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	w := opts.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			out[i], errs[i] = f(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for k := 0; k < w; k++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					out[i], errs[i] = f(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return out[:i], err
+		}
+	}
+	return out, nil
+}

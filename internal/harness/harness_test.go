@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestMapOrderAcrossWorkerCounts pins the determinism contract: the merged
+// result is identical at every worker count, including the degenerate serial
+// path and the all-cores default.
+func TestMapOrderAcrossWorkerCounts(t *testing.T) {
+	const n = 53
+	f := func(i int) (int, error) { return i * i, nil }
+	want, err := Map(n, Options{Workers: 1}, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{0, 2, 3, 8, n + 5} {
+		got, err := Map(n, Options{Workers: w}, f)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: results differ from serial run", w)
+		}
+	}
+}
+
+// TestMapError pins the error contract: the reported error is the one a
+// serial loop would hit first, and the results are truncated just before it
+// regardless of which worker finished when.
+func TestMapError(t *testing.T) {
+	fail := map[int]bool{3: true, 7: true}
+	f := func(i int) (int, error) {
+		if fail[i] {
+			return 0, fmt.Errorf("task %d failed", i)
+		}
+		return i, nil
+	}
+	for _, w := range []int{1, 4} {
+		got, err := Map(10, Options{Workers: w}, f)
+		if err == nil || err.Error() != "task 3 failed" {
+			t.Fatalf("workers=%d: err = %v, want the smallest failing index", w, err)
+		}
+		if !reflect.DeepEqual(got, []int{0, 1, 2}) {
+			t.Errorf("workers=%d: results = %v, want [0 1 2]", w, got)
+		}
+	}
+}
+
+// TestMapEmpty: zero tasks is a no-op, not a hang.
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(0, Options{}, func(i int) (int, error) { return 0, errors.New("unreachable") })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}

@@ -1,0 +1,128 @@
+package registry
+
+import "sort"
+
+// Model is an object's sequential specification: the golden in-memory
+// implementation an execution's operation sequence is replayed against.
+// The wfcheck sweeps and the differential tests compare concrete objects
+// to it op for op.
+type Model interface {
+	// Apply performs op sequentially and returns the specified outcome.
+	Apply(op Op) Result
+	// Snapshot returns the canonical state (same convention as
+	// Instance.Snapshot).
+	Snapshot() []uint64
+}
+
+// NewModel returns a fresh sequential model of the descriptor's kind,
+// pre-seeded like an instance built with cfg would be.
+func (d *Descriptor) NewModel(cfg Config) Model {
+	switch d.Model {
+	case ModelSorted:
+		m := &sortedModel{present: map[uint64]bool{}}
+		for _, k := range cfg.SeedKeys {
+			m.present[k] = true
+		}
+		return m
+	case ModelFIFO:
+		return &fifoModel{}
+	case ModelLIFO:
+		return &lifoModel{}
+	case ModelWords:
+		words := make([]uint64, cfg.Words)
+		copy(words, cfg.Initial)
+		return &wordsModel{words: words}
+	}
+	panic("registry: no model for descriptor " + d.Name)
+}
+
+type sortedModel struct{ present map[uint64]bool }
+
+func (m *sortedModel) Apply(op Op) Result {
+	switch op.Code {
+	case OpInsert:
+		if m.present[op.Key] {
+			return Result{OK: false}
+		}
+		m.present[op.Key] = true
+		return Result{OK: true}
+	case OpDelete:
+		if !m.present[op.Key] {
+			return Result{OK: false}
+		}
+		delete(m.present, op.Key)
+		return Result{OK: true}
+	case OpSearch:
+		return Result{OK: m.present[op.Key]}
+	}
+	panic("registry: sorted model got " + op.Code.String())
+}
+
+func (m *sortedModel) Snapshot() []uint64 {
+	out := make([]uint64, 0, len(m.present))
+	for k := range m.present {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+type fifoModel struct{ q []uint64 }
+
+func (m *fifoModel) Apply(op Op) Result {
+	switch op.Code {
+	case OpEnqueue:
+		m.q = append(m.q, op.Val)
+		return Result{OK: true}
+	case OpDequeue:
+		if len(m.q) == 0 {
+			return Result{OK: false}
+		}
+		v := m.q[0]
+		m.q = m.q[1:]
+		return Result{OK: true, Val: v}
+	}
+	panic("registry: fifo model got " + op.Code.String())
+}
+
+func (m *fifoModel) Snapshot() []uint64 { return append([]uint64(nil), m.q...) }
+
+type lifoModel struct{ st []uint64 } // st[0] = top
+
+func (m *lifoModel) Apply(op Op) Result {
+	switch op.Code {
+	case OpPush:
+		m.st = append([]uint64{op.Val}, m.st...)
+		return Result{OK: true}
+	case OpPop:
+		if len(m.st) == 0 {
+			return Result{OK: false}
+		}
+		v := m.st[0]
+		m.st = m.st[1:]
+		return Result{OK: true, Val: v}
+	}
+	panic("registry: lifo model got " + op.Code.String())
+}
+
+func (m *lifoModel) Snapshot() []uint64 { return append([]uint64(nil), m.st...) }
+
+// wordsModel: sequentially, a read-modify-write transaction always
+// succeeds.
+type wordsModel struct{ words []uint64 }
+
+func (m *wordsModel) Apply(op Op) Result {
+	if op.Code != OpMWCAS {
+		panic("registry: words model got " + op.Code.String())
+	}
+	var first uint64
+	for i, w := range op.Words {
+		if i == 0 {
+			first = m.words[w]
+		}
+		m.words[w] += op.Delta
+	}
+	return Result{OK: true, Val: first}
+}
+
+func (m *wordsModel) Snapshot() []uint64 { return append([]uint64(nil), m.words...) }

@@ -1,0 +1,226 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"reflect"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// TestRegistryCompleteness pins the registry against the filesystem: every
+// package under internal/core/ and internal/baseline/ must have exactly one
+// descriptor, and every descriptor must point at a package that exists.
+// Adding an object without registering it (or registering a phantom) fails
+// here, which is what makes "drive everything through the registry" safe.
+func TestRegistryCompleteness(t *testing.T) {
+	onDisk := map[string]bool{}
+	for _, root := range []string{"core", "baseline"} {
+		ents, err := os.ReadDir("../" + root)
+		if err != nil {
+			t.Fatalf("reading internal/%s: %v", root, err)
+		}
+		for _, ent := range ents {
+			if ent.IsDir() {
+				onDisk[root+"/"+ent.Name()] = true
+			}
+		}
+	}
+	registered := map[string]bool{}
+	for _, d := range All() {
+		if registered[d.Pkg] {
+			t.Errorf("package %s has more than one descriptor", d.Pkg)
+		}
+		registered[d.Pkg] = true
+		if !onDisk[d.Pkg] {
+			t.Errorf("descriptor %s names internal/%s, which does not exist", d.Name, d.Pkg)
+		}
+		if d.New == nil {
+			t.Errorf("descriptor %s has no constructor", d.Name)
+		}
+		if len(d.Scenario.Scripts) == 0 && d.Family != FamilyBaseline {
+			t.Errorf("core descriptor %s has no scenario scripts", d.Name)
+		}
+	}
+	for pkg := range onDisk {
+		if !registered[pkg] {
+			t.Errorf("internal/%s exists but has no descriptor", pkg)
+		}
+	}
+}
+
+// TestNormalizeRejectsBadProcConfig pins the single shared rejection: every
+// invalid Processors/Procs combination, on any object, is ErrProcConfig.
+func TestNormalizeRejectsBadProcConfig(t *testing.T) {
+	s := sched.New(sched.Config{Processors: 2, Seed: 1, MemWords: 1 << 16})
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"unilist", Config{Procs: -1}},
+		{"multiqueue", Config{Procs: 2, Processors: 3}}, // > sim's 2
+		{"multilist", Config{Procs: -4}},
+	}
+	for _, c := range cases {
+		if _, err := Build(s, c.name, c.cfg); !errors.Is(err, ErrProcConfig) {
+			t.Errorf("Build(%s, %+v) = %v, want ErrProcConfig", c.name, c.cfg, err)
+		}
+	}
+	// Uniprocessor objects ignore Processors entirely (P is forced to 1),
+	// so a uni object is buildable even on a multiprocessor simulation.
+	if _, err := Build(s, "uniqueue", Config{Processors: 7}); err != nil {
+		t.Errorf("uni object on 2-CPU sim: %v", err)
+	}
+}
+
+// TestOpsDeterministic pins the generator: same (cfg, seed, slot) yields the
+// same ops, different slots yield different streams.
+func TestOpsDeterministic(t *testing.T) {
+	for _, d := range All() {
+		cfg := d.sweepInstanceConfig(3)
+		a := d.Ops(cfg, 7, 1, 20)
+		b := d.Ops(cfg, 7, 1, 20)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: generator is not deterministic", d.Name)
+		}
+		c := d.Ops(cfg, 7, 2, 20)
+		if reflect.DeepEqual(a, c) {
+			t.Errorf("%s: slots 1 and 2 generated identical streams", d.Name)
+		}
+	}
+}
+
+// TestModels sanity-checks the sequential specifications the checkers and
+// differential tests replay against.
+func TestModels(t *testing.T) {
+	sorted := Lookup0("unilist").NewModel(Config{})
+	if !sorted.Apply(Op{Code: OpInsert, Key: 5}).OK ||
+		sorted.Apply(Op{Code: OpInsert, Key: 5}).OK {
+		t.Error("sorted: duplicate insert accepted")
+	}
+	if !sorted.Apply(Op{Code: OpSearch, Key: 5}).OK ||
+		!sorted.Apply(Op{Code: OpDelete, Key: 5}).OK ||
+		sorted.Apply(Op{Code: OpDelete, Key: 5}).OK {
+		t.Error("sorted: search/delete semantics wrong")
+	}
+
+	fifo := Lookup0("uniqueue").NewModel(Config{})
+	fifo.Apply(Op{Code: OpEnqueue, Val: 1})
+	fifo.Apply(Op{Code: OpEnqueue, Val: 2})
+	if r := fifo.Apply(Op{Code: OpDequeue}); !r.OK || r.Val != 1 {
+		t.Errorf("fifo: dequeue = %+v, want 1", r)
+	}
+
+	lifo := Lookup0("unistack").NewModel(Config{})
+	lifo.Apply(Op{Code: OpPush, Val: 1})
+	lifo.Apply(Op{Code: OpPush, Val: 2})
+	if r := lifo.Apply(Op{Code: OpPop}); !r.OK || r.Val != 2 {
+		t.Errorf("lifo: pop = %+v, want 2", r)
+	}
+
+	words := Lookup0("unimwcas").NewModel(Config{Words: 2, Initial: []uint64{10, 20}})
+	if r := words.Apply(Op{Code: OpMWCAS, Words: []int{0, 1}, Delta: 3}); !r.OK || r.Val != 10 {
+		t.Errorf("words: mwcas = %+v, want OK with old value 10", r)
+	}
+	if got := words.Snapshot(); !reflect.DeepEqual(got, []uint64{13, 23}) {
+		t.Errorf("words: snapshot = %v, want [13 23]", got)
+	}
+}
+
+// TestDifferentialMultiVsUni is the Section 4 family claim as a test: each
+// multiprocessor object configured with Processors=1, run on a preemption-free
+// uniprocessor schedule, must be op-for-op identical to its uniprocessor
+// counterpart on the same registry-generated op streams (seeds 1-5). The
+// pairing comes from Descriptor.UniPeer, so new multi objects are covered by
+// registering one.
+func TestDifferentialMultiVsUni(t *testing.T) {
+	paired := 0
+	for _, d := range All() {
+		if d.UniPeer == "" {
+			continue
+		}
+		paired++
+		peer := Lookup0(d.UniPeer)
+		if peer.Model != d.Model {
+			t.Fatalf("%s and %s disagree on ModelKind", d.Name, d.UniPeer)
+		}
+		for seed := int64(1); seed <= 5; seed++ {
+			mres, msnap := runSerialized(t, d, seed)
+			ures, usnap := runSerialized(t, peer, seed)
+			if !reflect.DeepEqual(mres, ures) {
+				t.Errorf("%s vs %s seed %d: results diverge\nmulti: %+v\nuni:   %+v",
+					d.Name, d.UniPeer, seed, mres, ures)
+			}
+			if !reflect.DeepEqual(msnap, usnap) {
+				t.Errorf("%s vs %s seed %d: final snapshots diverge: %v vs %v",
+					d.Name, d.UniPeer, seed, msnap, usnap)
+			}
+		}
+	}
+	if paired != 5 {
+		t.Errorf("expected 5 multi/uni pairs, found %d", paired)
+	}
+}
+
+// runSerialized builds d on a 1-processor simulation and runs three process
+// slots released together at time zero: priority order serializes them, so
+// there is no mid-operation preemption and the object's behavior is exactly
+// its sequential specification.
+func runSerialized(t *testing.T, d *Descriptor, seed int64) ([][]Result, []uint64) {
+	t.Helper()
+	const slots, opsPerSlot = 3, 12
+	s := sched.New(sched.Config{Processors: 1, Seed: seed, MemWords: 1 << 16})
+	cfg := d.sweepInstanceConfig(slots)
+	cfg.Processors = 1
+	inst, err := Build(s, d.Name, cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", d.Name, err)
+	}
+	out := make([][]Result, slots)
+	for slot := 0; slot < slots; slot++ {
+		slot := slot
+		ops := d.Ops(cfg, seed, slot, opsPerSlot)
+		s.Spawn(sched.JobSpec{
+			Name: fmt.Sprintf("p%d", slot), CPU: 0,
+			Prio: sched.Priority(slots - slot), Slot: slot, AfterSlices: -1,
+			Body: func(e *sched.Env) {
+				for _, op := range ops {
+					out[slot] = append(out[slot], inst.Apply(e, slot, op))
+				}
+			},
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("%s seed %d: %v", d.Name, seed, err)
+	}
+	if err := inst.CheckErr(); err != nil {
+		t.Fatalf("%s seed %d: checker: %v", d.Name, seed, err)
+	}
+	return out, inst.Snapshot()
+}
+
+// TestSweepSmoke runs a shallow schedule sweep of every core object — the
+// same driver wfcheck uses, at a depth fast enough for the unit-test tier.
+func TestSweepSmoke(t *testing.T) {
+	for _, name := range CoreNames() {
+		d := Lookup0(name)
+		n, err := d.Sweep(SweepConfig{Max: 6})
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if n == 0 {
+			t.Errorf("%s: sweep explored no schedules", name)
+		}
+	}
+}
+
+// TestBaselineSweepRejected: schedule sweeps are a core-object tool; the
+// baselines (whose point is that some of them fail under priority
+// preemption) are rejected rather than silently skipped.
+func TestBaselineSweepRejected(t *testing.T) {
+	if _, err := Lookup0("locklist").Sweep(SweepConfig{Max: 4}); err == nil {
+		t.Error("baseline sweep accepted")
+	}
+}

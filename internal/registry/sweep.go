@@ -1,0 +1,128 @@
+package registry
+
+// The registry's schedule-exploration driver: one release-point sweep that
+// works for every core descriptor, replacing cmd/wfcheck's hand-written
+// per-object suites. Uniprocessor objects get the Figure 2 cast (low-priority
+// victim, two higher-priority adversaries released at swept slice counts on
+// one CPU); multiprocessor objects get one worker per processor plus two
+// swept high-priority adversaries. Operations come from the descriptor's
+// deterministic generator and every run is linearizability-checked
+// (Config.Check).
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/explore"
+	"repro/internal/sched"
+	"repro/internal/tracex"
+)
+
+// SweepConfig configures one object's release-point sweep.
+type SweepConfig struct {
+	// Max is the largest release point swept (wfcheck -max).
+	Max int64
+	// KeepGoing explores past failures and aggregates every failing
+	// vector into an explore.Failures error.
+	KeepGoing bool
+	// Trace records every run and dumps the first failing schedule's span
+	// model to TracePath.
+	Trace bool
+	// TracePath defaults to "wfcheck_fail.trace.json".
+	TracePath string
+}
+
+// sweepOps sizes the generated scripts: victims and workers run three
+// operations, adversaries two.
+const (
+	sweepVictimOps = 3
+	sweepAdvOps    = 2
+	sweepSeed      = 1
+)
+
+// sweepInstanceConfig sizes a checked instance for sweeping.
+func (d *Descriptor) sweepInstanceConfig(slots int) Config {
+	cfg := Config{Procs: slots, Capacity: 48, Buckets: 4, Check: true}
+	switch d.Model {
+	case ModelSorted:
+		// Two seeded keys inside the generator's key range, so deletes
+		// and colliding inserts both happen.
+		cfg.SeedKeys = []uint64{5, 9}
+	case ModelWords:
+		cfg.Words = 3
+		cfg.Width = 3
+		cfg.Initial = []uint64{12, 22, 8}
+	}
+	return cfg
+}
+
+// Sweep explores release-point schedules of the object and checks every one,
+// returning the number of schedules explored.
+func (d *Descriptor) Sweep(cfg SweepConfig) (int, error) {
+	if d.Family == FamilyBaseline {
+		return 0, fmt.Errorf("registry: %s is a baseline; sweeps cover the core objects", d.Name)
+	}
+	return explore.Sweep(
+		explore.Config{Adversaries: 2, Max: cfg.Max, Stride: 2, Gap: 8, KeepGoing: cfg.KeepGoing},
+		func(rel []int64) error { return d.sweepOne(cfg, rel) })
+}
+
+func (d *Descriptor) sweepOne(cfg SweepConfig, rel []int64) error {
+	procs := 1
+	memWords := 1 << 15
+	if d.Family == FamilyMulti {
+		procs = 2
+		memWords = 1 << 16
+	}
+	s := sched.New(sched.Config{Processors: procs, Seed: 1, MemWords: memWords, EnableTrace: cfg.Trace})
+	icfg := d.sweepInstanceConfig(4)
+	inst, err := Build(s, d.Name, icfg)
+	if err != nil {
+		return err
+	}
+	script := func(slot, n int) func(e *sched.Env) {
+		ops := d.Ops(icfg, sweepSeed, slot, n)
+		return func(e *sched.Env) {
+			for _, op := range ops {
+				inst.Apply(e, slot, op)
+			}
+		}
+	}
+	if d.Family == FamilyUni {
+		s.Spawn(sched.JobSpec{Name: "victim", CPU: 0, Prio: 1, Slot: 0, AfterSlices: -1, Body: script(0, sweepVictimOps)})
+		s.Spawn(sched.JobSpec{Name: "adv", CPU: 0, Prio: 5, Slot: 1, AfterSlices: rel[0], Body: script(1, sweepAdvOps)})
+		s.Spawn(sched.JobSpec{Name: "adv2", CPU: 0, Prio: 9, Slot: 2, AfterSlices: rel[1], Body: script(2, sweepAdvOps)})
+	} else {
+		s.Spawn(sched.JobSpec{Name: "w0", CPU: 0, Prio: 1, Slot: 0, AfterSlices: -1, Body: script(0, sweepVictimOps)})
+		s.Spawn(sched.JobSpec{Name: "w1", CPU: 1, Prio: 1, Slot: 1, AfterSlices: -1, Body: script(1, sweepVictimOps)})
+		s.Spawn(sched.JobSpec{Name: "adv", CPU: 0, Prio: 9, Slot: 2, AfterSlices: rel[0], Body: script(2, sweepAdvOps)})
+		s.Spawn(sched.JobSpec{Name: "adv2", CPU: 1, Prio: 9, Slot: 3, AfterSlices: rel[1], Body: script(3, sweepAdvOps)})
+	}
+	if err := s.Run(); err != nil {
+		return dumpFailure(s, cfg, fmt.Errorf("%s rel=%v: %w", d.Name, rel, err))
+	}
+	if err := inst.CheckErr(); err != nil {
+		return dumpFailure(s, cfg, fmt.Errorf("%s rel=%v: %w", d.Name, rel, err))
+	}
+	return nil
+}
+
+// dumpFailure, under Trace, writes the failing run's span model and points
+// the error at it.
+func dumpFailure(s *sched.Sim, cfg SweepConfig, err error) error {
+	if !cfg.Trace || err == nil || s.Trace() == nil {
+		return err
+	}
+	b, perr := tracex.Build(s.Trace()).Perfetto()
+	if perr != nil {
+		return err
+	}
+	path := cfg.TracePath
+	if path == "" {
+		path = "wfcheck_fail.trace.json"
+	}
+	if werr := os.WriteFile(path, b, 0o644); werr != nil {
+		return err
+	}
+	return fmt.Errorf("%w (span trace written to %s)", err, path)
+}

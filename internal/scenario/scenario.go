@@ -5,26 +5,25 @@
 // trace. cmd/wftrace loads one by (object, seed, pattern) and renders its
 // span model; the tests in this package pin down that the same triple
 // always yields byte-identical traces.
+//
+// The object set, instance construction and op scripts all come from
+// internal/registry: every core descriptor carries a ScenarioSpec, so a new
+// object shows up here (and in wftrace) by registering a descriptor.
 package scenario
 
 import (
 	"fmt"
 	"sort"
 
-	"repro/internal/arena"
-	"repro/internal/core/multilist"
-	"repro/internal/core/multiqueue"
-	"repro/internal/core/unihash"
-	"repro/internal/core/unilist"
-	"repro/internal/core/uniqueue"
-	"repro/internal/core/unistack"
+	"repro/internal/helping"
+	"repro/internal/prim"
+	"repro/internal/registry"
 	"repro/internal/sched"
 )
 
 // Config selects a scenario.
 type Config struct {
-	// Object is one of Objects(): unilist, uniqueue, unistack, unihash,
-	// multilist, multiqueue.
+	// Object is one of Objects() — any core object in the registry.
 	Object string
 	// Seed seeds the simulation.
 	Seed int64
@@ -32,6 +31,11 @@ type Config struct {
 	Pattern string
 	// Trace enables event recording; cmd/wftrace always sets it.
 	Trace bool
+	// CC and Mode configure the multiprocessor helping machinery (zero
+	// values mean the object defaults: Native CCAS, cyclic helping); the
+	// wfbench full-matrix sweep varies them.
+	CC   prim.Impl
+	Mode helping.Mode
 }
 
 // pattern gives the slice counts after which the two adversaries (or, for
@@ -63,9 +67,10 @@ func Patterns() []string {
 	return out
 }
 
-// Objects returns the object names scenarios exist for.
+// Objects returns the object names scenarios exist for: every core object
+// registered in internal/registry.
 func Objects() []string {
-	return []string{"multilist", "multiqueue", "unihash", "unilist", "uniqueue", "unistack"}
+	return registry.CoreNames()
 }
 
 // Run builds and executes the scenario, returning the completed simulation
@@ -75,11 +80,11 @@ func Run(cfg Config) (*sched.Sim, error) {
 	if !ok {
 		return nil, fmt.Errorf("scenario: unknown pattern %q (have %v)", cfg.Pattern, Patterns())
 	}
-	build, ok := builders[cfg.Object]
-	if !ok {
+	d, err := registry.Lookup(cfg.Object)
+	if err != nil || d.Family == registry.FamilyBaseline {
 		return nil, fmt.Errorf("scenario: unknown object %q (have %v)", cfg.Object, Objects())
 	}
-	s, err := build(cfg, pat)
+	s, err := build(d, cfg, pat)
 	if err != nil {
 		return nil, err
 	}
@@ -96,111 +101,55 @@ func patternName(cfg Config) string {
 	return cfg.Pattern
 }
 
-type builder func(Config, pattern) (*sched.Sim, error)
-
-var builders = map[string]builder{
-	"unilist":    buildUnilist,
-	"uniqueue":   buildUniqueue,
-	"unistack":   buildUnistack,
-	"unihash":    buildUnihash,
-	"multilist":  buildMultilist,
-	"multiqueue": buildMultiqueue,
-}
-
-// newUniSim makes a one-processor simulation for the incremental-helping
-// objects.
-func newUniSim(cfg Config) *sched.Sim {
-	return sched.New(sched.Config{Processors: 1, Seed: cfg.Seed, MemWords: 1 << 15, EnableTrace: cfg.Trace})
+// build instantiates the descriptor's ScenarioSpec inside a fresh simulation
+// and spawns its cast: uniprocessor objects get the Figure 2 trio (victim
+// plus two adversaries, one script each), multiprocessor objects one worker
+// per processor plus pattern-released compute bursts.
+func build(d *registry.Descriptor, cfg Config, pat pattern) (*sched.Sim, error) {
+	spec := d.Scenario
+	var s *sched.Sim
+	if d.Family == registry.FamilyUni {
+		s = sched.New(sched.Config{Processors: 1, Seed: cfg.Seed, MemWords: 1 << 15, EnableTrace: cfg.Trace})
+	} else {
+		s = sched.New(sched.Config{Processors: 2, Seed: cfg.Seed, MemWords: 1 << 16, EnableTrace: cfg.Trace})
+	}
+	inst, err := registry.Build(s, d.Name, registry.Config{
+		Procs:    len(spec.Scripts),
+		Capacity: spec.Capacity,
+		Buckets:  spec.Buckets,
+		Words:    spec.Words,
+		Width:    spec.Width,
+		Stride:   spec.Stride,
+		SeedKeys: spec.SeedKeys,
+		CC:       cfg.CC,
+		Mode:     cfg.Mode,
+	})
+	if err != nil {
+		return nil, err
+	}
+	body := func(slot int) func(e *sched.Env) {
+		script := spec.Scripts[slot]
+		return func(e *sched.Env) {
+			for _, op := range script {
+				inst.Apply(e, slot, op)
+			}
+		}
+	}
+	if d.Family == registry.FamilyUni {
+		spawnUniTrio(s, pat, body(0), body(1), body(2))
+	} else {
+		spawnMultiCast(s, pat, body(0), body(1))
+	}
+	return s, nil
 }
 
 // spawnUniTrio spawns the Figure 2 cast on cpu0: a low-priority victim and
 // two adversaries released after k1 and k2 slices, each performing one
-// operation through the given bodies.
+// script through the given bodies.
 func spawnUniTrio(s *sched.Sim, pat pattern, victim, adv1, adv2 func(*sched.Env)) {
 	s.Spawn(sched.JobSpec{Name: "p", CPU: 0, Prio: 1, Slot: 0, AfterSlices: -1, Body: victim})
 	s.Spawn(sched.JobSpec{Name: "q", CPU: 0, Prio: 5, Slot: 1, AfterSlices: pat.k1, Body: adv1})
 	s.Spawn(sched.JobSpec{Name: "r", CPU: 0, Prio: 9, Slot: 2, AfterSlices: pat.k2, Body: adv2})
-}
-
-func buildUnilist(cfg Config, pat pattern) (*sched.Sim, error) {
-	s := newUniSim(cfg)
-	ar, err := arena.New(s.Mem(), 32, 3)
-	if err != nil {
-		return nil, err
-	}
-	l, err := unilist.New(s.Mem(), ar, 3)
-	if err != nil {
-		return nil, err
-	}
-	ar.Freeze()
-	spawnUniTrio(s, pat,
-		func(e *sched.Env) { l.Insert(e, 10, 1) },
-		func(e *sched.Env) { l.Insert(e, 20, 2) },
-		func(e *sched.Env) { l.Insert(e, 30, 3) })
-	return s, nil
-}
-
-func buildUniqueue(cfg Config, pat pattern) (*sched.Sim, error) {
-	s := newUniSim(cfg)
-	ar, err := arena.New(s.Mem(), 32, 3)
-	if err != nil {
-		return nil, err
-	}
-	q, err := uniqueue.New(s.Mem(), ar, 3)
-	if err != nil {
-		return nil, err
-	}
-	ar.Freeze()
-	spawnUniTrio(s, pat,
-		func(e *sched.Env) { q.Enqueue(e, 10) },
-		func(e *sched.Env) { q.Enqueue(e, 20) },
-		func(e *sched.Env) { q.Dequeue(e) })
-	return s, nil
-}
-
-func buildUnistack(cfg Config, pat pattern) (*sched.Sim, error) {
-	s := newUniSim(cfg)
-	ar, err := arena.New(s.Mem(), 32, 3)
-	if err != nil {
-		return nil, err
-	}
-	st, err := unistack.New(s.Mem(), ar, 3)
-	if err != nil {
-		return nil, err
-	}
-	ar.Freeze()
-	spawnUniTrio(s, pat,
-		func(e *sched.Env) { st.Push(e, 10) },
-		func(e *sched.Env) { st.Push(e, 20) },
-		func(e *sched.Env) { st.Pop(e) })
-	return s, nil
-}
-
-func buildUnihash(cfg Config, pat pattern) (*sched.Sim, error) {
-	s := newUniSim(cfg)
-	ar, err := arena.New(s.Mem(), 64, 3)
-	if err != nil {
-		return nil, err
-	}
-	h, err := unihash.New(s.Mem(), ar, 3, 4)
-	if err != nil {
-		return nil, err
-	}
-	if err := h.SeedKeys([]uint64{40, 41}); err != nil {
-		return nil, err
-	}
-	ar.Freeze()
-	spawnUniTrio(s, pat,
-		func(e *sched.Env) { h.Insert(e, 10, 1) },
-		func(e *sched.Env) { h.Insert(e, 20, 2) },
-		func(e *sched.Env) { h.Delete(e, 40) })
-	return s, nil
-}
-
-// newMultiSim makes a two-processor simulation for the ring-helping
-// objects.
-func newMultiSim(cfg Config) *sched.Sim {
-	return sched.New(sched.Config{Processors: 2, Seed: cfg.Seed, MemWords: 1 << 16, EnableTrace: cfg.Trace})
 }
 
 // spawnMultiCast spawns one worker per processor plus, for patterns that
@@ -218,41 +167,4 @@ func spawnMultiCast(s *sched.Sim, pat pattern, w0, w1 func(*sched.Env)) {
 		s.Spawn(sched.JobSpec{Name: "hi1", CPU: 1, Prio: 9, Slot: -1, AfterSlices: pat.k2,
 			Body: func(e *sched.Env) { e.Delay(60) }})
 	}
-}
-
-func buildMultilist(cfg Config, pat pattern) (*sched.Sim, error) {
-	s := newMultiSim(cfg)
-	ar, err := arena.New(s.Mem(), 64, 2)
-	if err != nil {
-		return nil, err
-	}
-	l, err := multilist.New(s.Mem(), ar, multilist.Config{Processors: 2, Procs: 2})
-	if err != nil {
-		return nil, err
-	}
-	if err := l.SeedAscending([]uint64{5, 50}); err != nil {
-		return nil, err
-	}
-	ar.Freeze()
-	spawnMultiCast(s, pat,
-		func(e *sched.Env) { l.Insert(e, 10, 1); l.Insert(e, 20, 2) },
-		func(e *sched.Env) { l.Insert(e, 15, 3); l.Insert(e, 25, 4) })
-	return s, nil
-}
-
-func buildMultiqueue(cfg Config, pat pattern) (*sched.Sim, error) {
-	s := newMultiSim(cfg)
-	ar, err := arena.New(s.Mem(), 64, 2)
-	if err != nil {
-		return nil, err
-	}
-	q, err := multiqueue.New(s.Mem(), ar, multiqueue.Config{Processors: 2, Procs: 2})
-	if err != nil {
-		return nil, err
-	}
-	ar.Freeze()
-	spawnMultiCast(s, pat,
-		func(e *sched.Env) { q.Enqueue(e, 10); q.Enqueue(e, 20) },
-		func(e *sched.Env) { q.Dequeue(e); q.Dequeue(e) })
-	return s, nil
 }

@@ -19,27 +19,20 @@ import (
 	"errors"
 	"fmt"
 
-	"repro/internal/arena"
 	"repro/internal/baseline/gclist"
-	"repro/internal/baseline/locklist"
 	"repro/internal/baseline/valois"
 	"repro/internal/check"
-	"repro/internal/core/multilist"
-	"repro/internal/core/unilist"
 	"repro/internal/helping"
 	"repro/internal/metrics"
 	"repro/internal/prim"
+	"repro/internal/registry"
 	"repro/internal/sched"
 	"repro/internal/trace"
 )
 
-// List is the common surface of all list implementations under test.
-type List interface {
-	Insert(e *sched.Env, key, val uint64) bool
-	Delete(e *sched.Env, key uint64) bool
-	Search(e *sched.Env, key uint64) bool
-	Snapshot() []uint64
-}
+// List is the common surface of all list implementations under test: the
+// list-family instance of the registry op model.
+type List = registry.List
 
 // Kind selects a list implementation.
 type Kind string
@@ -139,79 +132,39 @@ type ListResult struct {
 	TraceLog *trace.Log
 }
 
-// build constructs the configured list inside sim.
-func build(cfg ListConfig, s *sched.Sim, slots int) (List, *arena.Arena, error) {
-	capacity := cfg.ListSize + cfg.TotalOps + 4*slots + 8
-	ar, err := arena.New(s.Mem(), capacity, slots)
-	if err != nil {
-		return nil, nil, err
+// kindToObject maps the workload kinds onto registry names.
+var kindToObject = map[Kind]string{
+	WaitFree:    "multilist",
+	WaitFreeUni: "unilist",
+	LockFreeGC:  "gclist",
+	CASOnly:     "valois",
+	LockBased:   "locklist",
+}
+
+// build constructs the configured list inside sim via the registry.
+func build(cfg ListConfig, s *sched.Sim, slots int) (List, error) {
+	name, ok := kindToObject[cfg.Kind]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown kind %q", cfg.Kind)
+	}
+	if cfg.Kind == WaitFreeUni && cfg.Processors != 1 {
+		return nil, fmt.Errorf("workload: %s requires one processor, got %d", cfg.Kind, cfg.Processors)
 	}
 	keys := make([]uint64, cfg.ListSize)
 	for i := range keys {
 		keys[i] = uint64(2 * (i + 1)) // even keys seeded
 	}
-	var l List
-	switch cfg.Kind {
-	case WaitFree:
-		stride := cfg.Stride
-		if stride == 0 {
-			stride = 100
-		}
-		ml, err := multilist.New(s.Mem(), ar, multilist.Config{
-			Processors: cfg.Processors, Procs: slots, CC: cfg.CC,
-			Mode: cfg.Mode, Stride: stride, OneRound: cfg.OneRound,
-		})
-		if err != nil {
-			return nil, nil, err
-		}
-		if err := ml.SeedAscending(keys); err != nil {
-			return nil, nil, err
-		}
-		l = ml
-	case WaitFreeUni:
-		if cfg.Processors != 1 {
-			return nil, nil, fmt.Errorf("workload: %s requires one processor, got %d", cfg.Kind, cfg.Processors)
-		}
-		ul, err := unilist.New(s.Mem(), ar, slots)
-		if err != nil {
-			return nil, nil, err
-		}
-		if err := ul.SeedAscending(keys); err != nil {
-			return nil, nil, err
-		}
-		l = ul
-	case LockFreeGC:
-		gl, err := gclist.New(s.Mem(), ar, slots)
-		if err != nil {
-			return nil, nil, err
-		}
-		if err := gl.SeedAscending(keys); err != nil {
-			return nil, nil, err
-		}
-		l = gl
-	case CASOnly:
-		vl, err := valois.New(s.Mem(), ar, slots)
-		if err != nil {
-			return nil, nil, err
-		}
-		if err := vl.SeedAscending(keys); err != nil {
-			return nil, nil, err
-		}
-		l = vl
-	case LockBased:
-		ll, err := locklist.New(s.Mem(), ar)
-		if err != nil {
-			return nil, nil, err
-		}
-		if err := ll.SeedAscending(keys); err != nil {
-			return nil, nil, err
-		}
-		l = ll
-	default:
-		return nil, nil, fmt.Errorf("workload: unknown kind %q", cfg.Kind)
+	inst, err := registry.Build(s, name, registry.Config{
+		Processors: cfg.Processors,
+		Procs:      slots,
+		Capacity:   cfg.ListSize + cfg.TotalOps + 4*slots + 8,
+		SeedKeys:   keys,
+		CC:         cfg.CC, Mode: cfg.Mode, Stride: cfg.Stride, OneRound: cfg.OneRound,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
 	}
-	ar.Freeze()
-	return l, ar, nil
+	return inst.Underlying().(List), nil
 }
 
 // RunList executes one experiment run and returns its measurements.
@@ -251,7 +204,7 @@ func RunList(cfg ListConfig) (*ListResult, error) {
 		MaxSteps:    uint64(cfg.TotalOps)*uint64(cfg.ListSize+64)*8*uint64(max(cfg.SyncCost, 1)) + 1<<22,
 		EnableTrace: cfg.EnableTrace,
 	})
-	l, _, err := build(cfg, s, slots)
+	l, err := build(cfg, s, slots)
 	if err != nil {
 		return nil, err
 	}
@@ -393,7 +346,7 @@ func measureBaseOp(cfg ListConfig) int64 {
 		MemWords:    3*(base.ListSize+probeOps+32) + 1<<13,
 		Granularity: base.Granularity,
 	})
-	l, _, err := build(base, s, 1)
+	l, err := build(base, s, 1)
 	if err != nil {
 		return 1
 	}

@@ -3,15 +3,20 @@ package waitfree
 // Facade constructors for the Section 4 extension objects: the wait-free
 // queue, stack and hash table ("other 'linear' data structures ... are just
 // as straightforward to implement as linked lists").
+//
+// Every constructor routes through internal/registry: the descriptor layer
+// owns the construction order (arena, object, seeding, freeze), the shared
+// defaults, and the single ErrProcConfig rejection for invalid
+// Processors/Procs combinations.
 
 import (
-	"repro/internal/arena"
 	"repro/internal/core/multihash"
 	"repro/internal/core/multiqueue"
 	"repro/internal/core/multistack"
 	"repro/internal/core/unihash"
 	"repro/internal/core/uniqueue"
 	"repro/internal/core/unistack"
+	"repro/internal/registry"
 )
 
 // UniQueue is a wait-free FIFO queue for priority-based uniprocessors.
@@ -57,152 +62,58 @@ type HashConfig struct {
 	OneRound   bool
 }
 
-func (c *QueueConfig) defaults(sim *Sim) {
-	if c.Capacity == 0 {
-		c.Capacity = 1024
+func (c QueueConfig) registry() registry.Config {
+	return registry.Config{
+		Processors: c.Processors, Procs: c.Procs, Capacity: c.Capacity,
+		CC: c.CC, Mode: c.Mode, OneRound: c.OneRound,
 	}
-	if c.Procs == 0 {
-		c.Procs = 1
+}
+
+func (c HashConfig) registry() registry.Config {
+	return registry.Config{
+		Processors: c.Processors, Procs: c.Procs, Capacity: c.Capacity,
+		Buckets: c.Buckets, SeedKeys: c.Seed,
+		CC: c.CC, Mode: c.Mode, OneRound: c.OneRound,
 	}
-	if c.Processors == 0 {
-		c.Processors = sim.Processors()
+}
+
+// build constructs the named registry object inside sim and unwraps its
+// concrete type.
+func build[T any](sim *Sim, name string, cfg registry.Config) (T, error) {
+	inst, err := registry.Build(sim, name, cfg)
+	if err != nil {
+		var zero T
+		return zero, err
 	}
+	return inst.Underlying().(T), nil
 }
 
 // NewUniQueue builds a uniprocessor wait-free FIFO queue inside sim.
 func NewUniQueue(sim *Sim, cfg QueueConfig) (*UniQueue, error) {
-	cfg.defaults(sim)
-	ar, err := arena.New(sim.Mem(), cfg.Capacity, cfg.Procs)
-	if err != nil {
-		return nil, err
-	}
-	q, err := uniqueue.New(sim.Mem(), ar, cfg.Procs)
-	if err != nil {
-		return nil, err
-	}
-	ar.Freeze()
-	return q, nil
+	return build[*UniQueue](sim, "uniqueue", cfg.registry())
 }
 
 // NewUniStack builds a uniprocessor wait-free LIFO stack inside sim.
 func NewUniStack(sim *Sim, cfg QueueConfig) (*UniStack, error) {
-	cfg.defaults(sim)
-	ar, err := arena.New(sim.Mem(), cfg.Capacity, cfg.Procs)
-	if err != nil {
-		return nil, err
-	}
-	st, err := unistack.New(sim.Mem(), ar, cfg.Procs)
-	if err != nil {
-		return nil, err
-	}
-	ar.Freeze()
-	return st, nil
+	return build[*UniStack](sim, "unistack", cfg.registry())
 }
 
 // NewMultiQueue builds a multiprocessor wait-free FIFO queue inside sim.
 func NewMultiQueue(sim *Sim, cfg QueueConfig) (*MultiQueue, error) {
-	cfg.defaults(sim)
-	ar, err := arena.New(sim.Mem(), cfg.Capacity, cfg.Procs)
-	if err != nil {
-		return nil, err
-	}
-	q, err := multiqueue.New(sim.Mem(), ar, multiqueue.Config{
-		Processors: cfg.Processors,
-		Procs:      cfg.Procs,
-		CC:         cfg.CC,
-		Mode:       cfg.Mode,
-		OneRound:   cfg.OneRound,
-	})
-	if err != nil {
-		return nil, err
-	}
-	ar.Freeze()
-	return q, nil
+	return build[*MultiQueue](sim, "multiqueue", cfg.registry())
 }
 
 // NewMultiStack builds a multiprocessor wait-free LIFO stack inside sim.
 func NewMultiStack(sim *Sim, cfg QueueConfig) (*MultiStack, error) {
-	cfg.defaults(sim)
-	ar, err := arena.New(sim.Mem(), cfg.Capacity, cfg.Procs)
-	if err != nil {
-		return nil, err
-	}
-	st, err := multistack.New(sim.Mem(), ar, multistack.Config{
-		Processors: cfg.Processors,
-		Procs:      cfg.Procs,
-		CC:         cfg.CC,
-		Mode:       cfg.Mode,
-		OneRound:   cfg.OneRound,
-	})
-	if err != nil {
-		return nil, err
-	}
-	ar.Freeze()
-	return st, nil
+	return build[*MultiStack](sim, "multistack", cfg.registry())
 }
 
 // NewUniHash builds a uniprocessor wait-free hash table inside sim.
 func NewUniHash(sim *Sim, cfg HashConfig) (*UniHash, error) {
-	if cfg.Capacity == 0 {
-		cfg.Capacity = 1024
-	}
-	if cfg.Procs == 0 {
-		cfg.Procs = 1
-	}
-	if cfg.Buckets == 0 {
-		cfg.Buckets = 16
-	}
-	ar, err := arena.New(sim.Mem(), cfg.Capacity, cfg.Procs)
-	if err != nil {
-		return nil, err
-	}
-	tb, err := unihash.New(sim.Mem(), ar, cfg.Procs, cfg.Buckets)
-	if err != nil {
-		return nil, err
-	}
-	if len(cfg.Seed) > 0 {
-		if err := tb.SeedKeys(cfg.Seed); err != nil {
-			return nil, err
-		}
-	}
-	ar.Freeze()
-	return tb, nil
+	return build[*UniHash](sim, "unihash", cfg.registry())
 }
 
 // NewMultiHash builds a multiprocessor wait-free hash table inside sim.
 func NewMultiHash(sim *Sim, cfg HashConfig) (*MultiHash, error) {
-	if cfg.Capacity == 0 {
-		cfg.Capacity = 1024
-	}
-	if cfg.Procs == 0 {
-		cfg.Procs = 1
-	}
-	if cfg.Buckets == 0 {
-		cfg.Buckets = 16
-	}
-	if cfg.Processors == 0 {
-		cfg.Processors = sim.Processors()
-	}
-	ar, err := arena.New(sim.Mem(), cfg.Capacity, cfg.Procs)
-	if err != nil {
-		return nil, err
-	}
-	tb, err := multihash.New(sim.Mem(), ar, multihash.Config{
-		Processors: cfg.Processors,
-		Procs:      cfg.Procs,
-		Buckets:    cfg.Buckets,
-		CC:         cfg.CC,
-		Mode:       cfg.Mode,
-		OneRound:   cfg.OneRound,
-	})
-	if err != nil {
-		return nil, err
-	}
-	if len(cfg.Seed) > 0 {
-		if err := tb.SeedKeys(cfg.Seed); err != nil {
-			return nil, err
-		}
-	}
-	ar.Freeze()
-	return tb, nil
+	return build[*MultiHash](sim, "multihash", cfg.registry())
 }

@@ -29,19 +29,23 @@
 package waitfree
 
 import (
-	"fmt"
-
-	"repro/internal/arena"
 	"repro/internal/core/multilist"
 	"repro/internal/core/multimwcas"
 	"repro/internal/core/unilist"
 	"repro/internal/core/unimwcas"
 	"repro/internal/helping"
 	"repro/internal/prim"
+	"repro/internal/registry"
 	"repro/internal/sched"
 	"repro/internal/shmem"
 	"repro/internal/workload"
 )
+
+// ErrProcConfig is the shared rejection for invalid Processors/Procs
+// combinations. Every constructor in this package funnels through
+// internal/registry's Normalize, so a bad combination produces this one
+// error (test with errors.Is) no matter which object it was for.
+var ErrProcConfig = registry.ErrProcConfig
 
 // Core simulator types, re-exported.
 type (
@@ -125,24 +129,9 @@ type UniList = unilist.List
 
 // NewUniList builds a uniprocessor wait-free list inside sim.
 func NewUniList(sim *Sim, cfg ListConfig) (*UniList, error) {
-	if cfg.Capacity == 0 {
-		cfg.Capacity = 1024
-	}
-	ar, err := arena.New(sim.Mem(), cfg.Capacity, max(cfg.Procs, 1))
-	if err != nil {
-		return nil, err
-	}
-	l, err := unilist.New(sim.Mem(), ar, max(cfg.Procs, 1))
-	if err != nil {
-		return nil, err
-	}
-	if len(cfg.Seed) > 0 {
-		if err := l.SeedAscending(cfg.Seed); err != nil {
-			return nil, err
-		}
-	}
-	ar.Freeze()
-	return l, nil
+	return build[*UniList](sim, "unilist", registry.Config{
+		Procs: cfg.Procs, Capacity: cfg.Capacity, SeedKeys: cfg.Seed,
+	})
 }
 
 // MultiList is the paper's wait-free linked list for priority-based
@@ -151,43 +140,17 @@ type MultiList = multilist.List
 
 // NewMultiList builds a multiprocessor wait-free list inside sim.
 func NewMultiList(sim *Sim, cfg ListConfig) (*MultiList, error) {
-	if cfg.Capacity == 0 {
-		cfg.Capacity = 1024
-	}
-	if cfg.Processors == 0 {
-		cfg.Processors = sim.Processors()
-	}
-	ar, err := arena.New(sim.Mem(), cfg.Capacity, max(cfg.Procs, 1))
-	if err != nil {
-		return nil, err
-	}
-	stride := cfg.Stride
-	if stride == 0 {
-		stride = 100
-	}
-	l, err := multilist.New(sim.Mem(), ar, multilist.Config{
-		Processors: cfg.Processors,
-		Procs:      max(cfg.Procs, 1),
-		CC:         cfg.CC,
-		Mode:       cfg.Mode,
-		Stride:     stride,
-		OneRound:   cfg.OneRound,
+	return build[*MultiList](sim, "multilist", registry.Config{
+		Processors: cfg.Processors, Procs: cfg.Procs, Capacity: cfg.Capacity,
+		SeedKeys: cfg.Seed, CC: cfg.CC, Mode: cfg.Mode,
+		Stride: cfg.Stride, OneRound: cfg.OneRound,
 	})
-	if err != nil {
-		return nil, err
-	}
-	if len(cfg.Seed) > 0 {
-		if err := l.SeedAscending(cfg.Seed); err != nil {
-			return nil, err
-		}
-	}
-	ar.Freeze()
-	return l, nil
 }
 
 // MWCASConfig configures a wait-free MWCAS instance.
 type MWCASConfig struct {
-	// Procs is N; Width is B, the per-operation word limit.
+	// Procs is N; Width is B, the per-operation word limit (0 means the
+	// registry default, 4).
 	Procs, Width int
 	// Words is the number of application words to allocate and
 	// initialize (valid for use with the object).
@@ -213,25 +176,16 @@ type UniMWCAS struct {
 
 // NewUniMWCAS builds a uniprocessor MWCAS and its application words.
 func NewUniMWCAS(sim *Sim, cfg MWCASConfig) (*UniMWCAS, error) {
-	obj, err := unimwcas.New(sim.Mem(), max(cfg.Procs, 1), max(cfg.Width, 1))
+	inst, err := registry.Build(sim, "unimwcas", registry.Config{
+		Procs: cfg.Procs, Width: cfg.Width, Words: cfg.Words, Initial: cfg.Initial,
+	})
 	if err != nil {
 		return nil, err
 	}
-	words, err := allocWords(sim, cfg.Words)
-	if err != nil {
-		return nil, err
-	}
-	for i, w := range words {
-		var v uint64
-		if i < len(cfg.Initial) {
-			v = cfg.Initial[i]
-		}
-		if v > uint64(^uint32(0)) {
-			return nil, fmt.Errorf("waitfree: initial value %#x exceeds the uniprocessor MWCAS's 32-bit value field", v)
-		}
-		obj.InitWord(w, uint32(v))
-	}
-	return &UniMWCAS{Object: obj, Words: words}, nil
+	return &UniMWCAS{
+		Object: inst.Underlying().(*unimwcas.Object),
+		Words:  inst.(registry.WordHolder).AppWords(),
+	}, nil
 }
 
 // MWCAS performs the multi-word compare-and-swap. Values are 32-bit (the
@@ -254,32 +208,18 @@ type MultiMWCAS struct {
 
 // NewMultiMWCAS builds a multiprocessor MWCAS and its application words.
 func NewMultiMWCAS(sim *Sim, cfg MWCASConfig) (*MultiMWCAS, error) {
-	if cfg.Processors == 0 {
-		cfg.Processors = sim.Processors()
-	}
-	obj, err := multimwcas.New(sim.Mem(), multimwcas.Config{
-		Processors: cfg.Processors,
-		Procs:      max(cfg.Procs, 1),
-		Width:      max(cfg.Width, 1),
-		CC:         cfg.CC,
-		Mode:       cfg.Mode,
-		OneRound:   cfg.OneRound,
+	inst, err := registry.Build(sim, "multimwcas", registry.Config{
+		Processors: cfg.Processors, Procs: cfg.Procs, Width: cfg.Width,
+		Words: cfg.Words, Initial: cfg.Initial,
+		CC: cfg.CC, Mode: cfg.Mode, OneRound: cfg.OneRound,
 	})
 	if err != nil {
 		return nil, err
 	}
-	words, err := allocWords(sim, cfg.Words)
-	if err != nil {
-		return nil, err
-	}
-	for i, w := range words {
-		var v uint64
-		if i < len(cfg.Initial) {
-			v = cfg.Initial[i]
-		}
-		obj.InitWord(w, v)
-	}
-	return &MultiMWCAS{Object: obj, Words: words}, nil
+	return &MultiMWCAS{
+		Object: inst.Underlying().(*multimwcas.Object),
+		Words:  inst.(registry.WordHolder).AppWords(),
+	}, nil
 }
 
 // MWCAS performs the multi-word compare-and-swap on full-width words
@@ -291,21 +231,6 @@ func (o *MultiMWCAS) MWCAS(e *Env, addrs []Addr, old, new []uint64) bool {
 // Read returns the logical value of a word (plain read; see
 // Object.ReadConsistent for the helping-scheme read).
 func (o *MultiMWCAS) Read(e *Env, a Addr) uint64 { return o.Object.ReadWord(e, a) }
-
-func allocWords(sim *Sim, n int) ([]Addr, error) {
-	if n <= 0 {
-		return nil, nil
-	}
-	base, err := sim.Mem().Alloc("appwords", n)
-	if err != nil {
-		return nil, err
-	}
-	words := make([]Addr, n)
-	for i := range words {
-		words[i] = base + Addr(i)
-	}
-	return words, nil
-}
 
 // Experiment harness, re-exported for benchmarks and tools.
 type (
