@@ -18,7 +18,7 @@ test -z "$(gofmt -l .)"
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/sched/... ./internal/trace/... ./internal/tracex/... ./internal/harness/...
+go test -race ./internal/sched/... ./internal/trace/... ./internal/tracex/... ./internal/harness/... ./internal/linz/...
 
 # The registry must cover every internal/core/ and internal/baseline/
 # package; this is the gate that keeps "drive everything through the
@@ -37,3 +37,10 @@ cmp artifacts/wfcheck_serial.txt artifacts/wfcheck_par.txt
 
 go run ./cmd/wfbench -exp sweep -sweepseeds 1 -outdir artifacts
 test -s artifacts/BENCH_sweep.json
+
+# Black-box mode: randomized adversary schedules judged by the
+# history-based linearizability engine, all objects (baselines included),
+# same parallel-vs-serial byte-identity contract as the sweep mode.
+go run ./cmd/wfcheck -linz -rand 25 -par 1 > artifacts/wfcheck_linz.txt
+go run ./cmd/wfcheck -linz -rand 25 -par 0 > artifacts/wfcheck_linz_par.txt
+cmp artifacts/wfcheck_linz.txt artifacts/wfcheck_linz_par.txt

@@ -13,12 +13,20 @@
 // suite with no wfcheck change. The extra "workload" suite drives the
 // checked multiprocessor list workload across seeds.
 //
+// A second mode, -linz, trades exhaustiveness for randomized breadth: seeded
+// adversary schedules (internal/linz/adversary) drive every registered
+// object — baselines included — and the recorded histories are judged by
+// the black-box linearizability engine (internal/linz), which needs nothing
+// from the object but its sequential model. A failing (object, seed,
+// strategy) triple is a perfect reproducer, replayable with wftrace -linz.
+//
 // Usage:
 //
 //	wfcheck                  # all suites, default depth
 //	wfcheck -suite uniqueue  # one object
 //	wfcheck -max 200         # widen the release-point range
 //	wfcheck -par 0           # sweep objects in parallel on all cores
+//	wfcheck -linz -rand 200  # 200 randomized schedules per object, black-box checked
 package main
 
 import (
@@ -29,6 +37,8 @@ import (
 
 	"repro/internal/explore"
 	"repro/internal/harness"
+	"repro/internal/linz"
+	"repro/internal/linz/adversary"
 	"repro/internal/registry"
 	"repro/internal/sched"
 	"repro/internal/workload"
@@ -40,7 +50,13 @@ func main() {
 	keepGoing := flag.Bool("keepgoing", false, "explore past failures and report every failing vector")
 	par := flag.Int("par", 1, "workers for sweeping suites in parallel (0 = all cores); output is identical at any setting")
 	traceFailures := flag.Bool("trace", false, "record traces and write wfcheck_fail.trace.json for a failing schedule")
+	linzMode := flag.Bool("linz", false, "black-box mode: randomized adversary schedules judged by the history-based engine")
+	randN := flag.Int("rand", 200, "randomized schedules per object in -linz mode (seeds 1..N, strategies alternating)")
 	flag.Parse()
+
+	if *linzMode {
+		os.Exit(linzMain(*suite, *randN, *par))
+	}
 
 	names := append(registry.CoreNames(), "workload")
 	if *suite != "all" {
@@ -96,6 +112,67 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// linzMain is the -linz mode: randN seeded adversary schedules per object
+// (seeds 1..N, strategies alternating uniform/pct), every recorded history
+// judged by the black-box engine. Covers all registered objects, baselines
+// included — black-box checking needs only the sequential model.
+func linzMain(suite string, randN, par int) int {
+	names := registry.Names()
+	if suite != "all" {
+		if _, err := registry.Lookup(suite); err != nil {
+			fmt.Fprintf(os.Stderr, "wfcheck: %v\n", err)
+			return 1
+		}
+		names = []string{suite}
+	}
+
+	type outcome struct {
+		runs, ops, states int
+		err               error
+	}
+	results, _ := harness.Map(len(names), harness.Options{Workers: par}, func(i int) (outcome, error) {
+		var o outcome
+		for n := 0; n < randN; n++ {
+			strat := adversary.Uniform
+			if n%2 == 1 {
+				strat = adversary.PCT
+			}
+			cfg := adversary.Config{Object: names[i], Seed: int64(n + 1), Strategy: strat}
+			r, err := adversary.Execute(cfg)
+			if err != nil {
+				o.err = err
+				return o, nil
+			}
+			out, err := r.Check(linz.Options{})
+			if err != nil {
+				o.err = fmt.Errorf("%s seed=%d strategy=%s: %w", names[i], cfg.Seed, strat, err)
+				return o, nil
+			}
+			if !out.OK {
+				o.err = fmt.Errorf("%s seed=%d strategy=%s: NOT linearizable\n%s\n%s",
+					names[i], cfg.Seed, strat, r.History.Text(), out.Counterexample.Tree(r.History))
+				return o, nil
+			}
+			o.runs++
+			o.ops += len(r.History.Ops)
+			o.states += out.States
+		}
+		return o, nil
+	})
+
+	total := 0
+	for i, o := range results {
+		if o.err != nil {
+			fmt.Fprintf(os.Stderr, "wfcheck: %v\n", o.err)
+			return 1
+		}
+		fmt.Printf("%-10s %6d schedules, %6d ops, %8d states, linearizable\n", names[i], o.runs, o.ops, o.states)
+		total += o.runs
+	}
+	fmt.Printf("%-10s %6d randomized schedules total\n", "all", total)
+	return 0
 }
 
 // workloadSweep drives the checked multiprocessor workload across many

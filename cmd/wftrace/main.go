@@ -8,6 +8,14 @@
 //	wftrace -object uniqueue -seed 1                  # span report on stdout
 //	wftrace -object unilist -pattern stagger -export perfetto -o fig2.trace.json
 //	wftrace -object multiqueue -export text           # deterministic text form
+//	wftrace -linz -object uniqueue -seed 7 -strategy pct  # replay an adversary schedule
+//
+// The -linz mode replays one randomized adversary schedule (the same
+// (object, seed, strategy) triple wfcheck -linz reports on failure),
+// prints the recorded black-box history, the engine's verdict, and — when
+// the history is not linearizable — the counterexample window as a span
+// tree. -export still works: the exported span model is the adversary
+// run's trace.
 //
 // The perfetto export is Chrome trace-event JSON: open it at ui.perfetto.dev
 // or chrome://tracing. Time units are virtual (one unit per shared-memory
@@ -20,6 +28,8 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/linz"
+	"repro/internal/linz/adversary"
 	"repro/internal/scenario"
 	"repro/internal/tracex"
 )
@@ -31,11 +41,60 @@ func main() {
 	export := flag.String("export", "", "also export the span model: perfetto|text")
 	out := flag.String("o", "", "export path (default <object>.trace.json or <object>.trace.txt)")
 	report := flag.Bool("report", false, "print the run report after the span summary")
+	linzMode := flag.Bool("linz", false, "replay one randomized adversary schedule and print its black-box history and verdict")
+	strategy := flag.String("strategy", "uniform", "adversary strategy in -linz mode: uniform|pct")
 	flag.Parse()
 
-	if err := run(*object, *seed, *pat, *export, *out, *report); err != nil {
+	var err error
+	if *linzMode {
+		err = runLinz(*object, *seed, *strategy, *export, *out)
+	} else {
+		err = run(*object, *seed, *pat, *export, *out, *report)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "wftrace: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// runLinz replays one adversary schedule with tracing on: the reproducer
+// path for wfcheck -linz failures.
+func runLinz(object string, seed int64, strategy, export, out string) error {
+	strat, err := adversary.ParseStrategy(strategy)
+	if err != nil {
+		return err
+	}
+	r, err := adversary.Execute(adversary.Config{Object: object, Seed: seed, Strategy: strat, Trace: true})
+	if err != nil {
+		return err
+	}
+	verdict, err := r.Check(linz.Options{})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s seed=%d strategy=%s: %d slices\n\n", object, seed, strat, r.Sim.Slices())
+	fmt.Print(r.History.Text())
+	fmt.Printf("\nverdict: %s\n", verdict.Summary())
+	if !verdict.OK {
+		fmt.Println()
+		fmt.Print(verdict.Counterexample.Tree(r.History))
+	}
+
+	t := tracex.Build(r.Sim.Trace())
+	switch export {
+	case "":
+		return nil
+	case "perfetto":
+		b, err := t.Perfetto()
+		if err != nil {
+			return err
+		}
+		return write(defaultPath(out, object+".linz.trace.json"), b)
+	case "text":
+		return write(defaultPath(out, object+".linz.trace.txt"), []byte(t.Text()))
+	default:
+		return fmt.Errorf("unknown export format %q (want perfetto or text)", export)
 	}
 }
 

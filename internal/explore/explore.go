@@ -70,6 +70,13 @@ func (fs Failures) Error() string {
 // zero.
 const DefaultMaxFailures = 100
 
+// UnconstrainedSpaceCap bounds the schedule space Sweep will accept when
+// Gap is zero and every release point ranges independently. The space is
+// then (Max/Stride)^Adversaries — innocuous-looking configs explode into
+// runs that outlive the machine; Sweep refuses them up front instead of
+// silently grinding.
+const UnconstrainedSpaceCap = 1 << 20
+
 // Sweep runs the scenario for every release vector permitted by cfg and
 // returns the number of schedules explored. It stops at the first failure
 // unless cfg.KeepGoing is set, in which case it explores the whole space
@@ -86,6 +93,21 @@ func Sweep(cfg Config, s Scenario) (int, error) {
 	}
 	if cfg.MaxFailures < 1 {
 		cfg.MaxFailures = DefaultMaxFailures
+	}
+	if cfg.Gap == 0 {
+		// Unconstrained points multiply: refuse absurd spaces before the
+		// first simulation runs. The product check is overflow-safe — it
+		// divides instead of multiplying past the cap.
+		per := (cfg.Max + cfg.Stride - 1) / cfg.Stride
+		total := int64(1)
+		for i := 0; i < cfg.Adversaries; i++ {
+			if total > UnconstrainedSpaceCap/per {
+				return 0, fmt.Errorf(
+					"explore: Gap=0 spans (Max %d / Stride %d)^%d adversaries > the %d-schedule cap; set Gap, raise Stride, or lower Max",
+					cfg.Max, cfg.Stride, cfg.Adversaries, int64(UnconstrainedSpaceCap))
+			}
+			total *= per
+		}
 	}
 	vec := make([]int64, cfg.Adversaries)
 	n := 0

@@ -190,3 +190,34 @@ func TestSweepDrivesRealScenario(t *testing.T) {
 	}
 	t.Logf("explored %d nested two-adversary schedules", n)
 }
+
+// TestUnconstrainedSpaceCap: Gap==0 with an absurd Max^Adversaries space is
+// refused up front — the scenario never runs, instead of a sweep that would
+// outlive the machine.
+func TestUnconstrainedSpaceCap(t *testing.T) {
+	calls := 0
+	_, err := explore.Sweep(explore.Config{Adversaries: 4, Max: 100000}, func([]int64) error {
+		calls++
+		return nil
+	})
+	if err == nil {
+		t.Fatal("absurd Gap=0 space accepted")
+	}
+	if !strings.Contains(err.Error(), "cap") {
+		t.Errorf("error does not mention the cap: %v", err)
+	}
+	if calls != 0 {
+		t.Errorf("scenario invoked %d times before the refusal", calls)
+	}
+
+	// Small unconstrained spaces keep working, and Stride counts toward the
+	// space estimate (Max 4096 / Stride 2048 per adversary = 2^4 vectors).
+	n, err := explore.Sweep(explore.Config{Adversaries: 2, Max: 3}, func([]int64) error { return nil })
+	if err != nil || n != 9 {
+		t.Fatalf("small Gap=0 sweep: n=%d err=%v, want 9, nil", n, err)
+	}
+	n, err = explore.Sweep(explore.Config{Adversaries: 4, Max: 4096, Stride: 2048}, func([]int64) error { return nil })
+	if err != nil || n != 16 {
+		t.Fatalf("strided Gap=0 sweep: n=%d err=%v, want 16, nil", n, err)
+	}
+}

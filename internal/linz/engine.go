@@ -1,0 +1,552 @@
+package linz
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/registry"
+)
+
+// The search engine: Wing–Gong linearizability checking in the WGL
+// formulation (Lowe's linked-list variant, the one porcupine uses).
+//
+// The history's invoke/response events form a total order. The search
+// walks that order left to right; at a call event it may speculatively
+// linearize the operation *now* (apply it to the model, check the recorded
+// result, lift the call/response pair out of the list, restart from the
+// front), or skip it; reaching a response event whose call was never
+// linearized proves the current speculation wrong and forces a backtrack.
+// The two levers that keep this exponential search flat in practice:
+//
+//   - interval partitioning (spec.go): independent sub-histories are
+//     searched separately, so the bitset and the state stay tiny;
+//   - memoized state hashing: a configuration is (set of linearized ops,
+//     model state); revisiting an equivalent configuration by a different
+//     linearization order is cut off. Equality is verified structurally
+//     (bitset compare + model snapshot compare), the hash only buckets.
+
+// ErrBudget is returned (wrapped) by Check when a partition's search
+// exceeds Options.MaxStates distinct configurations.
+var ErrBudget = errors.New("linz: search budget exceeded")
+
+// Options bounds a check.
+type Options struct {
+	// MaxStates caps the distinct configurations explored per partition;
+	// 0 means DefaultMaxStates.
+	MaxStates int
+}
+
+// DefaultMaxStates is the per-partition configuration cap when
+// Options.MaxStates is zero.
+const DefaultMaxStates = 4_000_000
+
+// SubOutcome is the verdict for one partition.
+type SubOutcome struct {
+	// Name is the partition name from the spec.
+	Name string
+	// Witness, for a linearizable partition, lists the partition's
+	// operations (as History.Ops indices) in a legal linearization order.
+	Witness []int
+	// States and MemoHits count explored configurations and memo cutoffs.
+	States, MemoHits int
+}
+
+// Counterexample pins down why a history is not linearizable: the deepest
+// linearizable prefix the search found, and the window of operations that
+// admit no legal order beyond it.
+type Counterexample struct {
+	// Sub names the failing partition.
+	Sub string
+	// Prefix is the deepest linearizable prefix reached (History.Ops
+	// indices in linearization order).
+	Prefix []int
+	// Window holds the unlinearizable operations: members of the failing
+	// partition outside the prefix that had been invoked by the time the
+	// search got stuck, in invocation order.
+	Window []int
+	// StuckOp is the operation whose response event forced the final
+	// backtrack from the deepest prefix — the earliest response the
+	// engine could not explain.
+	StuckOp int
+}
+
+// Outcome is the engine's verdict on a history.
+type Outcome struct {
+	// OK reports that every partition is linearizable.
+	OK bool
+	// Subs holds the per-partition outcomes for partitions that were
+	// checked (on failure, partitions after the failing one are not).
+	Subs []SubOutcome
+	// Counterexample is set iff !OK.
+	Counterexample *Counterexample
+	// States and MemoHits aggregate over all checked partitions.
+	States, MemoHits int
+}
+
+// Check searches for a linearization of h under spec. A nil error with
+// Outcome.OK == false means the history is definitely not linearizable;
+// an ErrBudget error means the search gave up.
+func Check(h *History, spec Spec, opts Options) (Outcome, error) {
+	max := opts.MaxStates
+	if max <= 0 {
+		max = DefaultMaxStates
+	}
+	var out Outcome
+	out.OK = true
+	for _, sub := range spec.Partition(h) {
+		so, cx, err := checkSub(h, sub, max, true)
+		out.States += so.States
+		out.MemoHits += so.MemoHits
+		if err != nil {
+			return out, fmt.Errorf("%s partition %s: %w", spec.Object, sub.Name, err)
+		}
+		if cx != nil {
+			// The order prune can cut the search off before it has built an
+			// informative prefix. It is sound (the verdict cannot differ),
+			// so re-search without it purely for counterexample quality,
+			// falling back to the pruned counterexample if the unpruned
+			// search blows the budget.
+			if so2, cx2, err2 := checkSub(h, sub, max, false); err2 == nil && cx2 != nil {
+				so = SubOutcome{Name: so.Name, States: so.States + so2.States, MemoHits: so.MemoHits + so2.MemoHits}
+				out.States += so2.States
+				out.MemoHits += so2.MemoHits
+				cx = cx2
+			}
+		}
+		out.Subs = append(out.Subs, so)
+		if cx != nil {
+			out.OK = false
+			out.Counterexample = cx
+			break
+		}
+	}
+	return out, nil
+}
+
+// entry is one node of the WGL event list: a call or response event of one
+// partition-local operation.
+type entry struct {
+	idx        int // partition-local op index
+	call       bool
+	match      *entry // call → its response entry (nil when pending)
+	prev, next *entry
+}
+
+// lift removes a linearized operation's call and response from the list;
+// unlift restores them. Restores happen in LIFO order, so the stored
+// prev/next pointers are valid (the neighbors are back in place).
+func lift(c *entry) {
+	c.prev.next = c.next
+	if c.next != nil {
+		c.next.prev = c.prev
+	}
+	if r := c.match; r != nil {
+		r.prev.next = r.next
+		if r.next != nil {
+			r.next.prev = r.prev
+		}
+	}
+}
+
+func unlift(c *entry) {
+	if r := c.match; r != nil {
+		r.prev.next = r
+		if r.next != nil {
+			r.next.prev = r
+		}
+	}
+	c.prev.next = c
+	if c.next != nil {
+		c.next.prev = c
+	}
+}
+
+// buildList threads the partition's events into a doubly-linked list in
+// event order, returning the head sentinel.
+func buildList(h *History, ops []int) *entry {
+	events := make([]*entry, 0, 2*len(ops))
+	for li, gi := range ops {
+		rec := &h.Ops[gi]
+		c := &entry{idx: li, call: true}
+		events = append(events, c)
+		if !rec.Pending {
+			r := &entry{idx: li}
+			c.match = r
+			events = append(events, r)
+		}
+	}
+	// Sort by the recorder's global event index (unique per history).
+	time := func(e *entry) int {
+		rec := &h.Ops[ops[e.idx]]
+		if e.call {
+			return rec.Invoke
+		}
+		return rec.Return
+	}
+	for i := 1; i < len(events); i++ {
+		for j := i; j > 0 && time(events[j]) < time(events[j-1]); j-- {
+			events[j], events[j-1] = events[j-1], events[j]
+		}
+	}
+	head := &entry{idx: -1}
+	prev := head
+	for _, e := range events {
+		prev.next = e
+		e.prev = prev
+		prev = e
+	}
+	return head
+}
+
+// memoEnt is one stored configuration; the map key is its hash, equality
+// is verified structurally.
+type memoEnt struct {
+	bits []uint64
+	snap []uint64
+}
+
+func memoKey(bits []uint64, stateHash uint64) uint64 {
+	h := uint64(1469598103934665603)
+	for _, w := range bits {
+		h = (h ^ w) * 1099511628211
+	}
+	return (h ^ stateHash) * 1099511628211
+}
+
+// allSet reports whether every listed op is linearized in bits.
+func allSet(bits []uint64, req []int32) bool {
+	for _, r := range req {
+		if bits[r/64]&(1<<(uint(r)%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func sameBits(a, b []uint64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameSnap(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// tryApply speculatively linearizes rec against state. It returns the
+// successor model (which is state itself when the operation is a no-op)
+// and whether the recorded result is consistent.
+func tryApply(state registry.Model, rec *OpRecord) (registry.Model, bool) {
+	if rec.Pending {
+		// A pending operation that we choose to linearize took effect;
+		// its (never observed) result is unconstrained.
+		ns := state.Fork()
+		ns.Apply(rec.Op)
+		return ns, true
+	}
+	if rec.Op.Code == registry.OpMWCAS && !rec.Result.OK {
+		// A failed transaction changed nothing and read inconsistent
+		// words; linearize it as a no-op.
+		return state, true
+	}
+	ns := state.Fork()
+	got := ns.Apply(rec.Op)
+	if got.OK != rec.Result.OK {
+		return nil, false
+	}
+	if rec.Result.OK && got.Val != rec.Result.Val {
+		switch rec.Op.Code {
+		case registry.OpDequeue, registry.OpPop, registry.OpMWCAS:
+			return nil, false
+		}
+	}
+	return ns, true
+}
+
+// buildMustPrecede precomputes sound order constraints that collapse the
+// search's branching on interchangeable operations. mustPrecede[i] lists
+// partition-local ops that must be linearized before op i may be; nil when
+// no constraint applies. All constraints are witness-preserving: they only
+// prune orders no witness needs, never orders some witness requires.
+//
+// For FIFO and LIFO partitions whose enqueued/pushed values are pairwise
+// distinct and which contain no pending operations:
+//
+//   - FIFO dequeue-order forcing: the sequence of dequeued values IS the
+//     queue order, so if deq(w) precedes deq(v) in real time, every witness
+//     linearizes enq(w) before enq(v).
+//   - Canonical order for unobserved values (FIFO and LIFO): two values
+//     that are never dequeued/popped sit in the structure forever — no
+//     operation's result can depend on their relative order (in particular
+//     no empty-result is possible while they are inside), so fixing their
+//     enqueue order to invocation order loses no witness.
+//
+// Pending operations void both arguments (a pending dequeue may remove an
+// "unobserved" value), so any pending op disables the prune.
+func buildMustPrecede(h *History, ops []int) [][]int32 {
+	var enqCode, deqCode registry.OpCode
+	for _, gi := range ops {
+		rec := &h.Ops[gi]
+		if rec.Pending {
+			return nil
+		}
+		switch rec.Op.Code {
+		case registry.OpEnqueue, registry.OpDequeue:
+			if enqCode == 0 {
+				enqCode, deqCode = registry.OpEnqueue, registry.OpDequeue
+			}
+		case registry.OpPush, registry.OpPop:
+			if enqCode == 0 {
+				enqCode, deqCode = registry.OpPush, registry.OpPop
+			}
+		default:
+			return nil
+		}
+	}
+	if enqCode == 0 {
+		return nil
+	}
+	enqOf := map[uint64]int{} // value -> local enqueue index
+	for li, gi := range ops {
+		rec := &h.Ops[gi]
+		if rec.Op.Code == enqCode {
+			if _, dup := enqOf[rec.Op.Val]; dup {
+				return nil // duplicate values: the arguments need uniqueness
+			}
+			enqOf[rec.Op.Val] = li
+		}
+	}
+	deqOf := map[uint64]int{} // value -> local dequeue index
+	for li, gi := range ops {
+		rec := &h.Ops[gi]
+		if rec.Op.Code == deqCode && rec.Result.OK {
+			if _, dup := deqOf[rec.Result.Val]; dup {
+				return nil
+			}
+			deqOf[rec.Result.Val] = li
+		}
+	}
+	must := make([][]int32, len(ops))
+	if enqCode == registry.OpEnqueue {
+		// Dequeue-order forcing (queues only; pop order does not determine
+		// push order).
+		for v, ev := range enqOf {
+			dv, ok := deqOf[v]
+			if !ok {
+				continue
+			}
+			for w, ew := range enqOf {
+				if v == w {
+					continue
+				}
+				dw, ok := deqOf[w]
+				if !ok {
+					continue
+				}
+				if h.Ops[ops[dw]].Return < h.Ops[ops[dv]].Invoke {
+					must[ev] = append(must[ev], int32(ew))
+				}
+			}
+		}
+	}
+	// Canonical invocation order among never-removed values.
+	var unseen []int
+	for v, ev := range enqOf {
+		if _, ok := deqOf[v]; !ok {
+			unseen = append(unseen, ev)
+		}
+	}
+	sort.Slice(unseen, func(i, j int) bool {
+		return h.Ops[ops[unseen[i]]].Invoke < h.Ops[ops[unseen[j]]].Invoke
+	})
+	for i := 1; i < len(unseen); i++ {
+		must[unseen[i]] = append(must[unseen[i]], int32(unseen[i-1]))
+	}
+	return must
+}
+
+// checkSub runs the WGL search on one partition.
+func checkSub(h *History, sub Sub, maxStates int, usePrune bool) (SubOutcome, *Counterexample, error) {
+	so := SubOutcome{Name: sub.Name}
+	m := len(sub.Ops)
+	if m == 0 {
+		return so, nil, nil
+	}
+	head := buildList(h, sub.Ops)
+	var must [][]int32
+	if usePrune {
+		must = buildMustPrecede(h, sub.Ops)
+	}
+	state := sub.New()
+	bits := make([]uint64, (m+63)/64)
+	cache := map[uint64][]memoEnt{}
+
+	type frame struct {
+		e    *entry
+		prev registry.Model
+	}
+	var stack []frame
+
+	// Counterexample bookkeeping: deepest prefix reached (the empty prefix
+	// counts), and the first response that forced a backtrack from that
+	// depth.
+	bestDepth := 0
+	var bestPrefix []int
+	stuck := -1
+
+	e := head.next
+	for {
+		if e == nil {
+			// Walked past the end: everything except (possibly) skipped
+			// pending calls is linearized.
+			so.Witness = make([]int, len(stack))
+			for i, f := range stack {
+				so.Witness[i] = sub.Ops[f.e.idx]
+			}
+			return so, nil, nil
+		}
+		if e.call {
+			rec := &h.Ops[sub.Ops[e.idx]]
+			if must != nil && !allSet(bits, must[e.idx]) {
+				e = e.next
+				continue
+			}
+			if ns, ok := tryApply(state, rec); ok {
+				bits[e.idx/64] |= 1 << (e.idx % 64)
+				key := memoKey(bits, ns.Hash())
+				if hit := lookup(cache, key, bits, ns); hit {
+					so.MemoHits++
+					bits[e.idx/64] &^= 1 << (e.idx % 64)
+				} else {
+					insert(cache, key, bits, ns)
+					so.States++
+					if so.States > maxStates {
+						return so, nil, fmt.Errorf("%w (%d configurations)", ErrBudget, so.States)
+					}
+					stack = append(stack, frame{e: e, prev: state})
+					state = ns
+					lift(e)
+					if len(stack) > bestDepth {
+						bestDepth = len(stack)
+						bestPrefix = bestPrefix[:0]
+						for _, f := range stack {
+							bestPrefix = append(bestPrefix, sub.Ops[f.e.idx])
+						}
+						stuck = -1
+					}
+					e = head.next
+					continue
+				}
+			}
+			e = e.next
+			continue
+		}
+		// Response event whose call is not linearized: the speculation so
+		// far cannot explain this response.
+		if stuck < 0 && len(stack) == bestDepth {
+			stuck = sub.Ops[e.idx]
+		}
+		if len(stack) == 0 {
+			return so, counterexample(h, sub, bestPrefix, stuck), nil
+		}
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		state = f.prev
+		bits[f.e.idx/64] &^= 1 << (f.e.idx % 64)
+		unlift(f.e)
+		e = f.e.next
+	}
+}
+
+func lookup(cache map[uint64][]memoEnt, key uint64, bits []uint64, state registry.Model) bool {
+	ents := cache[key]
+	if len(ents) == 0 {
+		return false
+	}
+	snap := state.Snapshot()
+	for _, ent := range ents {
+		if sameBits(ent.bits, bits) && sameSnap(ent.snap, snap) {
+			return true
+		}
+	}
+	return false
+}
+
+func insert(cache map[uint64][]memoEnt, key uint64, bits []uint64, state registry.Model) {
+	cache[key] = append(cache[key], memoEnt{
+		bits: append([]uint64(nil), bits...),
+		snap: state.Snapshot(),
+	})
+}
+
+// counterexample assembles the failing window: partition members outside
+// the deepest prefix that were invoked no later than the stuck response.
+func counterexample(h *History, sub Sub, prefix []int, stuckOp int) *Counterexample {
+	inPrefix := map[int]bool{}
+	for _, gi := range prefix {
+		inPrefix[gi] = true
+	}
+	horizon := h.Events
+	if stuckOp >= 0 {
+		horizon = h.Ops[stuckOp].Return
+	}
+	var window []int
+	for _, gi := range sub.Ops {
+		if !inPrefix[gi] && h.Ops[gi].Invoke <= horizon {
+			window = append(window, gi)
+		}
+	}
+	return &Counterexample{
+		Sub:     sub.Name,
+		Prefix:  append([]int(nil), prefix...),
+		Window:  window,
+		StuckOp: stuckOp,
+	}
+}
+
+// Tree renders the counterexample as a span tree: the linearizable prefix,
+// then the window of operations that admit no order, then the response the
+// search could not explain. The rendering is deterministic.
+func (c *Counterexample) Tree(h *History) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "non-linearizable window (partition %s): %d op(s) admit no legal order\n",
+		c.Sub, len(c.Window))
+	fmt.Fprintf(&sb, "├─ linearizable prefix (%d op(s)):\n", len(c.Prefix))
+	for _, gi := range c.Prefix {
+		fmt.Fprintf(&sb, "│    %s\n", h.Ops[gi].line(gi))
+	}
+	sb.WriteString("├─ window:\n")
+	for _, gi := range c.Window {
+		fmt.Fprintf(&sb, "│    %s\n", h.Ops[gi].line(gi))
+	}
+	if c.StuckOp >= 0 {
+		fmt.Fprintf(&sb, "└─ stuck at: op#%d response (event %d): no linearization of the window explains it\n",
+			c.StuckOp, h.Ops[c.StuckOp].Return)
+	} else {
+		sb.WriteString("└─ stuck at: end of history\n")
+	}
+	return sb.String()
+}
+
+// Summary renders the outcome in one line.
+func (o Outcome) Summary() string {
+	if o.OK {
+		return fmt.Sprintf("linearizable: %d partition(s), %d state(s) explored, %d memo hit(s)",
+			len(o.Subs), o.States, o.MemoHits)
+	}
+	return fmt.Sprintf("NOT linearizable: partition %s (%d state(s) explored)",
+		o.Counterexample.Sub, o.States)
+}

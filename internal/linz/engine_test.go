@@ -1,0 +1,326 @@
+package linz_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/linz"
+	"repro/internal/registry"
+)
+
+// hb builds hand-crafted histories for engine unit tests.
+type hb struct{ h linz.History }
+
+// add appends one operation interval. ret < 0 marks the op pending.
+func (b *hb) add(proc int, op registry.Op, res registry.Result, inv, ret int) {
+	b.h.Ops = append(b.h.Ops, linz.OpRecord{
+		Proc: proc, Op: op, Result: res,
+		Invoke: inv, Return: ret,
+		InvokeStep: uint64(inv), ReturnStep: uint64(max(ret, 0)),
+		Pending: ret < 0,
+	})
+	if inv >= b.h.Events {
+		b.h.Events = inv + 1
+	}
+	if ret >= b.h.Events {
+		b.h.Events = ret + 1
+	}
+}
+
+func (b *hb) hist() *linz.History { return &b.h }
+
+func spec(t *testing.T, object string, cfg registry.Config) linz.Spec {
+	t.Helper()
+	return linz.SpecFor(registry.Lookup0(object), cfg)
+}
+
+func enq(v uint64) registry.Op  { return registry.Op{Code: registry.OpEnqueue, Val: v} }
+func deq() registry.Op          { return registry.Op{Code: registry.OpDequeue} }
+func push(v uint64) registry.Op { return registry.Op{Code: registry.OpPush, Val: v} }
+func pop() registry.Op          { return registry.Op{Code: registry.OpPop} }
+
+func ok() registry.Result            { return registry.Result{OK: true} }
+func okVal(v uint64) registry.Result { return registry.Result{OK: true, Val: v} }
+func miss() registry.Result          { return registry.Result{OK: false} }
+
+func mustCheck(t *testing.T, h *linz.History, s linz.Spec) linz.Outcome {
+	t.Helper()
+	out, err := linz.Check(h, s, linz.Options{})
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	return out
+}
+
+// TestFIFOSequentialAccepts: a strictly sequential in-order queue history is
+// linearizable and yields a full witness.
+func TestFIFOSequentialAccepts(t *testing.T) {
+	var b hb
+	b.add(0, enq(1), ok(), 0, 1)
+	b.add(1, enq(2), ok(), 2, 3)
+	b.add(2, deq(), okVal(1), 4, 5)
+	b.add(2, deq(), okVal(2), 6, 7)
+	out := mustCheck(t, b.hist(), spec(t, "uniqueue", registry.Config{}))
+	if !out.OK {
+		t.Fatalf("sequential FIFO history rejected: %s", out.Summary())
+	}
+	if len(out.Subs) != 1 || len(out.Subs[0].Witness) != 4 {
+		t.Fatalf("want 1 partition with a 4-op witness, got %+v", out.Subs)
+	}
+}
+
+// TestFIFORealTimeViolationRejected: the first dequeue returns the second
+// enqueue's value even though the first enqueue completed strictly before
+// the second began. No overlap, so no linearization exists.
+func TestFIFORealTimeViolationRejected(t *testing.T) {
+	var b hb
+	b.add(0, enq(1), ok(), 0, 1)
+	b.add(1, enq(2), ok(), 2, 3)
+	b.add(2, deq(), okVal(2), 4, 5)
+	b.add(2, deq(), okVal(1), 6, 7)
+	out := mustCheck(t, b.hist(), spec(t, "uniqueue", registry.Config{}))
+	if out.OK {
+		t.Fatal("real-time FIFO violation accepted")
+	}
+	cx := out.Counterexample
+	if cx == nil {
+		t.Fatal("no counterexample on a rejected history")
+	}
+	if cx.StuckOp != 2 {
+		t.Errorf("stuck op = %d, want 2 (the impossible dequeue)", cx.StuckOp)
+	}
+	if len(cx.Prefix) != 2 || len(cx.Window) != 1 || cx.Window[0] != 2 {
+		t.Errorf("prefix %v window %v, want prefix of both enqueues and window [2]", cx.Prefix, cx.Window)
+	}
+	if tree := cx.Tree(b.hist()); tree != cx.Tree(b.hist()) {
+		t.Error("counterexample rendering is not deterministic")
+	}
+}
+
+// TestFIFOOverlapAccepts: when the two enqueues overlap, either order is
+// legal and the same dequeue results are fine.
+func TestFIFOOverlapAccepts(t *testing.T) {
+	var b hb
+	b.add(0, enq(1), ok(), 0, 3)
+	b.add(1, enq(2), ok(), 1, 2)
+	b.add(2, deq(), okVal(2), 4, 5)
+	b.add(2, deq(), okVal(1), 6, 7)
+	out := mustCheck(t, b.hist(), spec(t, "uniqueue", registry.Config{}))
+	if !out.OK {
+		t.Fatalf("overlapping enqueues rejected: %s", out.Summary())
+	}
+}
+
+// TestLIFORealTime: pops must see pushes in reverse completion order; the
+// in-order variant is the violation for a stack.
+func TestLIFORealTime(t *testing.T) {
+	var b hb
+	b.add(0, push(1), ok(), 0, 1)
+	b.add(1, push(2), ok(), 2, 3)
+	b.add(2, pop(), okVal(2), 4, 5)
+	b.add(2, pop(), okVal(1), 6, 7)
+	if out := mustCheck(t, b.hist(), spec(t, "unistack", registry.Config{})); !out.OK {
+		t.Fatalf("legal LIFO history rejected: %s", out.Summary())
+	}
+
+	var bad hb
+	bad.add(0, push(1), ok(), 0, 1)
+	bad.add(1, push(2), ok(), 2, 3)
+	bad.add(2, pop(), okVal(1), 4, 5)
+	bad.add(2, pop(), okVal(2), 6, 7)
+	if out := mustCheck(t, bad.hist(), spec(t, "unistack", registry.Config{})); out.OK {
+		t.Fatal("LIFO real-time violation accepted")
+	}
+}
+
+// TestSortedPartitions: sorted-set histories split per key; an impossible
+// search on one key is pinned to that key's partition.
+func TestSortedPartitions(t *testing.T) {
+	cfg := registry.Config{SeedKeys: []uint64{5}}
+	ins := func(k uint64) registry.Op { return registry.Op{Code: registry.OpInsert, Key: k, Val: k} }
+	srch := func(k uint64) registry.Op { return registry.Op{Code: registry.OpSearch, Key: k} }
+	del := func(k uint64) registry.Op { return registry.Op{Code: registry.OpDelete, Key: k} }
+
+	var good hb
+	good.add(0, ins(7), ok(), 0, 1)
+	good.add(1, srch(5), ok(), 2, 3)
+	good.add(0, srch(7), ok(), 4, 5)
+	good.add(1, del(5), ok(), 6, 7)
+	good.add(1, srch(5), miss(), 8, 9)
+	out := mustCheck(t, good.hist(), spec(t, "unilist", cfg))
+	if !out.OK {
+		t.Fatalf("legal sorted history rejected: %s", out.Summary())
+	}
+	if len(out.Subs) != 2 || out.Subs[0].Name != "key=5" || out.Subs[1].Name != "key=7" {
+		t.Fatalf("want partitions [key=5 key=7], got %+v", out.Subs)
+	}
+
+	var bad hb
+	bad.add(0, ins(7), ok(), 0, 1)
+	bad.add(1, srch(5), ok(), 2, 3)
+	bad.add(0, srch(7), miss(), 4, 5) // impossible: 7 inserted, never deleted
+	out = mustCheck(t, bad.hist(), spec(t, "unilist", cfg))
+	if out.OK {
+		t.Fatal("impossible key=7 search accepted")
+	}
+	if out.Counterexample.Sub != "key=7" {
+		t.Errorf("failing partition %q, want key=7", out.Counterexample.Sub)
+	}
+}
+
+// TestPendingOps: a pending operation may be linearized (it explains a
+// later observation) or skipped entirely (the run died before it took
+// effect); both readings must be available to the search.
+func TestPendingOps(t *testing.T) {
+	// Pending enqueue must be linearizable: the dequeue saw its value.
+	var taken hb
+	taken.add(0, enq(9), registry.Result{}, 0, -1)
+	taken.add(1, deq(), okVal(9), 1, 2)
+	if out := mustCheck(t, taken.hist(), spec(t, "uniqueue", registry.Config{})); !out.OK {
+		t.Fatalf("pending enqueue not linearized to explain dequeue: %s", out.Summary())
+	}
+
+	// Pending enqueue must also be skippable: the queue looked empty.
+	var skipped hb
+	skipped.add(0, enq(9), registry.Result{}, 0, -1)
+	skipped.add(1, deq(), miss(), 1, 2)
+	if out := mustCheck(t, skipped.hist(), spec(t, "uniqueue", registry.Config{})); !out.OK {
+		t.Fatalf("pending enqueue forced into the linearization: %s", out.Summary())
+	}
+
+	// A completed dequeue with no matching enqueue anywhere is unexplainable.
+	var bogus hb
+	bogus.add(0, deq(), okVal(5), 0, 1)
+	if out := mustCheck(t, bogus.hist(), spec(t, "uniqueue", registry.Config{})); out.OK {
+		t.Fatal("dequeue of a never-enqueued value accepted")
+	}
+}
+
+// TestFailedMWCASIsNoOp: a failed transaction linearizes as a no-op — it
+// must not advance the words and must never make the history unlinearizable.
+func TestFailedMWCASIsNoOp(t *testing.T) {
+	cfg := registry.Config{Words: 2, Width: 2, Initial: []uint64{10, 20}}
+	mw := func(words []int, delta uint64) registry.Op {
+		return registry.Op{Code: registry.OpMWCAS, Words: words, Delta: delta}
+	}
+	var b hb
+	b.add(0, mw([]int{0, 1}, 1), okVal(10), 0, 1)
+	b.add(1, mw([]int{0}, 5), miss(), 2, 3) // failed: no effect
+	b.add(0, mw([]int{0}, 2), okVal(11), 4, 5)
+	if out := mustCheck(t, b.hist(), spec(t, "unimwcas", cfg)); !out.OK {
+		t.Fatalf("failed MWCAS broke an otherwise legal history: %s", out.Summary())
+	}
+
+	// If the failed op had been applied, word 0 would read 16 here; the
+	// recorded 13 is only consistent with the no-op reading.
+	var strict hb
+	strict.add(0, mw([]int{0, 1}, 1), okVal(10), 0, 1)
+	strict.add(1, mw([]int{0}, 5), miss(), 2, 3)
+	strict.add(0, mw([]int{0}, 2), okVal(13), 4, 5)
+	if out := mustCheck(t, strict.hist(), spec(t, "unimwcas", cfg)); out.OK {
+		t.Fatal("history consistent only with applying a failed MWCAS was accepted")
+	}
+}
+
+// TestBudget: the per-partition configuration cap surfaces as ErrBudget.
+func TestBudget(t *testing.T) {
+	var b hb
+	b.add(0, enq(1), ok(), 0, 1)
+	b.add(1, enq(2), ok(), 2, 3)
+	b.add(2, deq(), okVal(1), 4, 5)
+	b.add(2, deq(), okVal(2), 6, 7)
+	_, err := linz.Check(b.hist(), spec(t, "uniqueue", registry.Config{}), linz.Options{MaxStates: 1})
+	if !errors.Is(err, linz.ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+// TestEnginePerf1000Ops: the acceptance bar — a 1,000-op 8-proc linearizable
+// queue history checks in under a second. The generator interleaves
+// invocations, linearization points, and responses so ops genuinely overlap
+// (windows up to 8 deep) while the recorded results stay consistent.
+func TestEnginePerf1000Ops(t *testing.T) {
+	const totalOps = 1000
+	const procs = 8
+	rng := rand.New(rand.NewSource(1234))
+	model := registry.Lookup0("uniqueue").NewModel(registry.Config{})
+
+	var h linz.History
+	busy := make([]int, procs) // op id per proc, -1 = idle
+	for i := range busy {
+		busy[i] = -1
+	}
+	started, completed := 0, 0
+	var unlin []int  // invoked, not yet linearized
+	var undone []int // linearized, not yet responded
+	nextVal := uint64(1)
+	depth := 0 // invoked enqueues minus invoked dequeues
+	for completed < totalOps {
+		var idle []int
+		for p, id := range busy {
+			if id < 0 {
+				idle = append(idle, p)
+			}
+		}
+		switch {
+		case started < totalOps && len(idle) > 0 && (rng.Intn(3) != 0 || len(unlin)+len(undone) == 0):
+			p := idle[rng.Intn(len(idle))]
+			// Balanced enqueue/dequeue with bounded drift: values enqueued
+			// concurrently stay mutually unordered until dequeued, so a
+			// workload that lets the queue grow deep carries an exponential
+			// set of live orderings. Draining regularly (like any real
+			// stress workload does) collapses them.
+			op := deq()
+			if depth <= 0 || (depth < 8 && rng.Intn(2) == 0) {
+				op = enq(nextVal)
+				nextVal++
+				depth++
+			} else {
+				depth--
+			}
+			id := len(h.Ops)
+			h.Ops = append(h.Ops, linz.OpRecord{
+				Proc: p, Op: op, Invoke: h.Events, Return: -1, Pending: true,
+			})
+			h.Events++
+			busy[p] = id
+			unlin = append(unlin, id)
+			started++
+		case len(unlin) > 0 && (rng.Intn(2) == 0 || started == totalOps):
+			i := rng.Intn(len(unlin))
+			id := unlin[i]
+			unlin = append(unlin[:i], unlin[i+1:]...)
+			h.Ops[id].Result = model.Apply(h.Ops[id].Op)
+			undone = append(undone, id)
+		case len(undone) > 0:
+			i := rng.Intn(len(undone))
+			id := undone[i]
+			undone = append(undone[:i], undone[i+1:]...)
+			h.Ops[id].Return = h.Events
+			h.Ops[id].Pending = false
+			h.Events++
+			busy[h.Ops[id].Proc] = -1
+			completed++
+		}
+	}
+
+	start := time.Now()
+	out := mustCheck(t, &h, spec(t, "uniqueue", registry.Config{}))
+	elapsed := time.Since(start)
+	if !out.OK {
+		t.Fatalf("generated linearizable history rejected: %s", out.Summary())
+	}
+	t.Logf("%d ops, %d procs: %v, %d states, %d memo hits", totalOps, procs, elapsed, out.States, out.MemoHits)
+	if elapsed > time.Second {
+		t.Fatalf("1,000-op history took %v, want < 1s", elapsed)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

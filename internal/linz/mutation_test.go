@@ -1,0 +1,109 @@
+package linz_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/linz"
+	"repro/internal/linz/testdata/mutant"
+	"repro/internal/registry"
+	"repro/internal/sched"
+)
+
+// The mutation tests check the checker: deliberately mis-linearized objects
+// (internal/linz/testdata/mutant) that commit announced operations in the
+// wrong order must be flagged by the black-box engine — and must NOT be
+// flagged by a white-box replay-at-commit checker, because their results
+// and final state are perfectly consistent with the (wrong) commit order.
+// This pins the exact bug class the linz subsystem exists to catch.
+
+type mutantStep struct {
+	slot int
+	op   registry.Op
+}
+
+// runMutant drives one mutant instance through a deterministic script on a
+// single-processor simulation, recording the history black-box style.
+func runMutant(t *testing.T, build func() registry.Instance, object string, script []mutantStep) (whiteErr error, h *linz.History, out linz.Outcome) {
+	t.Helper()
+	sim := sched.New(sched.Config{Processors: 1, Seed: 1, MemWords: 1 << 10})
+	rec, wrapped := linz.Record(build())
+	sim.Spawn(sched.JobSpec{Name: "driver", Prio: 1, AfterSlices: -1, Body: func(e *sched.Env) {
+		for _, s := range script {
+			wrapped.Apply(e, s.slot, s.op)
+		}
+	}})
+	if err := sim.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	h = rec.History()
+	out, err := linz.Check(h, linz.SpecFor(registry.Lookup0(object), registry.Config{}), linz.Options{})
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	return wrapped.CheckErr(), h, out
+}
+
+// TestLazyQueueMutant: the queue that drains announced enqueues in
+// descending slot order. Slot 0's enqueue completes before slot 1's begins,
+// yet the drain splices slot 1's value first, so the first dequeue returns
+// it — a real-time FIFO violation invisible to commit-point replay.
+func TestLazyQueueMutant(t *testing.T) {
+	build := func() registry.Instance {
+		return mutant.NewLazyQueue(3, registry.Lookup0("uniqueue").NewModel(registry.Config{}))
+	}
+	script := []mutantStep{
+		{0, registry.Op{Code: registry.OpEnqueue, Val: 1}},
+		{1, registry.Op{Code: registry.OpEnqueue, Val: 2}},
+		{2, registry.Op{Code: registry.OpDequeue}},
+		{2, registry.Op{Code: registry.OpDequeue}},
+	}
+	whiteErr, h, out := runMutant(t, build, "uniqueue", script)
+	if whiteErr != nil {
+		t.Fatalf("white-box checker flagged the mutant (it must be blind to commit-order bugs): %v", whiteErr)
+	}
+	if out.OK {
+		t.Fatalf("black-box engine accepted the mis-linearized queue\n%s", h.Text())
+	}
+	if out.Counterexample == nil {
+		t.Fatal("rejection without a counterexample")
+	}
+	tree := out.Counterexample.Tree(h)
+	if !strings.Contains(tree, "dequeue") {
+		t.Errorf("counterexample tree does not mention the impossible dequeue:\n%s", tree)
+	}
+
+	// Determinism: a fresh identical run renders byte-identically.
+	_, h2, out2 := runMutant(t, build, "uniqueue", script)
+	if h.Text() != h2.Text() {
+		t.Errorf("recorded histories differ across identical runs:\n%s\nvs\n%s", h.Text(), h2.Text())
+	}
+	if tree2 := out2.Counterexample.Tree(h2); tree != tree2 {
+		t.Errorf("counterexample renderings differ across identical runs:\n%s\nvs\n%s", tree, tree2)
+	}
+}
+
+// TestLazyStackMutant: the stack analog. Draining in descending slot order
+// leaves the earliest announced push on top, so the pop returns a value
+// whose push completed strictly before a later push that is still buried.
+func TestLazyStackMutant(t *testing.T) {
+	build := func() registry.Instance {
+		return mutant.NewLazyStack(3, registry.Lookup0("unistack").NewModel(registry.Config{}))
+	}
+	script := []mutantStep{
+		{0, registry.Op{Code: registry.OpPush, Val: 1}},
+		{1, registry.Op{Code: registry.OpPush, Val: 2}},
+		{2, registry.Op{Code: registry.OpPop}},
+		{2, registry.Op{Code: registry.OpPop}},
+	}
+	whiteErr, h, out := runMutant(t, build, "unistack", script)
+	if whiteErr != nil {
+		t.Fatalf("white-box checker flagged the mutant: %v", whiteErr)
+	}
+	if out.OK {
+		t.Fatalf("black-box engine accepted the mis-linearized stack\n%s", h.Text())
+	}
+	if out.Counterexample == nil {
+		t.Fatal("rejection without a counterexample")
+	}
+}

@@ -1,0 +1,95 @@
+package linz
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/registry"
+)
+
+// Sub is one independently checkable slice of a history: a subset of the
+// operations plus a constructor for the sequential model they are checked
+// against. Partitioning is the first of the engine's two big levers —
+// linearizability is compositional over independent state (P-compositional
+// in Horn/Kroening's terms), so a sorted-set history splits into one tiny
+// per-key history per key, turning one exponential search into many
+// near-trivial ones.
+type Sub struct {
+	// Name identifies the partition in outcomes ("all", "key=5").
+	Name string
+	// Ops are the indices into History.Ops belonging to this partition,
+	// in invocation order.
+	Ops []int
+	// New returns a fresh sequential model holding the partition's initial
+	// state.
+	New func() registry.Model
+}
+
+// Spec is an object's black-box checking specification: how to split a
+// history into independent partitions and what sequential model each
+// partition is checked against.
+type Spec struct {
+	// Object names the specified object (diagnostics only).
+	Object string
+	// Partition splits a history into independently checkable subs.
+	Partition func(h *History) []Sub
+}
+
+// SpecFor adapts a registry descriptor's sequential model into a black-box
+// spec. cfg must be the instance configuration the history was recorded
+// under (it carries the seeded initial state). All ten core objects and
+// the four baselines are covered by the four model kinds:
+//
+//   - ModelSorted objects partition per key: sorted-set operations on
+//     distinct keys are independent, so each key is checked against a
+//     one-key model seeded from cfg.SeedKeys.
+//   - ModelFIFO, ModelLIFO and ModelWords objects check as one partition
+//     (their operations all touch shared state).
+func SpecFor(d *registry.Descriptor, cfg registry.Config) Spec {
+	if d.Model == registry.ModelSorted {
+		return Spec{Object: d.Name, Partition: func(h *History) []Sub {
+			return sortedSubs(d, cfg, h)
+		}}
+	}
+	return Spec{Object: d.Name, Partition: func(h *History) []Sub {
+		ops := make([]int, len(h.Ops))
+		for i := range ops {
+			ops[i] = i
+		}
+		return []Sub{{Name: "all", Ops: ops, New: func() registry.Model { return d.NewModel(cfg) }}}
+	}}
+}
+
+// sortedSubs groups a sorted-set history per key. Seeded keys with no
+// operations are vacuously linearizable and are skipped.
+func sortedSubs(d *registry.Descriptor, cfg registry.Config, h *History) []Sub {
+	byKey := map[uint64][]int{}
+	for i := range h.Ops {
+		k := h.Ops[i].Op.Key
+		byKey[k] = append(byKey[k], i)
+	}
+	seeded := map[uint64]bool{}
+	for _, k := range cfg.SeedKeys {
+		seeded[k] = true
+	}
+	keys := make([]uint64, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	subs := make([]Sub, 0, len(keys))
+	for _, k := range keys {
+		k := k
+		kcfg := cfg
+		kcfg.SeedKeys = nil
+		if seeded[k] {
+			kcfg.SeedKeys = []uint64{k}
+		}
+		subs = append(subs, Sub{
+			Name: fmt.Sprintf("key=%d", k),
+			Ops:  byKey[k],
+			New:  func() registry.Model { return d.NewModel(kcfg) },
+		})
+	}
+	return subs
+}

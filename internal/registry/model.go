@@ -5,13 +5,20 @@ import "sort"
 // Model is an object's sequential specification: the golden in-memory
 // implementation an execution's operation sequence is replayed against.
 // The wfcheck sweeps and the differential tests compare concrete objects
-// to it op for op.
+// to it op for op, and the black-box checker (internal/linz) searches over
+// its states, which is what Fork and Hash exist for.
 type Model interface {
 	// Apply performs op sequentially and returns the specified outcome.
 	Apply(op Op) Result
 	// Snapshot returns the canonical state (same convention as
 	// Instance.Snapshot).
 	Snapshot() []uint64
+	// Fork returns an independent copy of the model; applying operations
+	// to either side never affects the other (backtracking search).
+	Fork() Model
+	// Hash returns a canonical hash of the current state: equal states
+	// hash equal regardless of how they were reached (memoization).
+	Hash() uint64
 }
 
 // NewModel returns a fresh sequential model of the descriptor's kind,
@@ -36,7 +43,45 @@ func (d *Descriptor) NewModel(cfg Config) Model {
 	panic("registry: no model for descriptor " + d.Name)
 }
 
+// mix64 is the SplitMix64 finalizer, used to spread state values before
+// they are combined into a hash.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hashSeq hashes an ordered value sequence (queues, stacks, word arrays).
+func hashSeq(vals []uint64) uint64 {
+	h := uint64(1469598103934665603) // FNV offset basis
+	for _, v := range vals {
+		h = (h ^ mix64(v)) * 1099511628211
+	}
+	return h
+}
+
 type sortedModel struct{ present map[uint64]bool }
+
+func (m *sortedModel) Fork() Model {
+	c := &sortedModel{present: make(map[uint64]bool, len(m.present))}
+	for k := range m.present {
+		c.present[k] = true
+	}
+	return c
+}
+
+// Hash combines member hashes with XOR so the result is independent of map
+// iteration order.
+func (m *sortedModel) Hash() uint64 {
+	h := uint64(0x5e7414441f4bc) ^ uint64(len(m.present))
+	for k := range m.present {
+		h ^= mix64(k + 1)
+	}
+	return h
+}
 
 func (m *sortedModel) Apply(op Op) Result {
 	switch op.Code {
@@ -69,6 +114,11 @@ func (m *sortedModel) Snapshot() []uint64 {
 
 type fifoModel struct{ q []uint64 }
 
+func (m *fifoModel) Fork() Model { return &fifoModel{q: append([]uint64(nil), m.q...)} }
+func (m *fifoModel) Hash() uint64 {
+	return 0x1f1f0 ^ hashSeq(m.q)
+}
+
 func (m *fifoModel) Apply(op Op) Result {
 	switch op.Code {
 	case OpEnqueue:
@@ -88,6 +138,11 @@ func (m *fifoModel) Apply(op Op) Result {
 func (m *fifoModel) Snapshot() []uint64 { return append([]uint64(nil), m.q...) }
 
 type lifoModel struct{ st []uint64 } // st[0] = top
+
+func (m *lifoModel) Fork() Model { return &lifoModel{st: append([]uint64(nil), m.st...)} }
+func (m *lifoModel) Hash() uint64 {
+	return 0x11f0 ^ hashSeq(m.st)
+}
 
 func (m *lifoModel) Apply(op Op) Result {
 	switch op.Code {
@@ -110,6 +165,11 @@ func (m *lifoModel) Snapshot() []uint64 { return append([]uint64(nil), m.st...) 
 // wordsModel: sequentially, a read-modify-write transaction always
 // succeeds.
 type wordsModel struct{ words []uint64 }
+
+func (m *wordsModel) Fork() Model { return &wordsModel{words: append([]uint64(nil), m.words...)} }
+func (m *wordsModel) Hash() uint64 {
+	return 0x3d0 ^ hashSeq(m.words)
+}
 
 func (m *wordsModel) Apply(op Op) Result {
 	if op.Code != OpMWCAS {

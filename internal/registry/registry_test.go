@@ -79,7 +79,7 @@ func TestNormalizeRejectsBadProcConfig(t *testing.T) {
 // same ops, different slots yield different streams.
 func TestOpsDeterministic(t *testing.T) {
 	for _, d := range All() {
-		cfg := d.sweepInstanceConfig(3)
+		cfg := d.StressConfig(3)
 		a := d.Ops(cfg, 7, 1, 20)
 		b := d.Ops(cfg, 7, 1, 20)
 		if !reflect.DeepEqual(a, b) {
@@ -172,7 +172,7 @@ func runSerialized(t *testing.T, d *Descriptor, seed int64) ([][]Result, []uint6
 	t.Helper()
 	const slots, opsPerSlot = 3, 12
 	s := sched.New(sched.Config{Processors: 1, Seed: seed, MemWords: 1 << 16})
-	cfg := d.sweepInstanceConfig(slots)
+	cfg := d.StressConfig(slots)
 	cfg.Processors = 1
 	inst, err := Build(s, d.Name, cfg)
 	if err != nil {

@@ -176,17 +176,6 @@ func (e *Env) Note(key string, args ...trace.Field) {
 	e.sim.emitNote(e.p.spec.CPU, e.p, key, args)
 }
 
-// Tracef records a free-form algorithm annotation in the run trace (no-op
-// when tracing is disabled). It is the legacy shim over Note: the message is
-// pre-formatted, so it carries no structured key/args and the span layer
-// ignores it. New instrumentation should use Note.
-func (e *Env) Tracef(format string, args ...any) {
-	if e.sim.log == nil {
-		return
-	}
-	e.sim.emit(trace.KindAnnotate, e.p.spec.CPU, e.p, fmt.Sprintf(format, args...))
-}
-
 // NoteHelp records that this process performed one help invocation on the
 // operation announced under slot pid. It is observability bookkeeping only —
 // no simulated time is charged and no schedule is perturbed — so the helping

@@ -3,6 +3,8 @@ package sched
 import (
 	"errors"
 	"testing"
+
+	"repro/internal/trace"
 )
 
 // TestSyncCostCharged: CAS costs SyncCost units, loads stay at one.
@@ -142,11 +144,11 @@ func TestTimedArrivalOnIdleCPU(t *testing.T) {
 	}
 }
 
-// TestTracefDisabled: annotations are cheap no-ops without tracing.
-func TestTracefDisabled(t *testing.T) {
+// TestNoteDisabled: annotations are cheap no-ops without tracing.
+func TestNoteDisabled(t *testing.T) {
 	s := New(Config{Processors: 1, Seed: 1})
 	s.SpawnAt(0, 0, 1, "p", func(e *Env) {
-		e.Tracef("ignored %d", 42)
+		e.Note("ignored", trace.I("n", 42))
 	})
 	if err := s.Run(); err != nil {
 		t.Fatal(err)

@@ -1,7 +1,7 @@
 // Package trace records scheduling and algorithm events of a simulation run.
 //
 // The scheduler emits Arrival/Dispatch/Preempt/Complete events; algorithms
-// emit semantic annotations (announce, help, commit) through Env.Tracef.
+// emit semantic annotations (announce, help, commit) through Env.Note.
 // Tests assert on the resulting log — the Figure 2 incremental-helping
 // scenario of the paper is reproduced as assertions over this log — and
 // cmd/wfsim pretty-prints it.
@@ -115,7 +115,7 @@ type Event struct {
 	Msg string
 	// Key is the structured annotation key ("announce", "help", "splice",
 	// ...) for annotations emitted through Env.Note; empty for scheduler
-	// events and for legacy free-form Tracef annotations.
+	// events.
 	Key string
 	// Args are the structured annotation arguments, if any.
 	Args []Field

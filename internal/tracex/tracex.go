@@ -160,7 +160,7 @@ var linearizeKeys = map[string]bool{
 }
 
 // Build reconstructs the span model from a log. It is total: unknown
-// annotation keys and free-form Tracef messages are ignored, and spans left
+// annotation keys and keyless annotations are ignored, and spans left
 // open at the end of the log are reported with Open set rather than
 // dropped.
 func Build(l *trace.Log) *Trace {
