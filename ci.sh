@@ -35,6 +35,19 @@ go run ./cmd/wfcheck -max 40 -par 1 > artifacts/wfcheck_serial.txt
 go run ./cmd/wfcheck -max 40 -par 0 > artifacts/wfcheck_par.txt
 cmp artifacts/wfcheck_serial.txt artifacts/wfcheck_par.txt
 
+# Byte-identity goldens, pinned before the simulator fast path (run-ahead
+# slice batching, heap ready queues, Sim pooling, zero-alloc tracing)
+# landed: the optimized core must not change one observable byte of the
+# sweep output, the wftrace text rendering, or the run reports.
+cmp testdata/golden/wfcheck_max40.txt artifacts/wfcheck_serial.txt
+go run ./cmd/wftrace -object unilist -seed 1 -pattern stagger > artifacts/wftrace_unilist_stagger.txt
+cmp testdata/golden/wftrace_unilist_stagger.txt artifacts/wftrace_unilist_stagger.txt
+mkdir -p artifacts/report
+go run ./cmd/wfbench -exp report -outdir artifacts/report > /dev/null
+for f in testdata/golden/report/*.json; do
+    cmp "$f" "artifacts/report/$(basename "$f")"
+done
+
 go run ./cmd/wfbench -exp sweep -sweepseeds 1 -outdir artifacts
 test -s artifacts/BENCH_sweep.json
 
@@ -44,3 +57,12 @@ test -s artifacts/BENCH_sweep.json
 go run ./cmd/wfcheck -linz -rand 25 -par 1 > artifacts/wfcheck_linz.txt
 go run ./cmd/wfcheck -linz -rand 25 -par 0 > artifacts/wfcheck_linz_par.txt
 cmp artifacts/wfcheck_linz.txt artifacts/wfcheck_linz_par.txt
+cmp testdata/golden/wfcheck_linz25.txt artifacts/wfcheck_linz.txt
+
+# Perf gate: -exp core re-measures the serial and run-ahead simulator core
+# (asserting the two modes still agree exactly) and fails if run-ahead
+# ns/slice regresses more than 25% against the committed baseline. Set
+# WF_SKIP_PERF_GATE=1 on hosts too noisy for timing assertions.
+if [ -z "${WF_SKIP_PERF_GATE:-}" ]; then
+    go run ./cmd/wfbench -exp core -outdir artifacts -corebaseline testdata/BENCH_core.json
+fi

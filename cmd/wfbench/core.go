@@ -1,0 +1,216 @@
+package main
+
+// The -exp core experiment: the simulator-core performance trajectory.
+//
+// Two measurements, both taken with the run-ahead fast path off ("serial",
+// one scheduler round trip per slice) and on ("runahead", batched slices):
+//
+//   - a Fine-granularity uncontended microbenchmark (one processor, one
+//     process, a long Load/Store loop) — the pure per-slice overhead of the
+//     simulator, reported as ns/slice, slices/sec, and allocs/slice;
+//   - the full core-object release-point sweep (registry.Sweep at wfcheck's
+//     default depth of 120, every schedule linearizability-checked) — the
+//     end-to-end wall-clock the fast path buys on real verification work.
+//
+// Both modes must agree exactly (same virtual elapsed time, same slice
+// counts, same schedule counts); the experiment fails otherwise. Results go
+// to <outdir>/BENCH_core.json, and -corebaseline compares the run-ahead
+// ns/slice against a committed baseline as a CI perf gate.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/registry"
+	"repro/internal/sched"
+	"repro/internal/shmem"
+)
+
+// coreMicroOps is the number of shared-memory operations (= Fine slices) the
+// microbenchmark executes per run.
+const coreMicroOps = 200_000
+
+// coreSweepMax is the release-point range of the in-process sweep; it
+// matches wfcheck's default -max.
+const coreSweepMax = 120
+
+// coreSide holds one mode's microbenchmark numbers.
+type coreSide struct {
+	NsPerSlice     float64 `json:"ns_per_slice"`
+	SlicesPerSec   float64 `json:"slices_per_sec"`
+	AllocsPerSlice float64 `json:"allocs_per_slice"`
+	Slices         uint64  `json:"slices"`
+	ElapsedVT      int64   `json:"elapsed_vt"`
+}
+
+// coreDoc is the BENCH_core.json schema.
+type coreDoc struct {
+	MicroOps        int      `json:"micro_ops"`
+	Serial          coreSide `json:"serial"`
+	RunAhead        coreSide `json:"runahead"`
+	MicroSpeedup    float64  `json:"micro_speedup"`
+	SweepMax        int64    `json:"sweep_max"`
+	SweepSchedules  int      `json:"sweep_schedules"`
+	SweepSerialMs   float64  `json:"sweep_serial_ms"`
+	SweepRunAheadMs float64  `json:"sweep_runahead_ms"`
+	SweepSpeedup    float64  `json:"sweep_speedup"`
+	Identical       bool     `json:"byte_identical"`
+}
+
+// coreMicroRun executes the uncontended microbenchmark once in the given
+// mode and returns its measurements.
+func coreMicroRun(runAhead bool) coreSide {
+	sched.SetRunAhead(runAhead)
+	defer sched.SetRunAhead(true)
+	s := sched.Acquire(sched.Config{Processors: 1, Seed: 1, MemWords: 1 << 12})
+	defer sched.Release(s)
+	s.SpawnAt(0, 0, 1, "worker", func(e *sched.Env) {
+		a, b := shmem.Addr(1), shmem.Addr(2)
+		for i := 0; i < coreMicroOps/2; i++ {
+			v := e.Load(a)
+			e.Store(b, v+1)
+		}
+	})
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	err := s.Run()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		panic(fmt.Sprintf("core micro: %v", err))
+	}
+	slices := s.Slices()
+	return coreSide{
+		NsPerSlice:     float64(wall.Nanoseconds()) / float64(slices),
+		SlicesPerSec:   float64(slices) / wall.Seconds(),
+		AllocsPerSlice: float64(after.Mallocs-before.Mallocs) / float64(slices),
+		Slices:         slices,
+		ElapsedVT:      s.Elapsed(),
+	}
+}
+
+// coreMicroBest runs the microbenchmark reps times and keeps the fastest run
+// (noise on shared CI hosts only ever slows a run down).
+func coreMicroBest(runAhead bool, reps int) coreSide {
+	var best coreSide
+	for i := 0; i < reps; i++ {
+		side := coreMicroRun(runAhead)
+		if i == 0 || side.NsPerSlice < best.NsPerSlice {
+			best = side
+		}
+	}
+	return best
+}
+
+// coreSweep runs the full core-object release-point sweep in the given mode
+// and returns the schedule count and wall clock.
+func coreSweep(runAhead bool) (int, time.Duration, error) {
+	sched.SetRunAhead(runAhead)
+	defer sched.SetRunAhead(true)
+	start := time.Now()
+	total := 0
+	for _, name := range registry.CoreNames() {
+		d := registry.Lookup0(name)
+		n, err := d.Sweep(registry.SweepConfig{Max: coreSweepMax})
+		if err != nil {
+			return 0, 0, fmt.Errorf("core sweep %s: %w", name, err)
+		}
+		total += n
+	}
+	return total, time.Since(start), nil
+}
+
+// coreBench is the -exp core entry point.
+func coreBench(outdir, baselinePath string) error {
+	const reps = 3
+	serial := coreMicroBest(false, reps)
+	runAhead := coreMicroBest(true, reps)
+	if serial.ElapsedVT != runAhead.ElapsedVT || serial.Slices != runAhead.Slices {
+		return fmt.Errorf("core micro: serial and run-ahead runs diverged: vt %d vs %d, slices %d vs %d",
+			serial.ElapsedVT, runAhead.ElapsedVT, serial.Slices, runAhead.Slices)
+	}
+
+	serialN, serialDur, err := coreSweep(false)
+	if err != nil {
+		return err
+	}
+	runAheadN, runAheadDur, err := coreSweep(true)
+	if err != nil {
+		return err
+	}
+	if serialN != runAheadN {
+		return fmt.Errorf("core sweep: serial explored %d schedules, run-ahead %d", serialN, runAheadN)
+	}
+
+	doc := coreDoc{
+		MicroOps:        coreMicroOps,
+		Serial:          serial,
+		RunAhead:        runAhead,
+		MicroSpeedup:    serial.NsPerSlice / runAhead.NsPerSlice,
+		SweepMax:        coreSweepMax,
+		SweepSchedules:  serialN,
+		SweepSerialMs:   float64(serialDur.Microseconds()) / 1000,
+		SweepRunAheadMs: float64(runAheadDur.Microseconds()) / 1000,
+		SweepSpeedup:    float64(serialDur) / float64(runAheadDur),
+		Identical:       true,
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(outdir, "BENCH_core.json")
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	table("Simulator core — serial vs run-ahead fast path (byte-identical schedules)",
+		[]string{"bench", "serial", "runahead", "speedup"},
+		[][]string{
+			{"micro ns/slice", fmt.Sprintf("%.1f", doc.Serial.NsPerSlice),
+				fmt.Sprintf("%.1f", doc.RunAhead.NsPerSlice), fmt.Sprintf("%.2fx", doc.MicroSpeedup)},
+			{"micro slices/sec", fmt.Sprintf("%.0f", doc.Serial.SlicesPerSec),
+				fmt.Sprintf("%.0f", doc.RunAhead.SlicesPerSec), ""},
+			{"micro allocs/slice", fmt.Sprintf("%.4f", doc.Serial.AllocsPerSlice),
+				fmt.Sprintf("%.4f", doc.RunAhead.AllocsPerSlice), ""},
+			{fmt.Sprintf("sweep ms (%d schedules)", doc.SweepSchedules),
+				fmt.Sprintf("%.1f", doc.SweepSerialMs), fmt.Sprintf("%.1f", doc.SweepRunAheadMs),
+				fmt.Sprintf("%.2fx", doc.SweepSpeedup)},
+		})
+	fmt.Printf("wrote %s\n", path)
+
+	if baselinePath != "" {
+		if err := coreGate(baselinePath, doc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// coreGateSlack is the tolerated regression factor against the committed
+// baseline: the gate fails when run-ahead ns/slice exceeds baseline × 1.25.
+const coreGateSlack = 1.25
+
+// coreGate compares the fresh run-ahead ns/slice against the committed
+// baseline document.
+func coreGate(baselinePath string, doc coreDoc) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("core baseline: %w", err)
+	}
+	var base coreDoc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("core baseline %s: %w", baselinePath, err)
+	}
+	limit := base.RunAhead.NsPerSlice * coreGateSlack
+	if doc.RunAhead.NsPerSlice > limit {
+		return fmt.Errorf("core perf gate: run-ahead ns/slice %.1f exceeds baseline %.1f by more than %.0f%% (limit %.1f)",
+			doc.RunAhead.NsPerSlice, base.RunAhead.NsPerSlice, (coreGateSlack-1)*100, limit)
+	}
+	fmt.Printf("core perf gate: %.1f ns/slice within %.0f%% of baseline %.1f\n",
+		doc.RunAhead.NsPerSlice, (coreGateSlack-1)*100, base.RunAhead.NsPerSlice)
+	return nil
+}

@@ -43,6 +43,7 @@ import (
 	"repro/internal/helping"
 	"repro/internal/metrics"
 	"repro/internal/prim"
+	"repro/internal/prof"
 	"repro/internal/registry"
 	"repro/internal/rt"
 	"repro/internal/scenario"
@@ -58,18 +59,31 @@ import (
 var withTrace bool
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig1|ext|mwcas|sec34|retries|valois|ablations|report|sweep|all")
+	exp := flag.String("exp", "all", "experiment: fig1|ext|mwcas|sec34|retries|valois|ablations|report|sweep|core|all")
 	ops := flag.Int("ops", 50000, "total operations for the sec34 experiments (the paper used 50000)")
 	procs := flag.Int("procs", 4, "processors for the sec34 experiments (the paper used 4)")
 	seed := flag.Int64("seed", 11, "random seed")
 	sweepSeeds := flag.Int("sweepseeds", 3, "seeds per cell for the -exp sweep matrix")
 	outdir := flag.String("outdir", ".", "directory for the BENCH_<object>.json run reports")
+	coreBaseline := flag.String("corebaseline", "", "with -exp core: committed BENCH_core.json to gate ns/slice regressions against")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.BoolVar(&withTrace, "trace", false, "with -exp report: also write TRACE_<object>.trace.json span exports (Perfetto)")
 	flag.Parse()
 
-	if err := os.MkdirAll(*outdir, 0o755); err != nil {
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "wfbench: %v\n", err)
 		os.Exit(1)
+	}
+	exit := func(code int) {
+		stopProf()
+		os.Exit(code)
+	}
+
+	if err := os.MkdirAll(*outdir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "wfbench: %v\n", err)
+		exit(1)
 	}
 
 	run := func(name string, f func() error) {
@@ -77,7 +91,7 @@ func main() {
 		case "all", name:
 			if err := f(); err != nil {
 				fmt.Fprintf(os.Stderr, "wfbench: %s: %v\n", name, err)
-				os.Exit(1)
+				exit(1)
 			}
 		}
 	}
@@ -90,6 +104,8 @@ func main() {
 	run("ablations", func() error { return ablations(*seed) })
 	run("report", func() error { return reports(*outdir, *seed) })
 	run("sweep", func() error { return sweep(*outdir, *sweepSeeds) })
+	run("core", func() error { return coreBench(*outdir, *coreBaseline) })
+	stopProf()
 }
 
 func table(title string, header []string, rows [][]string) {
@@ -900,7 +916,9 @@ func runSweepCell(c sweepCell) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.Report(c.Object).JSON()
+	b, err := s.Report(c.Object).JSON()
+	sched.Release(s)
+	return b, err
 }
 
 // sweep runs the full object × CCAS × helping-mode × pattern × seed matrix

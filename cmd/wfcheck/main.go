@@ -39,6 +39,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/linz"
 	"repro/internal/linz/adversary"
+	"repro/internal/prof"
 	"repro/internal/registry"
 	"repro/internal/sched"
 	"repro/internal/workload"
@@ -52,10 +53,24 @@ func main() {
 	traceFailures := flag.Bool("trace", false, "record traces and write wfcheck_fail.trace.json for a failing schedule")
 	linzMode := flag.Bool("linz", false, "black-box mode: randomized adversary schedules judged by the history-based engine")
 	randN := flag.Int("rand", 200, "randomized schedules per object in -linz mode (seeds 1..N, strategies alternating)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wfcheck: %v\n", err)
+		os.Exit(1)
+	}
+	// os.Exit skips deferred calls, so every exit goes through this wrapper
+	// to flush the profiles first.
+	exit := func(code int) {
+		stopProf()
+		os.Exit(code)
+	}
+
 	if *linzMode {
-		os.Exit(linzMain(*suite, *randN, *par))
+		exit(linzMain(*suite, *randN, *par))
 	}
 
 	names := append(registry.CoreNames(), "workload")
@@ -68,7 +83,7 @@ func main() {
 		}
 		if !found {
 			fmt.Fprintf(os.Stderr, "wfcheck: unknown suite %q (have %v)\n", *suite, names)
-			os.Exit(1)
+			exit(1)
 		}
 		names = []string{*suite}
 	}
@@ -103,15 +118,16 @@ func main() {
 				continue
 			}
 			fmt.Fprintf(os.Stderr, "wfcheck: %s: %v\n", names[i], o.err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Printf("%-10s %6d schedules explored, 0 violations\n", names[i], o.n)
 		total += o.n
 	}
 	fmt.Printf("%-10s %6d schedules total\n", "all", total)
 	if failed {
-		os.Exit(1)
+		exit(1)
 	}
+	stopProf()
 }
 
 // linzMain is the -linz mode: randN seeded adversary schedules per object
@@ -158,6 +174,7 @@ func linzMain(suite string, randN, par int) int {
 			o.runs++
 			o.ops += len(r.History.Ops)
 			o.states += out.States
+			r.Close()
 		}
 		return o, nil
 	})

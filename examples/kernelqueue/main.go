@@ -86,7 +86,7 @@ func waitFreeKernel() error {
 	fmt.Printf("all handlers completed; run queue: %v\n", queue.Snapshot())
 	helped := 0
 	for _, ev := range sim.Trace().Annotations() {
-		if len(ev.Msg) >= 4 && ev.Msg[:4] == "help" {
+		if msg := ev.Message(); len(msg) >= 4 && msg[:4] == "help" {
 			helped++
 			fmt.Printf("  %s helped the preempted handler below it\n", ev.ProcName)
 		}

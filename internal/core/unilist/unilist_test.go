@@ -208,7 +208,7 @@ func TestFigure2Trace(t *testing.T) {
 	// process."
 	helpsBy := map[string]int{}
 	for _, ev := range log.Annotations() {
-		if len(ev.Msg) >= 4 && ev.Msg[:4] == "help" {
+		if msg := ev.Message(); len(msg) >= 4 && msg[:4] == "help" {
 			helpsBy[ev.ProcName]++
 		}
 	}

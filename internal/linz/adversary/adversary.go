@@ -114,6 +114,18 @@ func (r *Run) Check(opts linz.Options) (linz.Outcome, error) {
 	return linz.Check(r.History, r.Spec, opts)
 }
 
+// Close returns the run's simulation to the scheduler pool. Call it once the
+// history, report, and trace have been consumed; the Run must not be used
+// afterwards. Sweep drivers that execute thousands of randomized schedules
+// call this to reuse simulator memory across runs.
+func (r *Run) Close() {
+	if r.Sim == nil {
+		return
+	}
+	sched.Release(r.Sim)
+	r.Sim = nil
+}
+
 // Execute builds and runs the randomized schedule. The returned error
 // covers simulation failures (a panic or watchdog is a violation in its
 // own right); the linearizability verdict comes from Run.Check.
@@ -145,7 +157,7 @@ func Execute(cfg Config) (*Run, error) {
 	if d.Family != registry.FamilyUni {
 		procs = 2
 	}
-	sim := sched.New(sched.Config{
+	sim := sched.Acquire(sched.Config{
 		Processors: procs, Seed: cfg.Seed, MemWords: 1 << 16,
 		EnableTrace: cfg.Trace, MaxSteps: 4_000_000,
 	})
@@ -155,6 +167,7 @@ func Execute(cfg Config) (*Run, error) {
 	icfg.Check = false
 	inst, err := registry.Build(sim, d.Name, icfg)
 	if err != nil {
+		sched.Release(sim)
 		return nil, err
 	}
 	rec, wrapped := linz.Record(inst)
@@ -176,9 +189,13 @@ func Execute(cfg Config) (*Run, error) {
 	case PCT:
 		spawnPCT(sim, d, cfg, rng, body)
 	default:
+		sched.Release(sim)
 		return nil, fmt.Errorf("adversary: unknown strategy %v", cfg.Strategy)
 	}
 	if err := sim.Run(); err != nil {
+		// Run has returned, so every coroutine has unwound and the Sim
+		// can be pooled even on a failed schedule.
+		sched.Release(sim)
 		return nil, fmt.Errorf("adversary: %s seed=%d strategy=%s: %w", d.Name, cfg.Seed, cfg.Strategy, err)
 	}
 	return &Run{Sim: sim, History: rec.History(), Spec: linz.SpecFor(d, icfg), Desc: d}, nil

@@ -1,0 +1,53 @@
+// Package prof wires the standard pprof profilers into the CLI tools
+// (wfbench -cpuprofile/-memprofile, wfcheck likewise), so the next simulator
+// hot spot is one `go tool pprof` away. See EXPERIMENTS.md "Profiling a
+// run".
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling when cpuPath is non-empty and returns a stop
+// function that finishes the CPU profile and, when memPath is non-empty,
+// writes an allocation ("allocs") profile. The stop function must run before
+// the process exits — call it explicitly ahead of os.Exit, since os.Exit
+// skips deferred calls.
+func Start(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "prof: %v\n", err)
+			}
+		}
+		if memPath == "" {
+			return
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prof: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // flush pending allocation stats into the profile
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "prof: %v\n", err)
+		}
+	}, nil
+}

@@ -68,26 +68,41 @@ func (d *Descriptor) Sweep(cfg SweepConfig) (int, error) {
 	if d.Family == FamilyBaseline {
 		return 0, fmt.Errorf("registry: %s is a baseline; sweeps cover the core objects", d.Name)
 	}
+	// The generated scripts depend only on the descriptor, the stress
+	// config, and the slot — not on the release vector — so generate them
+	// once for the whole sweep instead of reseeding a generator in every
+	// schedule.
+	icfg := d.StressConfig(4)
+	scripts := make([][]Op, 4)
+	for slot := range scripts {
+		n := sweepVictimOps
+		if (d.Family == FamilyUni && slot >= 1) || (d.Family == FamilyMulti && slot >= 2) {
+			n = sweepAdvOps
+		}
+		scripts[slot] = d.Ops(icfg, sweepSeed, slot, n)
+	}
 	return explore.Sweep(
 		explore.Config{Adversaries: 2, Max: cfg.Max, Stride: 2, Gap: 8, KeepGoing: cfg.KeepGoing},
-		func(rel []int64) error { return d.sweepOne(cfg, rel) })
+		func(rel []int64) error { return d.sweepOne(cfg, icfg, scripts, rel) })
 }
 
-func (d *Descriptor) sweepOne(cfg SweepConfig, rel []int64) error {
+func (d *Descriptor) sweepOne(cfg SweepConfig, icfg Config, scripts [][]Op, rel []int64) error {
 	procs := 1
 	memWords := 1 << 15
 	if d.Family == FamilyMulti {
 		procs = 2
 		memWords = 1 << 16
 	}
-	s := sched.New(sched.Config{Processors: procs, Seed: 1, MemWords: memWords, EnableTrace: cfg.Trace})
-	icfg := d.StressConfig(4)
+	// Sweeps build thousands of short-lived Sims; the pool reuses their
+	// memory words and bookkeeping across schedules.
+	s := sched.Acquire(sched.Config{Processors: procs, Seed: 1, MemWords: memWords, EnableTrace: cfg.Trace})
+	defer sched.Release(s)
 	inst, err := Build(s, d.Name, icfg)
 	if err != nil {
 		return err
 	}
-	script := func(slot, n int) func(e *sched.Env) {
-		ops := d.Ops(icfg, sweepSeed, slot, n)
+	script := func(slot int) func(e *sched.Env) {
+		ops := scripts[slot]
 		return func(e *sched.Env) {
 			for _, op := range ops {
 				inst.Apply(e, slot, op)
@@ -95,14 +110,14 @@ func (d *Descriptor) sweepOne(cfg SweepConfig, rel []int64) error {
 		}
 	}
 	if d.Family == FamilyUni {
-		s.Spawn(sched.JobSpec{Name: "victim", CPU: 0, Prio: 1, Slot: 0, AfterSlices: -1, Body: script(0, sweepVictimOps)})
-		s.Spawn(sched.JobSpec{Name: "adv", CPU: 0, Prio: 5, Slot: 1, AfterSlices: rel[0], Body: script(1, sweepAdvOps)})
-		s.Spawn(sched.JobSpec{Name: "adv2", CPU: 0, Prio: 9, Slot: 2, AfterSlices: rel[1], Body: script(2, sweepAdvOps)})
+		s.Spawn(sched.JobSpec{Name: "victim", CPU: 0, Prio: 1, Slot: 0, AfterSlices: -1, Body: script(0)})
+		s.Spawn(sched.JobSpec{Name: "adv", CPU: 0, Prio: 5, Slot: 1, AfterSlices: rel[0], Body: script(1)})
+		s.Spawn(sched.JobSpec{Name: "adv2", CPU: 0, Prio: 9, Slot: 2, AfterSlices: rel[1], Body: script(2)})
 	} else {
-		s.Spawn(sched.JobSpec{Name: "w0", CPU: 0, Prio: 1, Slot: 0, AfterSlices: -1, Body: script(0, sweepVictimOps)})
-		s.Spawn(sched.JobSpec{Name: "w1", CPU: 1, Prio: 1, Slot: 1, AfterSlices: -1, Body: script(1, sweepVictimOps)})
-		s.Spawn(sched.JobSpec{Name: "adv", CPU: 0, Prio: 9, Slot: 2, AfterSlices: rel[0], Body: script(2, sweepAdvOps)})
-		s.Spawn(sched.JobSpec{Name: "adv2", CPU: 1, Prio: 9, Slot: 3, AfterSlices: rel[1], Body: script(3, sweepAdvOps)})
+		s.Spawn(sched.JobSpec{Name: "w0", CPU: 0, Prio: 1, Slot: 0, AfterSlices: -1, Body: script(0)})
+		s.Spawn(sched.JobSpec{Name: "w1", CPU: 1, Prio: 1, Slot: 1, AfterSlices: -1, Body: script(1)})
+		s.Spawn(sched.JobSpec{Name: "adv", CPU: 0, Prio: 9, Slot: 2, AfterSlices: rel[0], Body: script(2)})
+		s.Spawn(sched.JobSpec{Name: "adv2", CPU: 1, Prio: 9, Slot: 3, AfterSlices: rel[1], Body: script(3)})
 	}
 	if err := s.Run(); err != nil {
 		return dumpFailure(s, cfg, fmt.Errorf("%s rel=%v: %w", d.Name, rel, err))

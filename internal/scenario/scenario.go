@@ -107,11 +107,15 @@ func patternName(cfg Config) string {
 // per processor plus pattern-released compute bursts.
 func build(d *registry.Descriptor, cfg Config, pat pattern) (*sched.Sim, error) {
 	spec := d.Scenario
+	// Acquire rather than New: sweep drivers (wfbench -exp sweep) run the
+	// full matrix of scenarios and release each Sim after reading its
+	// report, so simulator memory is reused across cells. One-shot callers
+	// simply never release, which degrades to New.
 	var s *sched.Sim
 	if d.Family == registry.FamilyUni {
-		s = sched.New(sched.Config{Processors: 1, Seed: cfg.Seed, MemWords: 1 << 15, EnableTrace: cfg.Trace})
+		s = sched.Acquire(sched.Config{Processors: 1, Seed: cfg.Seed, MemWords: 1 << 15, EnableTrace: cfg.Trace})
 	} else {
-		s = sched.New(sched.Config{Processors: 2, Seed: cfg.Seed, MemWords: 1 << 16, EnableTrace: cfg.Trace})
+		s = sched.Acquire(sched.Config{Processors: 2, Seed: cfg.Seed, MemWords: 1 << 16, EnableTrace: cfg.Trace})
 	}
 	inst, err := registry.Build(s, d.Name, registry.Config{
 		Procs:    len(spec.Scripts),

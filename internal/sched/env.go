@@ -17,9 +17,21 @@ import (
 type Env struct {
 	sim *Sim
 	p   *Proc
+	// cpu is the process's processor state, cached at Spawn so the yield
+	// fast path and Now avoid the indexing round trip.
+	cpu *cpuState
 
 	// pending is the virtual-time cost accumulated since the last yield.
 	pending int64
+	// budget and horizon arm the run-ahead fast path (Sim.grantRunAhead):
+	// while budget > 0, yieldNow may conclude a slice locally — advancing
+	// the processor clock and the slice counters without the two-channel
+	// scheduler round trip — as long as the new clock stays strictly below
+	// horizon. Both are written by the scheduler goroutine before it
+	// resumes this process and read/written by the coroutine afterwards;
+	// the resume/yield channel pair orders those accesses.
+	budget  int64
+	horizon int64
 	// noPreempt > 0 suppresses preemption on this processor (Figure 8(b)
 	// "executed without preemption"); preemption points still yield so
 	// other processors can interleave, but this processor's scheduler
@@ -59,6 +71,23 @@ const coarseSliceOps = 32
 func (e *Env) yieldNow() {
 	if e.sim.aborting {
 		panic(errAborted)
+	}
+	if e.budget > 0 {
+		// Run-ahead fast path: the scheduler granted this process a
+		// batch of slices (grantRunAhead). Conclude the slice locally —
+		// same clock advance, same slice accounting, no channel round
+		// trip — while the clock stays strictly below the event
+		// horizon. The scheduler goroutine is blocked in runSlice's
+		// yield receive for the whole batch, so these writes to shared
+		// simulator state are exclusive.
+		if nc := e.cpu.clock + e.pending; nc < e.horizon {
+			e.budget--
+			e.cpu.clock = nc
+			e.pending = 0
+			e.sim.slices++
+			e.p.Slices++
+			return
+		}
 	}
 	cost := e.pending
 	e.pending = 0
@@ -151,7 +180,7 @@ func (e *Env) Prio() Priority { return e.p.spec.Prio }
 
 // Now returns the current virtual time on this process's processor,
 // including cost accumulated since the last yield.
-func (e *Env) Now() int64 { return e.sim.cpus[e.p.spec.CPU].clock + e.pending }
+func (e *Env) Now() int64 { return e.cpu.clock + e.pending }
 
 // Rand returns a deterministic per-process random source for workload
 // decisions made inside process bodies.

@@ -1,0 +1,61 @@
+package sched
+
+// readyHeap is a binary max-heap of ready processes ordered by (Prio
+// descending, enqueueNo ascending). enqueueNo is unique per release, so the
+// order is a strict total order and heap pops reproduce exactly the sequence
+// the previous sort.SliceStable-based ready queue produced — at O(log n) per
+// release/preemption instead of a full re-sort. The element at index 0 is
+// the next process the priority rules would dispatch.
+type readyHeap []*Proc
+
+// readyBefore reports whether a should be dispatched before b.
+func readyBefore(a, b *Proc) bool {
+	if a.spec.Prio != b.spec.Prio {
+		return a.spec.Prio > b.spec.Prio
+	}
+	return a.enqueueNo < b.enqueueNo
+}
+
+// push adds p to the heap.
+func (h *readyHeap) push(p *Proc) {
+	*h = append(*h, p)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !readyBefore(s[i], s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the top (highest-priority, earliest-enqueued)
+// process. It panics on an empty heap.
+func (h *readyHeap) pop() *Proc {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s[last] = nil // release the reference for the garbage collector
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < len(s) && readyBefore(s[l], s[best]) {
+			best = l
+		}
+		if r < len(s) && readyBefore(s[r], s[best]) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		s[i], s[best] = s[best], s[i]
+		i = best
+	}
+	return top
+}

@@ -30,9 +30,10 @@ package sched
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime/debug"
-	"sort"
+	"sync"
 
 	"repro/internal/shmem"
 	"repro/internal/trace"
@@ -92,6 +93,11 @@ type Config struct {
 	MaxSteps uint64
 	// EnableTrace records scheduling events and algorithm annotations.
 	EnableTrace bool
+	// DisableRunAhead turns off the run-ahead slice-batching fast path for
+	// this run, forcing one scheduler round trip per slice. The schedule is
+	// identical either way (see DESIGN.md §10); the switch exists for
+	// benchmarking and differential testing, not for correctness.
+	DisableRunAhead bool
 }
 
 // DefaultMaxSteps is the watchdog limit used when Config.MaxSteps is zero.
@@ -194,7 +200,7 @@ type cpuState struct {
 	id      int
 	clock   int64
 	current *Proc
-	ready   []*Proc // not including current
+	ready   readyHeap // not including current
 }
 
 // Sim is one simulation run: a memory, a set of processors, and a job set.
@@ -204,7 +210,14 @@ type Sim struct {
 	cpus []*cpuState
 	proc []*Proc
 	log  *trace.Log
-	rng  *rand.Rand
+
+	// rng is seeded lazily: rngDirty marks that rng does not yet reflect
+	// rngSeed. Most sweep schedules never draw randomness, and seeding a
+	// math/rand source costs ~600 iterations — eager reseeding on every
+	// Reset dominated short-run sweeps.
+	rng      *rand.Rand
+	rngSeed  int64
+	rngDirty bool
 
 	pendingTime  []*Proc // released by virtual time, sorted by (At, id)
 	pendingSlice []*Proc // released by slice count, sorted by (AfterSlices, id)
@@ -215,6 +228,16 @@ type Sim struct {
 	aborting  bool
 	failure   error
 
+	// busy and idle cache the occupancy partition of cpus (both in cpu-id
+	// order, so min-clock scans preserve the lowest-index tie-break).
+	// occDirty marks the partition stale; it is set whenever a processor
+	// gains its first ready process or loses its last one, and the run
+	// loop rebuilds the partition lazily. This replaces the per-slice
+	// O(P) occupancy rescan.
+	busy     []*cpuState
+	idle     []*cpuState
+	occDirty bool
+
 	// helpReceived counts, per algorithm-level slot, how many help
 	// invocations other processes performed on operations announced
 	// under that slot (Env.NoteHelp).
@@ -222,7 +245,16 @@ type Sim struct {
 }
 
 // New creates a simulation from the given configuration.
-func New(cfg Config) *Sim {
+func New(cfg Config) *Sim { return new(Sim).Reset(cfg) }
+
+// Reset reinitializes s to a freshly-constructed simulation for cfg,
+// reusing its memory words, processor states, and slice capacity. A Sim
+// reset from cfg is observably identical to New(cfg): same schedules, same
+// reports, same traces. Procs handed out by a previous run are abandoned
+// (run reports may keep referencing them); the trace log is always freshly
+// allocated so logs returned by Trace stay valid after the Sim is reused.
+// Reset returns s for chaining.
+func (s *Sim) Reset(cfg Config) *Sim {
 	if cfg.Processors <= 0 {
 		cfg.Processors = 1
 	}
@@ -238,15 +270,47 @@ func New(cfg Config) *Sim {
 	if cfg.SyncCost <= 0 {
 		cfg.SyncCost = 1
 	}
-	s := &Sim{
-		cfg:          cfg,
-		mem:          shmem.New(cfg.MemWords),
-		rng:          rand.New(rand.NewSource(cfg.Seed)),
-		helpReceived: make(map[int]int),
+	s.cfg = cfg
+	if s.mem == nil {
+		s.mem = shmem.New(cfg.MemWords)
+	} else {
+		s.mem.Reset(cfg.MemWords)
 	}
-	for i := 0; i < cfg.Processors; i++ {
-		s.cpus = append(s.cpus, &cpuState{id: i})
+	s.rngSeed = cfg.Seed
+	s.rngDirty = true
+	if len(s.cpus) != cfg.Processors {
+		s.cpus = make([]*cpuState, 0, cfg.Processors)
+		for i := 0; i < cfg.Processors; i++ {
+			s.cpus = append(s.cpus, &cpuState{id: i})
+		}
+	} else {
+		for _, c := range s.cpus {
+			c.clock = 0
+			c.current = nil
+			clear(c.ready)
+			c.ready = c.ready[:0]
+		}
 	}
+	clear(s.proc)
+	s.proc = s.proc[:0]
+	clear(s.pendingTime)
+	s.pendingTime = s.pendingTime[:0]
+	clear(s.pendingSlice)
+	s.pendingSlice = s.pendingSlice[:0]
+	s.slices = 0
+	s.enqueueNo = 0
+	s.ran = false
+	s.aborting = false
+	s.failure = nil
+	s.busy = s.busy[:0]
+	s.idle = s.idle[:0]
+	s.occDirty = true
+	if s.helpReceived == nil {
+		s.helpReceived = make(map[int]int)
+	} else {
+		clear(s.helpReceived)
+	}
+	s.log = nil
 	if cfg.EnableTrace {
 		s.log = &trace.Log{}
 		// Attribute failed synchronization attempts to the writer that
@@ -270,6 +334,40 @@ func New(cfg Config) *Sim {
 	return s
 }
 
+// simPool backs Acquire/Release. Pool pick order is nondeterministic, but a
+// Reset Sim is state-identical to a new one, so run results are unaffected.
+var simPool = sync.Pool{New: func() any { return new(Sim) }}
+
+// Acquire returns a Sim for cfg from an internal pool, equivalent to
+// New(cfg) but reusing the memory words, processor states, and bookkeeping
+// slices of a previously Released Sim. Use it in sweep loops that build
+// thousands of short-lived simulations; pair with Release.
+func Acquire(cfg Config) *Sim { return simPool.Get().(*Sim).Reset(cfg) }
+
+// Release returns a Sim to the pool for reuse. Only call it after Run has
+// returned (all coroutine goroutines have unwound by then) — or on a Sim
+// that was never Run — and do not touch s, its Procs' Envs, or its Mem
+// afterwards. Trace logs obtained from Trace remain valid: Reset never
+// reuses them.
+func Release(s *Sim) {
+	if s == nil {
+		return
+	}
+	simPool.Put(s)
+}
+
+// runAheadEnabled globally gates the run-ahead fast path (see
+// grantRunAhead). It exists so benchmarks and differential tests can compare
+// the serial and batched execution paths without plumbing a Config flag
+// through every call site; both paths produce byte-identical runs. It must
+// only be toggled while no simulation is running.
+var runAheadEnabled = true
+
+// SetRunAhead enables or disables the run-ahead fast path process-wide.
+// For benchmarking and differential testing only; the schedule, trace, and
+// report of every run are identical in both modes.
+func SetRunAhead(enabled bool) { runAheadEnabled = enabled }
+
 // Mem returns the simulation's shared memory, for setup code and checkers.
 func (s *Sim) Mem() *shmem.Mem { return s.mem }
 
@@ -280,7 +378,19 @@ func (s *Sim) Trace() *trace.Log { return s.log }
 func (s *Sim) Processors() int { return s.cfg.Processors }
 
 // Rand returns the run's seeded random source, for workload construction.
-func (s *Sim) Rand() *rand.Rand { return s.rng }
+// The source is (re)seeded on first use after New/Reset, so the draw
+// sequence depends only on Config.Seed, never on the Sim's pool history.
+func (s *Sim) Rand() *rand.Rand {
+	if s.rngDirty {
+		s.rngDirty = false
+		if s.rng == nil {
+			s.rng = rand.New(rand.NewSource(s.rngSeed))
+		} else {
+			s.rng.Seed(s.rngSeed)
+		}
+	}
+	return s.rng
+}
 
 // Slices returns the number of slices executed so far.
 func (s *Sim) Slices() uint64 { return s.slices }
@@ -309,7 +419,7 @@ func (s *Sim) Spawn(spec JobSpec) *Proc {
 	if p.spec.Slot < 0 {
 		p.spec.Slot = p.id
 	}
-	p.env = &Env{sim: s, p: p}
+	p.env = &Env{sim: s, p: p, cpu: s.cpus[spec.CPU]}
 	s.proc = append(s.proc, p)
 	if spec.AfterSlices >= 0 && spec.At == 0 {
 		// Slice-triggered release. (AfterSlices==0 with At==0 releases
@@ -342,8 +452,10 @@ func (s *Sim) emit(kind trace.Kind, cpu int, p *Proc, msg string) {
 }
 
 // emitNote appends a structured annotation: key/args carry the typed form
-// consumed by internal/tracex, and Msg carries the rendered text so existing
-// substring-based assertions and printers keep working.
+// consumed by internal/tracex. The rendered text is not materialized here —
+// trace.Event.Message formats it on demand — and the args are copied into
+// the event's inline field array, so emission allocates nothing beyond the
+// log's amortized chunk growth.
 func (s *Sim) emitNote(cpu int, p *Proc, key string, args []trace.Field) {
 	if s.log == nil {
 		return
@@ -351,9 +463,9 @@ func (s *Sim) emitNote(cpu int, p *Proc, key string, args []trace.Field) {
 	ev := trace.Event{
 		Time: s.cpus[cpu].clock, CPU: cpu, Proc: -1,
 		Kind: trace.KindAnnotate,
-		Msg:  trace.FormatNote(key, args),
-		Key:  key, Args: args,
+		Key:  key,
 	}
+	ev.SetFields(args)
 	if p != nil {
 		ev.Proc = p.id
 		ev.ProcName = p.spec.Name
@@ -364,23 +476,16 @@ func (s *Sim) emitNote(cpu int, p *Proc, key string, args []trace.Field) {
 // release moves a job into its processor's ready set, possibly preempting.
 func (s *Sim) release(p *Proc) {
 	c := s.cpus[p.spec.CPU]
+	if c.current == nil && len(c.ready) == 0 {
+		// The processor goes idle → busy.
+		s.occDirty = true
+	}
 	p.state = stateReady
 	p.Released = c.clock
 	p.enqueueNo = s.enqueueNo
 	s.enqueueNo++
 	s.emit(trace.KindArrival, c.id, p, "")
-	c.ready = append(c.ready, p)
-	sortReady(c.ready)
-}
-
-// sortReady orders by priority (descending) then enqueue order (ascending).
-func sortReady(r []*Proc) {
-	sort.SliceStable(r, func(i, j int) bool {
-		if r[i].spec.Prio != r[j].spec.Prio {
-			return r[i].spec.Prio > r[j].spec.Prio
-		}
-		return r[i].enqueueNo < r[j].enqueueNo
-	})
+	c.ready.push(p)
 }
 
 // deliverTimeArrivals releases time-triggered jobs whose time has come on
@@ -425,16 +530,16 @@ func (s *Sim) pick(c *cpuState) *Proc {
 		// Equal priority never preempts (no time slicing).
 		return c.current
 	}
-	// Preempt or dispatch.
+	// Preempt or dispatch. A preempted process keeps its original
+	// enqueueNo, so it rejoins the ready set exactly where the previous
+	// stable sort would have placed it.
 	if c.current != nil {
 		s.emit(trace.KindPreempt, c.id, c.current, "")
 		c.current.state = stateReady
 		c.current.Preemptions++
-		c.ready = append(c.ready, c.current)
-		sortReady(c.ready)
-		top = c.ready[0]
+		c.ready.push(c.current)
 	}
-	c.ready = c.ready[1:]
+	top = c.ready.pop()
 	c.current = top
 	// The state transition (and its Dispatch trace event) is applied by
 	// the run loop, which observes top.state != stateRunning.
@@ -473,6 +578,21 @@ func (s *Sim) runSlice(c *cpuState, p *Proc) {
 	p.resume <- struct{}{}
 	msg := <-p.yield
 	s.mem.SetCurrentProc(-1)
+	if p.env.horizon > 0 {
+		// The slice ran with a run-ahead grant, so the coroutine may have
+		// concluded slices locally without the serial loop's per-boundary
+		// idle-clock sync. Those syncs only ever raise idle clocks to the
+		// running processor's clock, so applying the last boundary value —
+		// c.clock right now, before this slice's closing cost — leaves
+		// every idle clock exactly where slice-by-slice execution would
+		// have. Without this, a quiescence-released slice-triggered job
+		// would observe a stale idle clock.
+		for _, idle := range s.idle {
+			if idle.clock < c.clock {
+				idle.clock = c.clock
+			}
+		}
+	}
 	switch msg.kind {
 	case yieldPoint:
 		c.clock += msg.cost
@@ -481,10 +601,17 @@ func (s *Sim) runSlice(c *cpuState, p *Proc) {
 		p.state = stateDone
 		p.Completed = c.clock
 		c.current = nil
+		if len(c.ready) == 0 {
+			// The processor goes busy → idle.
+			s.occDirty = true
+		}
 		s.emit(trace.KindComplete, c.id, p, "")
 	case yieldPanicked:
 		p.state = stateDone
 		c.current = nil
+		if len(c.ready) == 0 {
+			s.occDirty = true
+		}
 		if s.failure == nil {
 			s.failure = fmt.Errorf("sched: process %q (id %d) panicked: %v\n%s", p.spec.Name, p.id, msg.pval, msg.stack)
 		}
@@ -502,32 +629,39 @@ func (s *Sim) Run() error {
 	}
 	s.ran = true
 	for s.failure == nil {
-		s.deliverSliceArrivals()
-		s.deliverTimeArrivals()
+		if len(s.pendingSlice) > 0 {
+			s.deliverSliceArrivals()
+		}
+		if len(s.pendingTime) > 0 {
+			s.deliverTimeArrivals()
+		}
+		if s.occDirty {
+			s.rebuildOccupancy()
+		}
 
-		// Choose the busy processor with the smallest clock.
+		// Choose the busy processor with the smallest clock. The cached
+		// busy list is in cpu-id order, so the first strictly-smaller
+		// scan keeps the lowest-index tie-break of the full rescan it
+		// replaces.
 		var c *cpuState
-		for _, cand := range s.cpus {
-			if cand.current == nil && len(cand.ready) == 0 {
-				continue
-			}
+		for _, cand := range s.busy {
 			if c == nil || cand.clock < c.clock {
 				c = cand
 			}
 		}
-		if c != nil {
+		if c != nil && len(s.idle) > 0 {
 			// Idle processors' wall clocks advance with the rest of
 			// the machine, so a timed arrival on an idle processor
 			// is delivered at its real time, not at system
 			// quiescence.
 			advanced := false
-			for _, idle := range s.cpus {
-				if idle.current == nil && len(idle.ready) == 0 && idle.clock < c.clock {
+			for _, idle := range s.idle {
+				if idle.clock < c.clock {
 					idle.clock = c.clock
 					advanced = true
 				}
 			}
-			if advanced {
+			if advanced && len(s.pendingTime) > 0 {
 				s.deliverTimeArrivals()
 				continue
 			}
@@ -560,6 +694,7 @@ func (s *Sim) Run() error {
 			p.Dispatches++
 			s.emit(trace.KindDispatch, c.id, p, "")
 		}
+		s.grantRunAhead(c, p)
 		s.runSlice(c, p)
 		s.slices++
 		if s.slices > s.cfg.MaxSteps {
@@ -568,6 +703,84 @@ func (s *Sim) Run() error {
 	}
 	s.shutdown()
 	return s.failure
+}
+
+// rebuildOccupancy recomputes the busy/idle partition of the processors,
+// both lists in cpu-id order.
+func (s *Sim) rebuildOccupancy() {
+	s.busy = s.busy[:0]
+	s.idle = s.idle[:0]
+	for _, c := range s.cpus {
+		if c.current != nil || len(c.ready) > 0 {
+			s.busy = append(s.busy, c)
+		} else {
+			s.idle = append(s.idle, c)
+		}
+	}
+	s.occDirty = false
+}
+
+// grantRunAhead decides how far p may run ahead of the scheduler before the
+// next event that could change the schedule, and arms (or disarms) the
+// coroutine's yield fast path accordingly.
+//
+// The grant is sound — the batched run is byte-identical to slice-by-slice
+// execution (DESIGN.md §10) — because nothing observable can happen below
+// the granted horizon/budget:
+//
+//   - budget: at most min over pending slice-triggered jobs of
+//     (AfterSlices − slices − 1) fast yields may run, so the batch hands
+//     back no later than the slice boundary at which the next
+//     slice-triggered release fires; the watchdog term (MaxSteps − slices)
+//     likewise makes the batch hand back at the exact slice the watchdog
+//     would have fired on.
+//   - horizon: the batch stops at the first slice boundary ≥ the earliest
+//     time-triggered arrival that can actually fire (one targeting c or an
+//     idle processor; arrivals on other busy processors cannot fire because
+//     those clocks are frozen while c runs), and ≥ the clock of any other
+//     busy processor (beyond it, c might no longer be the min-clock choice).
+//     Both are strict-< continuations: at equality the coroutine hands back
+//     and the scheduler re-decides, exactly like the serial loop.
+//   - the ready set of c cannot change during the batch (no arrivals below
+//     the horizon/budget), and a grant is refused when a higher-priority
+//     process is already waiting (only a lapsing NoPreempt section keeps p
+//     running, and it may lapse at any slice boundary).
+func (s *Sim) grantRunAhead(c *cpuState, p *Proc) {
+	e := p.env
+	e.budget, e.horizon = 0, 0
+	if s.cfg.DisableRunAhead || !runAheadEnabled {
+		return
+	}
+	if len(c.ready) > 0 && c.ready[0].spec.Prio > p.spec.Prio {
+		return
+	}
+	b := int64(s.cfg.MaxSteps) - int64(s.slices)
+	for _, q := range s.pendingSlice {
+		if d := q.spec.AfterSlices - int64(s.slices) - 1; d < b {
+			b = d
+		}
+	}
+	if b <= 0 {
+		return
+	}
+	horizon := int64(math.MaxInt64)
+	for _, q := range s.pendingTime {
+		qc := s.cpus[q.spec.CPU]
+		if qc == c || (qc.current == nil && len(qc.ready) == 0) {
+			if q.spec.At < horizon {
+				horizon = q.spec.At
+			}
+		}
+	}
+	for _, o := range s.busy {
+		if o != c && o.clock < horizon {
+			horizon = o.clock
+		}
+	}
+	if horizon <= c.clock {
+		return
+	}
+	e.budget, e.horizon = b, horizon
 }
 
 // jumpToNextArrival advances an idle system to its earliest time arrival.

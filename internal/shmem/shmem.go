@@ -161,14 +161,38 @@ type Mem struct {
 
 // New creates a memory with capacity for the given number of words.
 func New(capacity int) *Mem {
+	m := &Mem{}
+	m.Reset(capacity)
+	return m
+}
+
+// Reset returns the memory to its freshly-constructed state with the given
+// capacity, reusing the word array (and its zeroing cost) when the capacity
+// is unchanged. Observers, hooks, segments, tallies and the step counter are
+// all cleared: a Reset memory is observably identical to New(capacity). It
+// exists so schedule sweeps can recycle simulations instead of reallocating
+// (and re-zeroing via the allocator) tens of kilobytes per run.
+func (m *Mem) Reset(capacity int) {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Mem{
-		words:   make([]uint64, capacity),
-		next:    1, // word 0 is reserved
-		curProc: -1,
+	if len(m.words) != capacity {
+		m.words = make([]uint64, capacity)
+	} else {
+		clear(m.words)
 	}
+	m.next = 1        // word 0 is reserved
+	clear(m.segments) // drop references held by the spare capacity
+	m.segments = m.segments[:0]
+	clear(m.observers)
+	m.observers = m.observers[:0]
+	m.steps = 0
+	m.counts = m.counts[:0]
+	m.setup = metrics.OpCounts{}
+	m.curProc = -1
+	m.failHook = nil
+	m.lastWriter = nil
+	m.lastStep = nil
 }
 
 // AddObserver registers an observer for all subsequent writes.

@@ -35,7 +35,7 @@ func (l *Log) Gantt(width int) string {
 	var spans []interval
 	var maxTime int64
 	maxCPU := 0
-	for _, ev := range l.events {
+	for _, ev := range l.Events() {
 		if ev.CPU > maxCPU {
 			maxCPU = ev.CPU
 		}
@@ -128,7 +128,7 @@ func (l *Log) WriteCSV(w io.Writer) error {
 	if err := cw.Write([]string{"seq", "time", "cpu", "proc", "name", "kind", "msg"}); err != nil {
 		return err
 	}
-	for _, ev := range l.events {
+	for _, ev := range l.Events() {
 		rec := []string{
 			strconv.Itoa(ev.Seq),
 			strconv.FormatInt(ev.Time, 10),
@@ -136,7 +136,7 @@ func (l *Log) WriteCSV(w io.Writer) error {
 			strconv.Itoa(ev.Proc),
 			ev.ProcName,
 			ev.Kind.String(),
-			ev.Msg,
+			ev.Message(),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

@@ -5,11 +5,20 @@
 // Tests assert on the resulting log — the Figure 2 incremental-helping
 // scenario of the paper is reproduced as assertions over this log — and
 // cmd/wfsim pretty-prints it.
+//
+// The log is built for the simulator's hot path: events are stored in
+// fixed-size chunks (append never copies the whole log), structured
+// annotation fields live in a small inline array inside the Event (no
+// per-note slice allocation), and the human-readable message of a
+// structured annotation is rendered lazily by Event.Message rather than
+// formatted at append time. Appending an annotation therefore allocates
+// nothing beyond the amortized chunk itself.
 package trace
 
 import (
 	"fmt"
 	"io"
+	"math"
 	"strings"
 )
 
@@ -52,7 +61,7 @@ func (k Kind) String() string {
 // Field is one typed argument of a structured annotation: a named integer
 // (or boolean) value such as p=2, key=30 or needhelp=true. Structured
 // arguments are what the span layer (internal/tracex) consumes; the rendered
-// Msg form exists for humans and for substring assertions in tests.
+// Message form exists for humans and for substring assertions in tests.
 type Field struct {
 	// Key names the argument ("p", "key", "target", ...).
 	Key string
@@ -82,8 +91,8 @@ func (f Field) String() string {
 	return fmt.Sprintf("%s=%d", f.Key, f.Val)
 }
 
-// FormatNote renders a structured annotation the way Env.Note stores it in
-// Event.Msg: the key followed by space-separated key=value fields.
+// FormatNote renders a structured annotation the way Event.Message shows it:
+// the key followed by space-separated key=value fields.
 func FormatNote(key string, args []Field) string {
 	var sb strings.Builder
 	sb.WriteString(key)
@@ -93,6 +102,11 @@ func FormatNote(key string, args []Field) string {
 	}
 	return sb.String()
 }
+
+// inlineFields is the capacity of an Event's inline field array. The widest
+// annotation the simulator emits (casfail) carries three fields; anything
+// wider falls back to a heap-allocated Args slice.
+const inlineFields = 4
 
 // Event is one entry in the log.
 type Event struct {
@@ -110,21 +124,64 @@ type Event struct {
 	ProcName string
 	// Kind classifies the event.
 	Kind Kind
-	// Msg is the annotation text for KindAnnotate, otherwise empty. For
-	// structured annotations it is the FormatNote rendering of (Key, Args).
+	// Msg is optional pre-rendered annotation text. The simulator no longer
+	// fills it (rendering is lazy; see Message); it remains for events
+	// constructed by hand and for compatibility with external producers.
 	Msg string
 	// Key is the structured annotation key ("announce", "help", "splice",
 	// ...) for annotations emitted through Env.Note; empty for scheduler
 	// events.
 	Key string
-	// Args are the structured annotation arguments, if any.
+	// Args are structured annotation arguments supplied at construction.
+	// Append moves them into the inline array when they fit; read fields
+	// through Fields or Arg, never through Args directly.
 	Args []Field
+
+	// argv/argn are the inline storage for up to inlineFields arguments,
+	// filled by SetFields (emission hot path) or by Append normalizing
+	// Args. Keeping the fields inside the Event means a structured note
+	// allocates nothing.
+	argv [inlineFields]Field
+	argn uint8
+}
+
+// SetFields copies args into the event's inline field array (no allocation
+// when they fit), falling back to a cloned Args slice for oversized notes.
+// The caller's slice is never retained, so stack-allocated argument slices
+// stay on the stack.
+func (ev *Event) SetFields(args []Field) {
+	if len(args) <= inlineFields {
+		ev.argn = uint8(copy(ev.argv[:], args))
+		ev.Args = nil
+		return
+	}
+	ev.Args = append([]Field(nil), args...)
+	ev.argn = 0
+}
+
+// Fields returns the structured annotation arguments, wherever they are
+// stored. The returned slice must not be modified.
+func (ev *Event) Fields() []Field {
+	if ev.argn > 0 {
+		return ev.argv[:ev.argn]
+	}
+	return ev.Args
+}
+
+// Message returns the event's rendered text: Msg when pre-rendered, or the
+// FormatNote rendering of (Key, fields) computed on demand. Scheduler
+// events (empty Key, empty Msg) render as "".
+func (ev *Event) Message() string {
+	if ev.Msg != "" || ev.Key == "" {
+		return ev.Msg
+	}
+	return FormatNote(ev.Key, ev.Fields())
 }
 
 // Arg returns the value of the named structured argument and whether it is
 // present.
 func (ev Event) Arg(key string) (int64, bool) {
-	for _, f := range ev.Args {
+	for _, f := range ev.Fields() {
 		if f.Key == key {
 			return f.Val, true
 		}
@@ -132,12 +189,21 @@ func (ev Event) Arg(key string) (int64, bool) {
 	return 0, false
 }
 
+// logChunk is the number of events per storage chunk. Chunked storage keeps
+// Append from ever copying the log: growing costs one fixed-size allocation
+// every logChunk events and nothing else.
+const logChunk = 4096
+
 // Log is an append-only event log. The zero value is ready to use.
 type Log struct {
-	events []Event
+	chunks [][]Event
+	n      int
+	// flat caches the flattened Events() view; nil after any Append.
+	flat []Event
 	// lastTime tracks the last appended Time per CPU so Append can assert
-	// per-processor monotonicity (processor clocks never run backwards).
-	lastTime map[int]int64
+	// per-processor monotonicity (processor clocks never run backwards);
+	// math.MinInt64 marks a CPU with no events yet.
+	lastTime []int64
 }
 
 // Append adds an event, assigning its sequence number. The assigned Seq is
@@ -145,34 +211,68 @@ type Log struct {
 // position panics, as does an event whose Time precedes an earlier event on
 // the same CPU — either indicates a corrupted emission path.
 func (l *Log) Append(ev Event) {
-	if ev.Seq != 0 && ev.Seq != len(l.events) {
-		panic(fmt.Sprintf("trace: Append with stale Seq %d at position %d", ev.Seq, len(l.events)))
+	if ev.Seq != 0 && ev.Seq != l.n {
+		panic(fmt.Sprintf("trace: Append with stale Seq %d at position %d", ev.Seq, l.n))
 	}
-	if l.lastTime == nil {
-		l.lastTime = make(map[int]int64)
+	if ev.CPU >= 0 {
+		for ev.CPU >= len(l.lastTime) {
+			l.lastTime = append(l.lastTime, math.MinInt64)
+		}
+		if last := l.lastTime[ev.CPU]; last != math.MinInt64 && ev.Time < last {
+			panic(fmt.Sprintf("trace: time moved backwards on cpu%d: %d after %d (event %q)",
+				ev.CPU, ev.Time, last, ev.Kind))
+		}
+		l.lastTime[ev.CPU] = ev.Time
 	}
-	if last, ok := l.lastTime[ev.CPU]; ok && ev.Time < last {
-		panic(fmt.Sprintf("trace: time moved backwards on cpu%d: %d after %d (event %q)",
-			ev.CPU, ev.Time, last, ev.Kind))
+	if ev.argn == 0 && len(ev.Args) > 0 && len(ev.Args) <= inlineFields {
+		ev.argn = uint8(copy(ev.argv[:], ev.Args))
+		ev.Args = nil
 	}
-	l.lastTime[ev.CPU] = ev.Time
-	ev.Seq = len(l.events)
-	l.events = append(l.events, ev)
+	ev.Seq = l.n
+	if len(l.chunks) == 0 || len(l.chunks[len(l.chunks)-1]) == logChunk {
+		l.chunks = append(l.chunks, make([]Event, 0, logChunk))
+	}
+	last := len(l.chunks) - 1
+	l.chunks[last] = append(l.chunks[last], ev)
+	l.n++
+	l.flat = nil
 }
 
-// Events returns the recorded events. The returned slice is the log's
-// backing store; callers must not modify it.
-func (l *Log) Events() []Event { return l.events }
+// Events returns the recorded events as one flat slice. The slice is built
+// on first call and cached until the next Append; callers must not modify
+// it. Prefer the iteration helpers (Find, Annotations, WriteTo) when a flat
+// view is not required.
+func (l *Log) Events() []Event {
+	if l.flat == nil && l.n > 0 {
+		flat := make([]Event, 0, l.n)
+		for _, c := range l.chunks {
+			flat = append(flat, c...)
+		}
+		l.flat = flat
+	}
+	return l.flat
+}
 
 // Len returns the number of recorded events.
-func (l *Log) Len() int { return len(l.events) }
+func (l *Log) Len() int { return l.n }
+
+// At returns a pointer to the event at sequence position seq. It panics on
+// an out-of-range position.
+func (l *Log) At(seq int) *Event {
+	if seq < 0 || seq >= l.n {
+		panic(fmt.Sprintf("trace: At(%d) out of range [0,%d)", seq, l.n))
+	}
+	return &l.chunks[seq/logChunk][seq%logChunk]
+}
 
 // Annotations returns only the KindAnnotate events, in order.
 func (l *Log) Annotations() []Event {
 	var out []Event
-	for _, ev := range l.events {
-		if ev.Kind == KindAnnotate {
-			out = append(out, ev)
+	for _, c := range l.chunks {
+		for i := range c {
+			if c[i].Kind == KindAnnotate {
+				out = append(out, c[i])
+			}
 		}
 	}
 	return out
@@ -182,12 +282,12 @@ func (l *Log) Annotations() []Event {
 // kind matches and whose message contains substr (substr is ignored for
 // non-annotation kinds when empty). It returns -1 if no event matches.
 func (l *Log) Find(seq int, kind Kind, substr string) int {
-	for i := seq; i < len(l.events); i++ {
-		ev := l.events[i]
+	for i := seq; i < l.n; i++ {
+		ev := l.At(i)
 		if ev.Kind != kind {
 			continue
 		}
-		if substr != "" && !strings.Contains(ev.Msg, substr) {
+		if substr != "" && !strings.Contains(ev.Message(), substr) {
 			continue
 		}
 		return i
@@ -207,15 +307,18 @@ func (l *Log) FindNote(seq int, substr string) int {
 // process slot 0 in the Figure 2 scenario).
 func (l *Log) NoteCounts(substr string) map[string]int {
 	out := make(map[string]int)
-	for _, ev := range l.events {
-		if ev.Kind != KindAnnotate || !strings.Contains(ev.Msg, substr) {
-			continue
+	for _, c := range l.chunks {
+		for i := range c {
+			ev := &c[i]
+			if ev.Kind != KindAnnotate || !strings.Contains(ev.Message(), substr) {
+				continue
+			}
+			name := ev.ProcName
+			if name == "" && ev.Proc >= 0 {
+				name = fmt.Sprintf("p%d", ev.Proc)
+			}
+			out[name]++
 		}
-		name := ev.ProcName
-		if name == "" && ev.Proc >= 0 {
-			name = fmt.Sprintf("p%d", ev.Proc)
-		}
-		out[name]++
 	}
 	return out
 }
@@ -224,21 +327,24 @@ func (l *Log) NoteCounts(substr string) map[string]int {
 // cmd/wfsim to render the paper's Figure 2.
 func (l *Log) WriteTo(w io.Writer) (int64, error) {
 	var n int64
-	for _, ev := range l.events {
-		name := ev.ProcName
-		if name == "" && ev.Proc >= 0 {
-			name = fmt.Sprintf("p%d", ev.Proc)
-		}
-		var line string
-		if ev.Kind == KindAnnotate {
-			line = fmt.Sprintf("%6d  cpu%d t=%-6d %-10s %s\n", ev.Seq, ev.CPU, ev.Time, name, ev.Msg)
-		} else {
-			line = fmt.Sprintf("%6d  cpu%d t=%-6d %-10s [%s]\n", ev.Seq, ev.CPU, ev.Time, name, ev.Kind)
-		}
-		k, err := io.WriteString(w, line)
-		n += int64(k)
-		if err != nil {
-			return n, err
+	for _, c := range l.chunks {
+		for i := range c {
+			ev := &c[i]
+			name := ev.ProcName
+			if name == "" && ev.Proc >= 0 {
+				name = fmt.Sprintf("p%d", ev.Proc)
+			}
+			var line string
+			if ev.Kind == KindAnnotate {
+				line = fmt.Sprintf("%6d  cpu%d t=%-6d %-10s %s\n", ev.Seq, ev.CPU, ev.Time, name, ev.Message())
+			} else {
+				line = fmt.Sprintf("%6d  cpu%d t=%-6d %-10s [%s]\n", ev.Seq, ev.CPU, ev.Time, name, ev.Kind)
+			}
+			k, err := io.WriteString(w, line)
+			n += int64(k)
+			if err != nil {
+				return n, err
+			}
 		}
 	}
 	return n, nil
