@@ -308,8 +308,8 @@ func BenchmarkSec34Retries(b *testing.B) {
 // under high contention on a small hot list.
 func BenchmarkSec34Valois(b *testing.B) {
 	run := func(b *testing.B, buildList func(s *sched.Sim, ar *arena.Arena) (interface {
-		Insert(*sched.Env, uint64, uint64) bool
-		Delete(*sched.Env, uint64) bool
+		Insert(shmem.Ctx, uint64, uint64) bool
+		Delete(shmem.Ctx, uint64) bool
 	}, error)) int64 {
 		var virtual int64
 		for i := 0; i < b.N; i++ {
@@ -345,8 +345,8 @@ func BenchmarkSec34Valois(b *testing.B) {
 	}
 	b.Run("lockfree-gc", func(b *testing.B) {
 		v := run(b, func(s *sched.Sim, ar *arena.Arena) (interface {
-			Insert(*sched.Env, uint64, uint64) bool
-			Delete(*sched.Env, uint64) bool
+			Insert(shmem.Ctx, uint64, uint64) bool
+			Delete(shmem.Ctx, uint64) bool
 		}, error) {
 			return gclist.New(s.Mem(), ar, 4)
 		})
@@ -357,8 +357,8 @@ func BenchmarkSec34Valois(b *testing.B) {
 	// advantage to).
 	b.Run("casonly-valois-refcounted", func(b *testing.B) {
 		v := run(b, func(s *sched.Sim, ar *arena.Arena) (interface {
-			Insert(*sched.Env, uint64, uint64) bool
-			Delete(*sched.Env, uint64) bool
+			Insert(shmem.Ctx, uint64, uint64) bool
+			Delete(shmem.Ctx, uint64) bool
 		}, error) {
 			l, err := valois.New(s.Mem(), ar, 4)
 			if err != nil {
@@ -373,8 +373,8 @@ func BenchmarkSec34Valois(b *testing.B) {
 	// reverses the comparison — see EXPERIMENTS.md.
 	b.Run("casonly-harris", func(b *testing.B) {
 		v := run(b, func(s *sched.Sim, ar *arena.Arena) (interface {
-			Insert(*sched.Env, uint64, uint64) bool
-			Delete(*sched.Env, uint64) bool
+			Insert(shmem.Ctx, uint64, uint64) bool
+			Delete(shmem.Ctx, uint64) bool
 		}, error) {
 			return valois.New(s.Mem(), ar, 4)
 		})

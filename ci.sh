@@ -5,7 +5,8 @@
 #
 # Runs gofmt/vet, a full build, the full test suite, and a race-detector
 # pass over the packages with real goroutine hand-offs (the scheduler's
-# coroutine rendezvous, the trace log, and the parallel sweep harness).
+# coroutine rendezvous, the trace log, the parallel sweep harness, and
+# the native-hardware backend with its whole-registry stress suite).
 # Everything is stdlib-only and deterministic, so a green run on one
 # machine is a green run on all. Then three end-to-end smokes into
 # artifacts/ (which stays out of git): the Figure 2 trace export, the
@@ -19,6 +20,11 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/sched/... ./internal/trace/... ./internal/tracex/... ./internal/harness/... ./internal/linz/...
+
+# Native backend: every registered object on real goroutines under the
+# race detector — 32-wide stress with conservation-law oracles plus the
+# black-box differential tests against the Wing-Gong engine.
+go test -race -short ./internal/native/...
 
 # The registry must cover every internal/core/ and internal/baseline/
 # package; this is the gate that keeps "drive everything through the
@@ -50,6 +56,12 @@ done
 
 go run ./cmd/wfbench -exp sweep -sweepseeds 1 -outdir artifacts
 test -s artifacts/BENCH_sweep.json
+
+# Native smoke: real-hardware ops/sec for all objects plus the sync.Mutex
+# reference (timings vary by host, so BENCH_native.json is an artifact,
+# not a golden).
+go run ./cmd/wfbench -exp native -ops 4000 -outdir artifacts > /dev/null
+test -s artifacts/BENCH_native.json
 
 # Black-box mode: randomized adversary schedules judged by the
 # history-based linearizability engine, all objects (baselines included),

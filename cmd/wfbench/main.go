@@ -9,6 +9,7 @@
 //	wfbench -exp retries             # Section 3.4 worst-case comparison
 //	wfbench -exp valois              # the [7]-cited CAS-only comparison
 //	wfbench -exp ablations           # A1-A4 design-choice ablations
+//	wfbench -exp native              # real-hardware ops/sec vs a sync.Mutex
 //
 // All numbers are virtual time units (one unit per memory operation; see
 // internal/sched). The shapes — linearity in W/T/P, wait-free/lock-free
@@ -59,7 +60,7 @@ import (
 var withTrace bool
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig1|ext|mwcas|sec34|retries|valois|ablations|report|sweep|core|all")
+	exp := flag.String("exp", "all", "experiment: fig1|ext|mwcas|sec34|retries|valois|ablations|report|sweep|core|native|all")
 	ops := flag.Int("ops", 50000, "total operations for the sec34 experiments (the paper used 50000)")
 	procs := flag.Int("procs", 4, "processors for the sec34 experiments (the paper used 4)")
 	seed := flag.Int64("seed", 11, "random seed")
@@ -105,6 +106,7 @@ func main() {
 	run("report", func() error { return reports(*outdir, *seed) })
 	run("sweep", func() error { return sweep(*outdir, *sweepSeeds) })
 	run("core", func() error { return coreBench(*outdir, *coreBaseline) })
+	run("native", func() error { return nativeBench(*outdir, *ops, *procs, *seed) })
 	stopProf()
 }
 

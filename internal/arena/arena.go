@@ -28,7 +28,6 @@ import (
 	"fmt"
 
 	"repro/internal/prim"
-	"repro/internal/sched"
 	"repro/internal/shmem"
 )
 
@@ -43,7 +42,7 @@ const wordsPerNode = 3
 
 // Arena is a fixed pool of list nodes in simulated shared memory.
 type Arena struct {
-	mem      *shmem.Mem
+	mem      shmem.Memory
 	nodes    shmem.Addr // base of node storage
 	heads    shmem.Addr // per-slot free-list head words
 	capacity int
@@ -58,7 +57,7 @@ type Arena struct {
 // New creates an arena with the given total node capacity for the given
 // number of process slots. Capacity includes the nil-node and the free-list
 // sentinel, so usable capacity is capacity-2 minus any static nodes.
-func New(m *shmem.Mem, capacity, slots int) (*Arena, error) {
+func New(m shmem.Memory, capacity, slots int) (*Arena, error) {
 	if capacity < 3 {
 		return nil, fmt.Errorf("arena: capacity %d too small (need >= 3)", capacity)
 	}
@@ -157,7 +156,7 @@ func (a *Arena) Contains(r Ref) bool { return int(r) < a.capacity }
 // Alloc pops a node from the calling slot's free list (the paper's
 // nodealloc, line 1 of Insert). It reports false when the slot's pool is
 // exhausted.
-func (a *Arena) Alloc(e *sched.Env, slot int) (Ref, bool) {
+func (a *Arena) Alloc(e shmem.Ctx, slot int) (Ref, bool) {
 	a.checkSlot(slot)
 	headAddr := a.heads + shmem.Addr(slot)
 	head := Ref(e.Load(headAddr))
@@ -173,7 +172,7 @@ func (a *Arena) Alloc(e *sched.Env, slot int) (Ref, bool) {
 // nodefree, line 10 of Delete). The node's next field is overwritten with
 // the chain link, which is always non-NIL — the property the uniprocessor
 // insert protocol relies on.
-func (a *Arena) Free(e *sched.Env, slot int, r Ref) {
+func (a *Arena) Free(e shmem.Ctx, slot int, r Ref) {
 	a.checkSlot(slot)
 	if r == NIL || r == a.sentinel || !a.Contains(r) {
 		panic(fmt.Sprintf("arena: Free of invalid ref %d", r))

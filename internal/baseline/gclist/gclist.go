@@ -24,7 +24,6 @@ import (
 	"fmt"
 
 	"repro/internal/arena"
-	"repro/internal/sched"
 	"repro/internal/shmem"
 )
 
@@ -63,7 +62,7 @@ func (s *Stats) record(retries int) {
 
 // List is the version-guarded lock-free list.
 type List struct {
-	mem *shmem.Mem
+	mem shmem.Memory
 	ar  *arena.Arena
 
 	version     shmem.Addr
@@ -72,7 +71,7 @@ type List struct {
 }
 
 // New creates a list for n process slots. The arena must not be frozen.
-func New(m *shmem.Mem, ar *arena.Arena, n int) (*List, error) {
+func New(m shmem.Memory, ar *arena.Arena, n int) (*List, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("gclist: process count %d out of range", n)
 	}
@@ -113,7 +112,7 @@ func (l *List) TotalStats() Stats {
 // scan locates the predecessor of the first node with key >= key under the
 // given version. It reports !ok if the structure changed underfoot (version
 // bump or a bounded-scan overflow caused by node recycling).
-func (l *List) scan(e *sched.Env, key, ver uint64) (prev, next arena.Ref, nextKey uint64, ok bool) {
+func (l *List) scan(e shmem.Ctx, key, ver uint64) (prev, next arena.Ref, nextKey uint64, ok bool) {
 	prev = l.first
 	for hops := 0; ; hops++ {
 		if hops > l.ar.Capacity() {
@@ -136,7 +135,7 @@ func (l *List) scan(e *sched.Env, key, ver uint64) (prev, next arena.Ref, nextKe
 }
 
 // Insert adds key, reporting false if present.
-func (l *List) Insert(e *sched.Env, key, val uint64) bool {
+func (l *List) Insert(e shmem.Ctx, key, val uint64) bool {
 	l.checkKey(key)
 	p := e.Slot()
 	node, okAlloc := l.ar.Alloc(e, p)
@@ -171,7 +170,7 @@ func (l *List) Insert(e *sched.Env, key, val uint64) bool {
 
 // Delete removes key, reporting whether it was present. The node is
 // recycled immediately (safe: recycling implies a version bump).
-func (l *List) Delete(e *sched.Env, key uint64) bool {
+func (l *List) Delete(e shmem.Ctx, key uint64) bool {
 	l.checkKey(key)
 	p := e.Slot()
 	retries := 0
@@ -201,7 +200,7 @@ func (l *List) Delete(e *sched.Env, key uint64) bool {
 }
 
 // Search reports whether key is present, validating against the version.
-func (l *List) Search(e *sched.Env, key uint64) bool {
+func (l *List) Search(e shmem.Ctx, key uint64) bool {
 	l.checkKey(key)
 	p := e.Slot()
 	retries := 0

@@ -21,14 +21,13 @@ package herlihy
 import (
 	"fmt"
 
-	"repro/internal/sched"
 	"repro/internal/shmem"
 )
 
 // Apply is the sequential object semantics: it mutates state (block word
 // addresses) and returns the operation's result. It must access memory only
 // through e.
-type Apply func(e *sched.Env, state []shmem.Addr, op, arg uint64) uint64
+type Apply func(e shmem.Ctx, state []shmem.Addr, op, arg uint64) uint64
 
 // head word packing: block index in the low 16 bits, version above.
 func packHead(blk int, ver uint64) uint64 { return uint64(blk)&0xFFFF | ver<<16 }
@@ -37,7 +36,7 @@ func unpackHead(w uint64) (int, uint64)   { return int(w & 0xFFFF), w >> 16 }
 // Object is a universal-construction object for n processes with k state
 // words.
 type Object struct {
-	mem   *shmem.Mem
+	mem   shmem.Memory
 	apply Apply
 	n, k  int
 
@@ -53,7 +52,7 @@ type Object struct {
 const annStride = 3
 
 // New creates the object. The initial state is all-zero k words.
-func New(m *shmem.Mem, n, k int, apply Apply) (*Object, error) {
+func New(m shmem.Memory, n, k int, apply Apply) (*Object, error) {
 	if n < 1 || n > 0xFFF {
 		return nil, fmt.Errorf("herlihy: process count %d out of range", n)
 	}
@@ -109,7 +108,7 @@ func (o *Object) PeekState() []uint64 {
 // Do announces and completes one operation, returning its result. The
 // worst-case work is O(N·T): each attempt copies the whole state and helps
 // every announced operation.
-func (o *Object) Do(e *sched.Env, op, arg uint64) uint64 {
+func (o *Object) Do(e shmem.Ctx, op, arg uint64) uint64 {
 	p := e.Slot()
 	o.localSeq[p]++
 	mySeq := o.localSeq[p]
@@ -174,7 +173,7 @@ func (o *Object) Do(e *sched.Env, op, arg uint64) uint64 {
 // for use with New: op 1 = insert, 2 = delete, 3 = search; arg is the key
 // (nonzero). The result is 1 for true, 0 for false. It is the sequential
 // counterpart of the paper's linked lists for the A1 comparison.
-func SortedSetApply(e *sched.Env, state []shmem.Addr, op, arg uint64) uint64 {
+func SortedSetApply(e shmem.Ctx, state []shmem.Addr, op, arg uint64) uint64 {
 	freeSlot := -1
 	for i, a := range state {
 		v := e.Load(a)

@@ -11,7 +11,7 @@ import (
 
 // counterApply is a trivial sequential object: one word, op 1 increments by
 // arg and returns the new value, op 2 reads.
-func counterApply(e *sched.Env, state []shmem.Addr, op, arg uint64) uint64 {
+func counterApply(e shmem.Ctx, state []shmem.Addr, op, arg uint64) uint64 {
 	switch op {
 	case 1:
 		v := e.Load(state[0]) + arg

@@ -14,7 +14,6 @@ import (
 	"fmt"
 
 	"repro/internal/arena"
-	"repro/internal/sched"
 	"repro/internal/shmem"
 )
 
@@ -26,7 +25,7 @@ const (
 
 // List is a lock-protected sorted list.
 type List struct {
-	mem         *shmem.Mem
+	mem         shmem.Memory
 	ar          *arena.Arena
 	lock        shmem.Addr
 	first, last arena.Ref
@@ -36,7 +35,7 @@ type List struct {
 }
 
 // New creates a list for processes that allocate from ar.
-func New(m *shmem.Mem, ar *arena.Arena) (*List, error) {
+func New(m shmem.Memory, ar *arena.Arena) (*List, error) {
 	lock, err := m.Alloc("ListLock", 1)
 	if err != nil {
 		return nil, fmt.Errorf("locklist: %w", err)
@@ -54,13 +53,13 @@ func New(m *shmem.Mem, ar *arena.Arena) (*List, error) {
 // Lock acquires the list lock explicitly. Exposed so demonstrations can
 // hold the lock across a preemption point; normal operations manage the
 // lock themselves.
-func (l *List) Lock(e *sched.Env) { l.acquire(e) }
+func (l *List) Lock(e shmem.Ctx) { l.acquire(e) }
 
 // Unlock releases the list lock acquired with Lock.
-func (l *List) Unlock(e *sched.Env) { l.release(e) }
+func (l *List) Unlock(e shmem.Ctx) { l.release(e) }
 
 // acquire spins on the test-and-set lock.
-func (l *List) acquire(e *sched.Env) {
+func (l *List) acquire(e shmem.Ctx) {
 	for !e.CAS(l.lock, 0, 1) {
 		l.Spins++
 		e.Yield() // a preemption point; the spin burns processor time
@@ -68,13 +67,13 @@ func (l *List) acquire(e *sched.Env) {
 }
 
 // release frees the lock.
-func (l *List) release(e *sched.Env) {
+func (l *List) release(e shmem.Ctx) {
 	e.Store(l.lock, 0)
 }
 
 // scan finds the predecessor of the first node with key >= key. Caller must
 // hold the lock.
-func (l *List) scan(e *sched.Env, key uint64) (prev, next arena.Ref, nextKey uint64) {
+func (l *List) scan(e shmem.Ctx, key uint64) (prev, next arena.Ref, nextKey uint64) {
 	prev = l.first
 	for {
 		next = arena.Ref(e.Load(l.ar.NextAddr(prev)))
@@ -87,7 +86,7 @@ func (l *List) scan(e *sched.Env, key uint64) (prev, next arena.Ref, nextKey uin
 }
 
 // Insert adds key, reporting false if present.
-func (l *List) Insert(e *sched.Env, key, val uint64) bool {
+func (l *List) Insert(e shmem.Ctx, key, val uint64) bool {
 	l.checkKey(key)
 	p := e.Slot()
 	node, ok := l.ar.Alloc(e, p)
@@ -110,7 +109,7 @@ func (l *List) Insert(e *sched.Env, key, val uint64) bool {
 }
 
 // Delete removes key, reporting whether it was present.
-func (l *List) Delete(e *sched.Env, key uint64) bool {
+func (l *List) Delete(e shmem.Ctx, key uint64) bool {
 	l.checkKey(key)
 	l.acquire(e)
 	prev, next, nextKey := l.scan(e, key)
@@ -126,7 +125,7 @@ func (l *List) Delete(e *sched.Env, key uint64) bool {
 }
 
 // Search reports whether key is present.
-func (l *List) Search(e *sched.Env, key uint64) bool {
+func (l *List) Search(e shmem.Ctx, key uint64) bool {
 	l.checkKey(key)
 	l.acquire(e)
 	_, _, nextKey := l.scan(e, key)

@@ -21,7 +21,6 @@ import (
 	"fmt"
 
 	"repro/internal/arena"
-	"repro/internal/sched"
 	"repro/internal/shmem"
 )
 
@@ -61,7 +60,7 @@ const auxHopCost = 2
 
 // List is the CAS-only lock-free list.
 type List struct {
-	mem         *shmem.Mem
+	mem         shmem.Memory
 	ar          *arena.Arena
 	first, last arena.Ref
 	stats       []Stats
@@ -73,7 +72,7 @@ type List struct {
 func (l *List) SetRefCounted(on bool) { l.refCounted = on }
 
 // New creates a list for n process slots. The arena must not be frozen.
-func New(m *shmem.Mem, ar *arena.Arena, n int) (*List, error) {
+func New(m shmem.Memory, ar *arena.Arena, n int) (*List, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("valois: process count %d out of range", n)
 	}
@@ -106,7 +105,7 @@ func (l *List) TotalStats() Stats {
 // find locates (prev, cur) such that cur is the first unmarked node with
 // key >= key, physically unlinking marked nodes on the way. retries counts
 // restarts caused by CAS interference.
-func (l *List) find(e *sched.Env, key uint64, retries *int) (prev, cur arena.Ref, curKey uint64) {
+func (l *List) find(e shmem.Ctx, key uint64, retries *int) (prev, cur arena.Ref, curKey uint64) {
 retry:
 	for {
 		prev = l.first
@@ -140,7 +139,7 @@ retry:
 }
 
 // Insert adds key, reporting false if present.
-func (l *List) Insert(e *sched.Env, key, val uint64) bool {
+func (l *List) Insert(e shmem.Ctx, key, val uint64) bool {
 	l.checkKey(key)
 	p := e.Slot()
 	retries := 0
@@ -171,7 +170,7 @@ func (l *List) Insert(e *sched.Env, key, val uint64) bool {
 // Delete removes key, reporting whether it was present. The node is only
 // logically deleted (marked) and physically unlinked by subsequent
 // traversals; it is never recycled during the run.
-func (l *List) Delete(e *sched.Env, key uint64) bool {
+func (l *List) Delete(e shmem.Ctx, key uint64) bool {
 	l.checkKey(key)
 	p := e.Slot()
 	retries := 0
@@ -200,7 +199,7 @@ func (l *List) Delete(e *sched.Env, key uint64) bool {
 }
 
 // Search reports whether key is present.
-func (l *List) Search(e *sched.Env, key uint64) bool {
+func (l *List) Search(e shmem.Ctx, key uint64) bool {
 	l.checkKey(key)
 	p := e.Slot()
 	retries := 0

@@ -30,7 +30,6 @@ import (
 	"repro/internal/arena"
 	"repro/internal/helping"
 	"repro/internal/prim"
-	"repro/internal/sched"
 	"repro/internal/shmem"
 	"repro/internal/trace"
 )
@@ -75,7 +74,7 @@ type Config struct {
 
 // Table is a wait-free hash table.
 type Table struct {
-	mem *shmem.Mem
+	mem shmem.Memory
 	ar  *arena.Arena
 	cc  prim.Impl
 	eng *helping.Engine
@@ -95,7 +94,7 @@ const (
 )
 
 // New creates a table; the arena must not be frozen.
-func New(m *shmem.Mem, ar *arena.Arena, cfg Config) (*Table, error) {
+func New(m shmem.Memory, ar *arena.Arena, cfg Config) (*Table, error) {
 	if cfg.Procs < 1 {
 		return nil, fmt.Errorf("multihash: process count %d out of range", cfg.Procs)
 	}
@@ -131,7 +130,7 @@ func New(m *shmem.Mem, ar *arena.Arena, cfg Config) (*Table, error) {
 		CC:         cfg.CC,
 		Done:       Done,
 		Help:       t.help,
-		OnAnnounce: func(*sched.Env) {},
+		OnAnnounce: func(shmem.Ctx) {},
 		OneRound:   cfg.OneRound,
 	}, RvTrue)
 	if err != nil {
@@ -155,7 +154,7 @@ func (t *Table) Engine() *helping.Engine { return t.eng }
 func (t *Table) Buckets() int { return t.k }
 
 // Insert adds key, reporting false on duplicate.
-func (t *Table) Insert(e *sched.Env, key, val uint64) bool {
+func (t *Table) Insert(e shmem.Ctx, key, val uint64) bool {
 	t.checkKey(key)
 	p := e.Slot()
 	node, ok := t.ar.Alloc(e, p)
@@ -178,7 +177,7 @@ func (t *Table) Insert(e *sched.Env, key, val uint64) bool {
 }
 
 // Delete removes key, reporting whether it was present.
-func (t *Table) Delete(e *sched.Env, key uint64) bool {
+func (t *Table) Delete(e shmem.Ctx, key uint64) bool {
 	t.checkKey(key)
 	p := e.Slot()
 	e.Store(t.parAddr(p, parKey), key)
@@ -195,7 +194,7 @@ func (t *Table) Delete(e *sched.Env, key uint64) bool {
 }
 
 // Search reports whether key is present.
-func (t *Table) Search(e *sched.Env, key uint64) bool {
+func (t *Table) Search(e shmem.Ctx, key uint64) bool {
 	t.checkKey(key)
 	p := e.Slot()
 	e.Store(t.parAddr(p, parKey), key)
@@ -207,7 +206,7 @@ func (t *Table) Search(e *sched.Env, key uint64) bool {
 
 // help mirrors the multiprocessor list's Help (Figure 7 lines 38-58); the
 // scan simply starts at the operation's bucket.
-func (t *Table) help(e *sched.Env, ver helping.Version) {
+func (t *Table) help(e shmem.Ctx, ver helping.Version) {
 	vw := helping.PackVersion(ver)
 	pid := t.eng.AnnPid(e, ver.Target)
 	key := e.Load(t.parAddr(pid, parKey))
@@ -261,7 +260,7 @@ func (t *Table) help(e *sched.Env, ver helping.Version) {
 // package comment for why no shared checkpoint is used), returning the
 // predecessor of the first node with key >= key. The walk checks the round
 // version per hop so it never strays onto recycled chains.
-func (t *Table) findpos(e *sched.Env, key uint64, ver helping.Version, help int) arena.Ref {
+func (t *Table) findpos(e shmem.Ctx, key uint64, ver helping.Version, help int) arena.Ref {
 	vw := helping.PackVersion(ver)
 	probe := t.bucket(key)
 	for hops := 0; hops <= t.ar.Capacity(); hops++ {

@@ -36,7 +36,6 @@ import (
 	"repro/internal/arena"
 	"repro/internal/helping"
 	"repro/internal/prim"
-	"repro/internal/sched"
 	"repro/internal/shmem"
 	"repro/internal/trace"
 )
@@ -86,7 +85,7 @@ type Config struct {
 
 // List is a multiprocessor wait-free sorted linked list.
 type List struct {
-	mem    *shmem.Mem
+	mem    shmem.Memory
 	ar     *arena.Arena
 	cc     prim.Impl
 	eng    *helping.Engine
@@ -108,7 +107,7 @@ const (
 
 // New creates a list. The arena must not be frozen; its next-field
 // representation is set to cfg.CC.
-func New(m *shmem.Mem, ar *arena.Arena, cfg Config) (*List, error) {
+func New(m shmem.Memory, ar *arena.Arena, cfg Config) (*List, error) {
 	if cfg.Procs < 1 {
 		return nil, fmt.Errorf("multilist: process count %d out of range", cfg.Procs)
 	}
@@ -149,7 +148,7 @@ func New(m *shmem.Mem, ar *arena.Arena, cfg Config) (*List, error) {
 		CC:         cfg.CC,
 		Done:       Done,
 		Help:       l.help,
-		OnAnnounce: func(e *sched.Env) {
+		OnAnnounce: func(e shmem.Ctx) {
 			// Line 27: Ann[mypr].ptr := &First (protocol write).
 			l.cc.Write(e, l.annPtrAddr(e.CPU()), uint64(l.first))
 		},
@@ -185,7 +184,7 @@ func (l *List) RvAddr(p int) shmem.Addr { return l.eng.RvAddr(p) }
 
 // Insert adds key with the given value, reporting false on duplicate
 // (Figure 5 lines 1-5 with NIL next initialization per Figure 7's caption).
-func (l *List) Insert(e *sched.Env, key, val uint64) bool {
+func (l *List) Insert(e shmem.Ctx, key, val uint64) bool {
 	l.checkKey(key)
 	p := e.Slot()
 	node, ok := l.ar.Alloc(e, p)
@@ -217,7 +216,7 @@ func (l *List) Insert(e *sched.Env, key, val uint64) bool {
 
 // Delete removes key, reporting whether it was present. The removed node is
 // recycled into the caller's pool.
-func (l *List) Delete(e *sched.Env, key uint64) bool {
+func (l *List) Delete(e shmem.Ctx, key uint64) bool {
 	l.checkKey(key)
 	p := e.Slot()
 	e.Store(l.parAddr(p, parKey), key)
@@ -238,7 +237,7 @@ func (l *List) Delete(e *sched.Env, key uint64) bool {
 }
 
 // Search reports whether key is present.
-func (l *List) Search(e *sched.Env, key uint64) bool {
+func (l *List) Search(e shmem.Ctx, key uint64) bool {
 	l.checkKey(key)
 	p := e.Slot()
 	e.Store(l.parAddr(p, parKey), key)
@@ -250,7 +249,7 @@ func (l *List) Search(e *sched.Env, key uint64) bool {
 
 // help helps the operation announced on ver.Target (lines 38-58 of
 // Figure 7).
-func (l *List) help(e *sched.Env, ver helping.Version) {
+func (l *List) help(e shmem.Ctx, ver helping.Version) {
 	vw := helping.PackVersion(ver)
 	pid := l.eng.AnnPid(e, ver.Target)    // line 38
 	key := e.Load(l.parAddr(pid, parKey)) // line 39
@@ -322,7 +321,7 @@ func (l *List) help(e *sched.Env, ver helping.Version) {
 // ver, returning the predecessor of the first node with key >= key (lines
 // 30-37 of Figure 7). The checkpoint Ann[ver.Target].ptr advances by CCAS —
 // every Stride nodes under the Section 3.4 optimization.
-func (l *List) findpos(e *sched.Env, key uint64, ver helping.Version, help int) arena.Ref {
+func (l *List) findpos(e shmem.Ctx, key uint64, ver helping.Version, help int) arena.Ref {
 	vw := helping.PackVersion(ver)
 	for l.cc.Read(e, l.eng.RvAddr(help)) == RvPending { // line 30
 		curr := arena.Ref(l.cc.Read(e, l.annPtrAddr(ver.Target))) // line 31

@@ -23,7 +23,6 @@ import (
 
 	"repro/internal/helping"
 	"repro/internal/prim"
-	"repro/internal/sched"
 	"repro/internal/shmem"
 )
 
@@ -58,7 +57,7 @@ type Config struct {
 
 // Object is a multiprocessor wait-free MWCAS instance.
 type Object struct {
-	mem *shmem.Mem
+	mem shmem.Memory
 	cc  prim.Impl
 	eng *helping.Engine
 	n   int
@@ -80,7 +79,7 @@ func (o *Object) parNew(p, i int) shmem.Addr {
 }
 
 // New allocates the object and its helping engine.
-func New(m *shmem.Mem, cfg Config) (*Object, error) {
+func New(m shmem.Memory, cfg Config) (*Object, error) {
 	if cfg.Width < 1 {
 		return nil, fmt.Errorf("multimwcas: width %d out of range", cfg.Width)
 	}
@@ -105,7 +104,7 @@ func New(m *shmem.Mem, cfg Config) (*Object, error) {
 		CC:         cfg.CC,
 		Done:       Done,
 		Help:       o.help,
-		OnAnnounce: func(*sched.Env) {},
+		OnAnnounce: func(shmem.Ctx) {},
 		OneRound:   cfg.OneRound,
 	}, RvTrue)
 	if err != nil {
@@ -128,14 +127,14 @@ func (o *Object) InitWord(a shmem.Addr, val uint64) {
 // 3.1's discussion of reads: a plain read does not serialize against
 // in-progress MWCAS operations; use ReadConsistent for the helping-scheme
 // read the paper describes as the third solution.
-func (o *Object) ReadWord(e *sched.Env, a shmem.Addr) uint64 {
+func (o *Object) ReadWord(e shmem.Ctx, a shmem.Addr) uint64 {
 	return o.cc.Read(e, a)
 }
 
 // ReadConsistent advances the help counter once before reading, so any
 // partially-complete MWCAS over the word is finished first (the paper's
 // third read strategy; ~2·T per read).
-func (o *Object) ReadConsistent(e *sched.Env, a shmem.Addr) uint64 {
+func (o *Object) ReadConsistent(e shmem.Ctx, a shmem.Addr) uint64 {
 	ver := helping.UnpackVersion(e.Load(o.eng.VAddr()))
 	if ver.Needhelp {
 		o.help(e, ver)
@@ -153,7 +152,7 @@ func (o *Object) RvAddr(p int) shmem.Addr { return o.eng.RvAddr(p) }
 
 // MWCAS performs the multi-word compare-and-swap (lines 1-15 of Figure 6).
 // It reports whether the operation committed.
-func (o *Object) MWCAS(e *sched.Env, addrs []shmem.Addr, old, new []uint64) bool {
+func (o *Object) MWCAS(e shmem.Ctx, addrs []shmem.Addr, old, new []uint64) bool {
 	p := e.Slot()
 	o.checkArgs(p, addrs, old, new)
 	// Line 1: Par[p] := (numwds, addr, old, new).
@@ -172,7 +171,7 @@ func (o *Object) MWCAS(e *sched.Env, addrs []shmem.Addr, old, new []uint64) bool
 }
 
 // help helps the operation announced on ver.Target (lines 16-30).
-func (o *Object) help(e *sched.Env, ver helping.Version) {
+func (o *Object) help(e shmem.Ctx, ver helping.Version) {
 	cpid := o.eng.AnnPid(e, ver.Target) // line 16
 	rv := o.cc.Read(e, o.eng.RvAddr(cpid))
 	if Done(rv) { // line 17

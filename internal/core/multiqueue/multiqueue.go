@@ -19,7 +19,6 @@ import (
 	"repro/internal/arena"
 	"repro/internal/helping"
 	"repro/internal/prim"
-	"repro/internal/sched"
 	"repro/internal/shmem"
 	"repro/internal/trace"
 )
@@ -57,7 +56,7 @@ type Config struct {
 
 // Queue is a wait-free FIFO queue.
 type Queue struct {
-	mem *shmem.Mem
+	mem shmem.Memory
 	ar  *arena.Arena
 	cc  prim.Impl
 	eng *helping.Engine
@@ -75,7 +74,7 @@ const (
 )
 
 // New creates a queue; the arena must not be frozen.
-func New(m *shmem.Mem, ar *arena.Arena, cfg Config) (*Queue, error) {
+func New(m shmem.Memory, ar *arena.Arena, cfg Config) (*Queue, error) {
 	if cfg.Procs < 1 {
 		return nil, fmt.Errorf("multiqueue: process count %d out of range", cfg.Procs)
 	}
@@ -109,7 +108,7 @@ func New(m *shmem.Mem, ar *arena.Arena, cfg Config) (*Queue, error) {
 		CC:         cfg.CC,
 		Done:       Done,
 		Help:       q.help,
-		OnAnnounce: func(e *sched.Env) {
+		OnAnnounce: func(e shmem.Ctx) {
 			q.cc.Write(e, q.annPtrAddr(e.CPU()), uint64(q.first))
 		},
 		OneRound: cfg.OneRound,
@@ -131,7 +130,7 @@ func (q *Queue) parAddr(p int, f shmem.Addr) shmem.Addr {
 func (q *Queue) Engine() *helping.Engine { return q.eng }
 
 // Enqueue appends val to the queue.
-func (q *Queue) Enqueue(e *sched.Env, val uint64) {
+func (q *Queue) Enqueue(e shmem.Ctx, val uint64) {
 	p := e.Slot()
 	node, ok := q.ar.Alloc(e, p)
 	if !ok {
@@ -147,7 +146,7 @@ func (q *Queue) Enqueue(e *sched.Env, val uint64) {
 
 // Dequeue removes and returns the oldest value; ok is false when the queue
 // was empty.
-func (q *Queue) Dequeue(e *sched.Env) (val uint64, ok bool) {
+func (q *Queue) Dequeue(e shmem.Ctx) (val uint64, ok bool) {
 	p := e.Slot()
 	e.Store(q.parAddr(p, parOp), opDeq)
 	q.cc.Write(e, q.parAddr(p, parNode), uint64(arena.NIL))
@@ -163,7 +162,7 @@ func (q *Queue) Dequeue(e *sched.Env) (val uint64, ok bool) {
 }
 
 // help drives the operation announced on ver.Target.
-func (q *Queue) help(e *sched.Env, ver helping.Version) {
+func (q *Queue) help(e shmem.Ctx, ver helping.Version) {
 	vw := helping.PackVersion(ver)
 	pid := q.eng.AnnPid(e, ver.Target)
 	switch e.Load(q.parAddr(pid, parOp)) {
@@ -176,7 +175,7 @@ func (q *Queue) help(e *sched.Env, ver helping.Version) {
 	}
 }
 
-func (q *Queue) helpEnq(e *sched.Env, vw uint64, ver helping.Version, pid int) {
+func (q *Queue) helpEnq(e shmem.Ctx, vw uint64, ver helping.Version, pid int) {
 	curr := q.findtail(e, ver, pid)
 	if e.Load(q.eng.VAddr()) != vw {
 		return
@@ -200,7 +199,7 @@ func (q *Queue) helpEnq(e *sched.Env, vw uint64, ver helping.Version, pid int) {
 	q.cc.Exec(e, q.eng.VAddr(), vw, q.eng.RvAddr(pid), RvPending, RvTrue)
 }
 
-func (q *Queue) helpDeq(e *sched.Env, vw uint64, pid int) {
+func (q *Queue) helpDeq(e shmem.Ctx, vw uint64, pid int) {
 	victim := arena.Ref(q.cc.Read(e, q.parAddr(pid, parNode)))
 	if victim == arena.NIL {
 		head := arena.Ref(q.cc.Read(e, q.ar.NextAddr(q.first)))
@@ -229,7 +228,7 @@ func (q *Queue) helpDeq(e *sched.Env, vw uint64, pid int) {
 }
 
 // findtail scans for the tail predecessor from the processor's checkpoint.
-func (q *Queue) findtail(e *sched.Env, ver helping.Version, pid int) arena.Ref {
+func (q *Queue) findtail(e shmem.Ctx, ver helping.Version, pid int) arena.Ref {
 	vw := helping.PackVersion(ver)
 	for q.cc.Read(e, q.eng.RvAddr(pid)) == RvPending {
 		curr := arena.Ref(q.cc.Read(e, q.annPtrAddr(ver.Target)))

@@ -16,7 +16,6 @@ import (
 	"repro/internal/arena"
 	"repro/internal/helping"
 	"repro/internal/prim"
-	"repro/internal/sched"
 	"repro/internal/shmem"
 	"repro/internal/trace"
 )
@@ -54,7 +53,7 @@ type Config struct {
 
 // Stack is a wait-free LIFO stack.
 type Stack struct {
-	mem *shmem.Mem
+	mem shmem.Memory
 	ar  *arena.Arena
 	cc  prim.Impl
 	eng *helping.Engine
@@ -71,7 +70,7 @@ const (
 )
 
 // New creates a stack; the arena must not be frozen.
-func New(m *shmem.Mem, ar *arena.Arena, cfg Config) (*Stack, error) {
+func New(m shmem.Memory, ar *arena.Arena, cfg Config) (*Stack, error) {
 	if cfg.Procs < 1 {
 		return nil, fmt.Errorf("multistack: process count %d out of range", cfg.Procs)
 	}
@@ -98,7 +97,7 @@ func New(m *shmem.Mem, ar *arena.Arena, cfg Config) (*Stack, error) {
 		CC:         cfg.CC,
 		Done:       Done,
 		Help:       s.help,
-		OnAnnounce: func(*sched.Env) {},
+		OnAnnounce: func(shmem.Ctx) {},
 		OneRound:   cfg.OneRound,
 	}, RvTrue)
 	if err != nil {
@@ -116,7 +115,7 @@ func (s *Stack) parAddr(p int, f shmem.Addr) shmem.Addr {
 func (s *Stack) Engine() *helping.Engine { return s.eng }
 
 // Push adds val to the top of the stack.
-func (s *Stack) Push(e *sched.Env, val uint64) {
+func (s *Stack) Push(e shmem.Ctx, val uint64) {
 	p := e.Slot()
 	node, ok := s.ar.Alloc(e, p)
 	if !ok {
@@ -132,7 +131,7 @@ func (s *Stack) Push(e *sched.Env, val uint64) {
 
 // Pop removes and returns the most recently pushed value; ok is false when
 // the stack was empty.
-func (s *Stack) Pop(e *sched.Env) (val uint64, ok bool) {
+func (s *Stack) Pop(e shmem.Ctx) (val uint64, ok bool) {
 	p := e.Slot()
 	e.Store(s.parAddr(p, parOp), opPop)
 	s.cc.Write(e, s.parAddr(p, parNode), uint64(arena.NIL))
@@ -148,7 +147,7 @@ func (s *Stack) Pop(e *sched.Env) (val uint64, ok bool) {
 }
 
 // help drives the operation announced on ver.Target.
-func (s *Stack) help(e *sched.Env, ver helping.Version) {
+func (s *Stack) help(e shmem.Ctx, ver helping.Version) {
 	vw := helping.PackVersion(ver)
 	pid := s.eng.AnnPid(e, ver.Target)
 	switch e.Load(s.parAddr(pid, parOp)) {
@@ -161,7 +160,7 @@ func (s *Stack) help(e *sched.Env, ver helping.Version) {
 	}
 }
 
-func (s *Stack) helpPush(e *sched.Env, vw uint64, pid int) {
+func (s *Stack) helpPush(e shmem.Ctx, vw uint64, pid int) {
 	head := arena.Ref(s.cc.Read(e, s.ar.NextAddr(s.first)))
 	if s.cc.Read(e, s.eng.RvAddr(pid)) != RvPending {
 		return
@@ -182,7 +181,7 @@ func (s *Stack) helpPush(e *sched.Env, vw uint64, pid int) {
 	s.cc.Exec(e, s.eng.VAddr(), vw, s.eng.RvAddr(pid), RvPending, RvTrue)
 }
 
-func (s *Stack) helpPop(e *sched.Env, vw uint64, pid int) {
+func (s *Stack) helpPop(e shmem.Ctx, vw uint64, pid int) {
 	victim := arena.Ref(s.cc.Read(e, s.parAddr(pid, parNode)))
 	if victim == arena.NIL {
 		head := arena.Ref(s.cc.Read(e, s.ar.NextAddr(s.first)))

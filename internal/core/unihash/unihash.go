@@ -21,7 +21,6 @@ import (
 
 	"repro/internal/arena"
 	"repro/internal/inchelp"
-	"repro/internal/sched"
 	"repro/internal/shmem"
 	"repro/internal/trace"
 )
@@ -44,7 +43,7 @@ func unpackPtr(w uint64) (arena.Ref, uint64) { return arena.Ref(w >> 1), w & 1 }
 
 // Table is a wait-free hash table for one priority-scheduled processor.
 type Table struct {
-	mem *shmem.Mem
+	mem shmem.Memory
 	ar  *arena.Arena
 	eng *inchelp.Engine
 	n   int
@@ -64,7 +63,7 @@ const (
 
 // New creates a table with k buckets for n process slots; the arena must
 // not be frozen.
-func New(m *shmem.Mem, ar *arena.Arena, n, k int) (*Table, error) {
+func New(m shmem.Memory, ar *arena.Arena, n, k int) (*Table, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("unihash: process count %d out of range", n)
 	}
@@ -114,7 +113,7 @@ func (t *Table) PeekPar(p int) (node, key, op uint64) {
 }
 
 // Insert adds key, reporting false on duplicate.
-func (t *Table) Insert(e *sched.Env, key, val uint64) bool {
+func (t *Table) Insert(e shmem.Ctx, key, val uint64) bool {
 	t.checkKey(key)
 	p := e.Slot()
 	node, ok := t.ar.Alloc(e, p)
@@ -136,7 +135,7 @@ func (t *Table) Insert(e *sched.Env, key, val uint64) bool {
 }
 
 // Delete removes key, reporting whether it was present.
-func (t *Table) Delete(e *sched.Env, key uint64) bool {
+func (t *Table) Delete(e shmem.Ctx, key uint64) bool {
 	t.checkKey(key)
 	p := e.Slot()
 	e.Store(t.parAddr(p, parKey), key)
@@ -151,7 +150,7 @@ func (t *Table) Delete(e *sched.Env, key uint64) bool {
 }
 
 // Search reports whether key is present.
-func (t *Table) Search(e *sched.Env, key uint64) bool {
+func (t *Table) Search(e shmem.Ctx, key uint64) bool {
 	t.checkKey(key)
 	p := e.Slot()
 	e.Store(t.parAddr(p, parKey), key)
@@ -161,7 +160,7 @@ func (t *Table) Search(e *sched.Env, key uint64) bool {
 }
 
 // help mirrors the Figure 5 Help procedure over the operation's bucket.
-func (t *Table) help(e *sched.Env, pid int) {
+func (t *Table) help(e shmem.Ctx, pid int) {
 	key := e.Load(t.parAddr(pid, parKey))
 	curr := t.findpos(e, key, pid)
 	nextp := e.Load(t.ar.NextAddr(curr))
@@ -209,7 +208,7 @@ func (t *Table) help(e *sched.Env, pid int) {
 
 // findpos scans the operation's bucket privately from its head, returning
 // the predecessor of the first node with key >= key.
-func (t *Table) findpos(e *sched.Env, key uint64, pid int) arena.Ref {
+func (t *Table) findpos(e shmem.Ctx, key uint64, pid int) arena.Ref {
 	probe := t.bucket(key)
 	for hops := 0; hops <= t.ar.Capacity(); hops++ {
 		if t.eng.Rv(e, pid) != inchelp.RvPending {

@@ -33,7 +33,6 @@ import (
 	"fmt"
 
 	"repro/internal/arena"
-	"repro/internal/sched"
 	"repro/internal/shmem"
 	"repro/internal/trace"
 )
@@ -71,7 +70,7 @@ func unpackPtr(w uint64) (arena.Ref, uint64) { return arena.Ref(w >> 1), w & 1 }
 // List is a wait-free sorted linked list shared by n processes on one
 // priority-scheduled processor.
 type List struct {
-	mem *shmem.Mem
+	mem shmem.Memory
 	ar  *arena.Arena
 	n   int
 
@@ -91,7 +90,7 @@ const (
 
 // New creates a list for n processes, allocating its sentinels from ar.
 // The arena must not be frozen yet.
-func New(m *shmem.Mem, ar *arena.Arena, n int) (*List, error) {
+func New(m shmem.Memory, ar *arena.Arena, n int) (*List, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("unilist: process count %d out of range", n)
 	}
@@ -156,7 +155,7 @@ func (l *List) Arena() *arena.Arena { return l.ar }
 // Insert adds key with the given value (lines 1-5 of Figure 5). It reports
 // false if the key was already present. Keys must lie strictly between
 // KeyMin and KeyMax.
-func (l *List) Insert(e *sched.Env, key, val uint64) bool {
+func (l *List) Insert(e shmem.Ctx, key, val uint64) bool {
 	l.checkKey(key)
 	p := e.Slot()
 	node, ok := l.ar.Alloc(e, p) // line 1: nodealloc()
@@ -183,7 +182,7 @@ func (l *List) Insert(e *sched.Env, key, val uint64) bool {
 
 // Delete removes key (lines 6-10 of Figure 5), reporting whether it was
 // present. The removed node is recycled into the calling process's pool.
-func (l *List) Delete(e *sched.Env, key uint64) bool {
+func (l *List) Delete(e shmem.Ctx, key uint64) bool {
 	l.checkKey(key)
 	p := e.Slot()
 	e.Store(l.parAddr(p, parKey), key)                // line 6
@@ -198,7 +197,7 @@ func (l *List) Delete(e *sched.Env, key uint64) bool {
 }
 
 // Search reports whether key is present (lines 11-14 of Figure 5).
-func (l *List) Search(e *sched.Env, key uint64) bool {
+func (l *List) Search(e shmem.Ctx, key uint64) bool {
 	l.checkKey(key)
 	p := e.Slot()
 	e.Store(l.parAddr(p, parKey), key)   // line 11
@@ -209,7 +208,7 @@ func (l *List) Search(e *sched.Env, key uint64) bool {
 
 // doOp is the Do_op procedure (lines 15-23): help any previously-announced
 // operation, announce ours, execute it, and clear the announcement.
-func (l *List) doOp(e *sched.Env) {
+func (l *List) doOp(e shmem.Ctx) {
 	p := e.Slot()
 	e.Note("invoke", trace.I("p", int64(p)))
 	pid := int(e.Load(l.annPid()))                       // line 15
@@ -228,7 +227,7 @@ func (l *List) doOp(e *sched.Env) {
 
 // help executes (or helps) process pid's announced operation (the Help
 // procedure, lines 32-51).
-func (l *List) help(e *sched.Env, pid int) {
+func (l *List) help(e shmem.Ctx, pid int) {
 	if pid != e.Slot() {
 		e.NoteHelp(pid)
 	}
@@ -290,7 +289,7 @@ func (l *List) help(e *sched.Env, pid int) {
 // returning the predecessor of the first node whose key is at least key
 // (the Findpos procedure, lines 24-31). The scan checkpoint lives in
 // Ann.ptr so helpers never rescan completed prefixes.
-func (l *List) findpos(e *sched.Env, key uint64, pid int) arena.Ref {
+func (l *List) findpos(e shmem.Ctx, key uint64, pid int) arena.Ref {
 	for e.Load(l.RvAddr(pid)) == RvPending { // line 24
 		curr := arena.Ref(e.Load(l.annPtr())) // line 25
 		nextp := e.Load(l.ar.NextAddr(curr))  // line 26

@@ -30,7 +30,6 @@ package unimwcas
 import (
 	"fmt"
 
-	"repro/internal/sched"
 	"repro/internal/shmem"
 )
 
@@ -97,7 +96,7 @@ const (
 // arrays shared by N processes, each of whose operations accesses at most B
 // words.
 type Object struct {
-	mem    *shmem.Mem
+	mem    shmem.Memory
 	n      int
 	b      int
 	status shmem.Addr // Status: array[0..N-1] of integer
@@ -105,7 +104,7 @@ type Object struct {
 }
 
 // New allocates an MWCAS object for n processes with width limit b.
-func New(m *shmem.Mem, n, b int) (*Object, error) {
+func New(m shmem.Memory, n, b int) (*Object, error) {
 	if n < 1 || n > MaxProcs {
 		return nil, fmt.Errorf("unimwcas: process count %d out of range [1,%d]", n, MaxProcs)
 	}
@@ -157,7 +156,7 @@ func (o *Object) Val(a shmem.Addr) uint32 {
 // process (lines 1-22 of Figure 3): iff every addrs[i] currently holds
 // old[i], atomically set each to new[i]. It reports whether the operation
 // committed. The addresses must be distinct and len(addrs) <= B.
-func (o *Object) MWCAS(e *sched.Env, addrs []shmem.Addr, old, new []uint32) bool {
+func (o *Object) MWCAS(e shmem.Ctx, addrs []shmem.Addr, old, new []uint32) bool {
 	p := e.Slot()
 	o.checkArgs(p, addrs, old, new)
 	numwds := len(addrs)
@@ -204,7 +203,7 @@ func (o *Object) MWCAS(e *sched.Env, addrs []shmem.Addr, old, new []uint32) bool
 }
 
 // Read returns the current value of word a (lines 23-26 of Figure 3).
-func (o *Object) Read(e *sched.Env, a shmem.Addr) uint32 {
+func (o *Object) Read(e shmem.Ctx, a shmem.Addr) uint32 {
 	w := Unpack(e.Load(a))                                          // line 23
 	if w.Valid || e.Load(o.StatusAddr(int(w.Pid))) == StatusValid { // line 24
 		return w.Val // line 25

@@ -27,7 +27,6 @@ import (
 
 	"repro/internal/arena"
 	"repro/internal/inchelp"
-	"repro/internal/sched"
 	"repro/internal/shmem"
 	"repro/internal/trace"
 )
@@ -46,7 +45,7 @@ func unpackPtr(w uint64) (arena.Ref, uint64) { return arena.Ref(w >> 1), w & 1 }
 
 // Queue is a wait-free FIFO queue for one priority-scheduled processor.
 type Queue struct {
-	mem *shmem.Mem
+	mem shmem.Memory
 	ar  *arena.Arena
 	eng *inchelp.Engine
 	n   int
@@ -63,7 +62,7 @@ const (
 )
 
 // New creates a queue for n process slots; the arena must not be frozen.
-func New(m *shmem.Mem, ar *arena.Arena, n int) (*Queue, error) {
+func New(m shmem.Memory, ar *arena.Arena, n int) (*Queue, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("uniqueue: process count %d out of range", n)
 	}
@@ -84,7 +83,7 @@ func New(m *shmem.Mem, ar *arena.Arena, n int) (*Queue, error) {
 	eng, err := inchelp.New(m, inchelp.Config{
 		Procs: n,
 		Help:  q.help,
-		OnAnnounce: func(e *sched.Env) {
+		OnAnnounce: func(e shmem.Ctx) {
 			e.Store(q.hint, uint64(q.first))
 		},
 	})
@@ -108,7 +107,7 @@ func (q *Queue) parAddr(p int, f shmem.Addr) shmem.Addr {
 }
 
 // Enqueue appends val to the queue.
-func (q *Queue) Enqueue(e *sched.Env, val uint64) {
+func (q *Queue) Enqueue(e shmem.Ctx, val uint64) {
 	p := e.Slot()
 	node, ok := q.ar.Alloc(e, p)
 	if !ok {
@@ -123,7 +122,7 @@ func (q *Queue) Enqueue(e *sched.Env, val uint64) {
 
 // Dequeue removes and returns the oldest value; ok is false when the queue
 // was empty. The dequeued node is recycled into the caller's pool.
-func (q *Queue) Dequeue(e *sched.Env) (val uint64, ok bool) {
+func (q *Queue) Dequeue(e shmem.Ctx) (val uint64, ok bool) {
 	p := e.Slot()
 	e.Store(q.parAddr(p, parNode), uint64(arena.NIL))
 	e.Store(q.parAddr(p, parOp), opDeq)
@@ -138,7 +137,7 @@ func (q *Queue) Dequeue(e *sched.Env) (val uint64, ok bool) {
 }
 
 // help executes (or helps) process pid's announced operation.
-func (q *Queue) help(e *sched.Env, pid int) {
+func (q *Queue) help(e shmem.Ctx, pid int) {
 	switch e.Load(q.parAddr(pid, parOp)) {
 	case opEnq:
 		q.helpEnq(e, pid)
@@ -148,7 +147,7 @@ func (q *Queue) help(e *sched.Env, pid int) {
 }
 
 // helpEnq is the Figure 5 insert protocol at the tail position.
-func (q *Queue) helpEnq(e *sched.Env, pid int) {
+func (q *Queue) helpEnq(e shmem.Ctx, pid int) {
 	curr := q.findtail(e, pid)
 	nextp := e.Load(q.ar.NextAddr(curr))
 	nextRef, _ := unpackPtr(nextp)
@@ -182,7 +181,7 @@ func (q *Queue) helpEnq(e *sched.Env, pid int) {
 
 // helpDeq removes the node after the head sentinel, fixing the victim in
 // Par[pid].node before unsplicing so helpers agree on a single node.
-func (q *Queue) helpDeq(e *sched.Env, pid int) {
+func (q *Queue) helpDeq(e shmem.Ctx, pid int) {
 	victim := arena.Ref(e.Load(q.parAddr(pid, parNode)))
 	if victim == arena.NIL {
 		headp := e.Load(q.ar.NextAddr(q.first))
@@ -222,7 +221,7 @@ func (q *Queue) helpDeq(e *sched.Env, pid int) {
 
 // findtail scans for the node whose successor is the tail sentinel,
 // checkpointing progress in the shared hint.
-func (q *Queue) findtail(e *sched.Env, pid int) arena.Ref {
+func (q *Queue) findtail(e shmem.Ctx, pid int) arena.Ref {
 	for q.eng.Rv(e, pid) == inchelp.RvPending {
 		curr := arena.Ref(e.Load(q.hint))
 		nextp := e.Load(q.ar.NextAddr(curr))

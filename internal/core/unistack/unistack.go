@@ -15,7 +15,6 @@ import (
 
 	"repro/internal/arena"
 	"repro/internal/inchelp"
-	"repro/internal/sched"
 	"repro/internal/shmem"
 	"repro/internal/trace"
 )
@@ -31,7 +30,7 @@ func unpackPtr(w uint64) (arena.Ref, uint64) { return arena.Ref(w >> 1), w & 1 }
 
 // Stack is a wait-free LIFO stack for one priority-scheduled processor.
 type Stack struct {
-	mem *shmem.Mem
+	mem shmem.Memory
 	ar  *arena.Arena
 	eng *inchelp.Engine
 	n   int
@@ -47,7 +46,7 @@ const (
 )
 
 // New creates a stack for n process slots; the arena must not be frozen.
-func New(m *shmem.Mem, ar *arena.Arena, n int) (*Stack, error) {
+func New(m shmem.Memory, ar *arena.Arena, n int) (*Stack, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("unistack: process count %d out of range", n)
 	}
@@ -81,7 +80,7 @@ func (s *Stack) parAddr(p int, f shmem.Addr) shmem.Addr {
 }
 
 // Push adds val to the top of the stack.
-func (s *Stack) Push(e *sched.Env, val uint64) {
+func (s *Stack) Push(e shmem.Ctx, val uint64) {
 	p := e.Slot()
 	node, ok := s.ar.Alloc(e, p)
 	if !ok {
@@ -96,7 +95,7 @@ func (s *Stack) Push(e *sched.Env, val uint64) {
 
 // Pop removes and returns the most recently pushed value; ok is false when
 // the stack was empty.
-func (s *Stack) Pop(e *sched.Env) (val uint64, ok bool) {
+func (s *Stack) Pop(e shmem.Ctx) (val uint64, ok bool) {
 	p := e.Slot()
 	e.Store(s.parAddr(p, parNode), uint64(arena.NIL))
 	e.Store(s.parAddr(p, parOp), opPop)
@@ -110,7 +109,7 @@ func (s *Stack) Pop(e *sched.Env) (val uint64, ok bool) {
 	return val, true
 }
 
-func (s *Stack) help(e *sched.Env, pid int) {
+func (s *Stack) help(e shmem.Ctx, pid int) {
 	switch e.Load(s.parAddr(pid, parOp)) {
 	case opPush:
 		s.helpPush(e, pid)
@@ -121,7 +120,7 @@ func (s *Stack) help(e *sched.Env, pid int) {
 
 // helpPush splices the new node after the head sentinel (Figure 5's insert
 // protocol with curr = First).
-func (s *Stack) helpPush(e *sched.Env, pid int) {
+func (s *Stack) helpPush(e shmem.Ctx, pid int) {
 	nextp := e.Load(s.ar.NextAddr(s.first))
 	nextRef, _ := unpackPtr(nextp)
 	if s.eng.Rv(e, pid) != inchelp.RvPending {
@@ -149,7 +148,7 @@ func (s *Stack) helpPush(e *sched.Env, pid int) {
 }
 
 // helpPop fixes the victim then unsplices it from the head.
-func (s *Stack) helpPop(e *sched.Env, pid int) {
+func (s *Stack) helpPop(e shmem.Ctx, pid int) {
 	victim := arena.Ref(e.Load(s.parAddr(pid, parNode)))
 	if victim == arena.NIL {
 		headp := e.Load(s.ar.NextAddr(s.first))

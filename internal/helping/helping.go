@@ -28,7 +28,6 @@ import (
 	"fmt"
 
 	"repro/internal/prim"
-	"repro/internal/sched"
 	"repro/internal/shmem"
 	"repro/internal/trace"
 )
@@ -118,12 +117,12 @@ type Config struct {
 	Done func(rv uint64) bool
 	// Help executes one helping step for the operation announced on
 	// ver.Target. It must be idempotent under CCAS guards.
-	Help func(e *sched.Env, ver Version)
+	Help func(e shmem.Ctx, ver Version)
 	// OnAnnounce publishes the calling process's operation parameters
 	// into the object's announce record for the caller's processor
 	// (e.g. the list's Ann[mypr].ptr := &First). The engine itself
 	// writes the pid and, under priority helping, the priority.
-	OnAnnounce func(e *sched.Env)
+	OnAnnounce func(e shmem.Ctx)
 	// OneRound, when set, skips the first helping round. This is the
 	// real-time optimization of reference [1]: under a real-time
 	// scheduler an operation needs only one traversal of the helping
@@ -138,7 +137,7 @@ type Config struct {
 // per-processor announce arrays.
 type Engine struct {
 	cfg Config
-	mem *shmem.Mem
+	mem shmem.Memory
 
 	v       shmem.Addr // version word V
 	annPid  shmem.Addr // Ann[R].pid (P words)
@@ -150,7 +149,7 @@ type Engine struct {
 
 // New allocates an engine. doneRv is the Rv value meaning "complete" that is
 // permanently stored in Rv[N] (2 for both of the paper's objects).
-func New(m *shmem.Mem, cfg Config, doneRv uint64) (*Engine, error) {
+func New(m shmem.Memory, cfg Config, doneRv uint64) (*Engine, error) {
 	if cfg.Processors < 1 || cfg.Processors > MaxProcessors {
 		return nil, fmt.Errorf("helping: processor count %d out of range [1,%d]", cfg.Processors, MaxProcessors)
 	}
@@ -197,7 +196,7 @@ func (g *Engine) RvAddr(pid int) shmem.Addr { return g.rv + shmem.Addr(pid) }
 
 // AnnPid returns the announced process on processor r (N if none), read
 // with simulated time charged.
-func (g *Engine) AnnPid(e *sched.Env, r int) int {
+func (g *Engine) AnnPid(e shmem.Ctx, r int) int {
 	return int(e.Load(g.annPidAddr(r)))
 }
 
@@ -224,7 +223,7 @@ func (g *Engine) annPrioAddr(r int) shmem.Addr { return g.annPrio + shmem.Addr(r
 // until its own operation completes (lines 3-15 of Figure 6 / 16-29 of
 // Figure 7). The caller must have published its operation parameters and
 // reset Rv[p] before calling.
-func (g *Engine) DoOp(e *sched.Env) {
+func (g *Engine) DoOp(e shmem.Ctx) {
 	mypr := e.CPU()
 	p := e.Slot()
 	if p >= g.cfg.Procs {
@@ -272,7 +271,7 @@ func (g *Engine) DoOp(e *sched.Env) {
 }
 
 // announce publishes process p as the pending operation on processor mypr.
-func (g *Engine) announce(e *sched.Env, mypr, p int) {
+func (g *Engine) announce(e shmem.Ctx, mypr, p int) {
 	g.cfg.OnAnnounce(e)
 	if g.cfg.Mode == Priority {
 		e.Store(g.annPrioAddr(mypr), prioWord(e.Prio()))
@@ -285,7 +284,7 @@ func (g *Engine) announce(e *sched.Env, mypr, p int) {
 // cyclic helping the next target is the next processor on the ring; under
 // priority helping it is the processor with the highest-priority pending
 // operation. The needhelp bit is fixed atomically by the CAS.
-func (g *Engine) Advance(e *sched.Env, ver Version) {
+func (g *Engine) Advance(e shmem.Ctx, ver Version) {
 	var nextTarget int
 	var needhelp bool
 	switch g.cfg.Mode {
@@ -327,7 +326,7 @@ func (g *Engine) Advance(e *sched.Env, ver Version) {
 }
 
 // prioWord encodes a scheduler priority as an unsigned announce word.
-func prioWord(p sched.Priority) uint64 {
+func prioWord(p shmem.Priority) uint64 {
 	if p < 0 {
 		panic(fmt.Sprintf("helping: negative priority %d not supported under priority helping", p))
 	}

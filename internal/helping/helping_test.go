@@ -55,7 +55,7 @@ func newCounterObject(t *testing.T, m *shmem.Mem, p, n int, mode helping.Mode) *
 		Mode:       mode,
 		CC:         o.cc,
 		Done:       func(rv uint64) bool { return rv >= 2 },
-		Help: func(e *sched.Env, ver helping.Version) {
+		Help: func(e shmem.Ctx, ver helping.Version) {
 			vw := helping.PackVersion(ver)
 			pid := o.eng.AnnPid(e, ver.Target)
 			if o.cc.Read(e, o.eng.RvAddr(pid)) >= 2 {
@@ -85,7 +85,7 @@ func newCounterObject(t *testing.T, m *shmem.Mem, p, n int, mode helping.Mode) *
 			o.cc.Exec(e, o.eng.VAddr(), vw, o.counter, oldv, newv)
 			o.cc.Exec(e, o.eng.VAddr(), vw, o.eng.RvAddr(pid), 1, 2)
 		},
-		OnAnnounce: func(*sched.Env) {},
+		OnAnnounce: func(shmem.Ctx) {},
 	}, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -96,7 +96,7 @@ func newCounterObject(t *testing.T, m *shmem.Mem, p, n int, mode helping.Mode) *
 
 // Add retries the compare-and-add until it commits (the standard
 // read-compute-MWCAS usage pattern).
-func (o *counterObject) Add(e *sched.Env, v uint64) {
+func (o *counterObject) Add(e shmem.Ctx, v uint64) {
 	p := e.Slot()
 	for {
 		oldv := o.cc.Read(e, o.counter)
@@ -175,7 +175,7 @@ func TestValidation(t *testing.T) {
 	base := helping.Config{
 		Processors: 1, Procs: 1, Mode: helping.Cyclic, CC: prim.Native{},
 		Done: func(uint64) bool { return true },
-		Help: func(*sched.Env, helping.Version) {}, OnAnnounce: func(*sched.Env) {},
+		Help: func(shmem.Ctx, helping.Version) {}, OnAnnounce: func(shmem.Ctx) {},
 	}
 	bad := base
 	bad.Processors = 0

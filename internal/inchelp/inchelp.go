@@ -14,7 +14,6 @@ package inchelp
 import (
 	"fmt"
 
-	"repro/internal/sched"
 	"repro/internal/shmem"
 	"repro/internal/trace"
 )
@@ -36,10 +35,10 @@ type Config struct {
 	// Help executes (or helps) process pid's announced operation. It
 	// must be idempotent under the priority model and must eventually
 	// set Rv[pid] nonzero.
-	Help func(e *sched.Env, pid int)
+	Help func(e shmem.Ctx, pid int)
 	// OnAnnounce optionally resets per-operation scan state (the list's
 	// Ann.ptr := &First) just before the announce write.
-	OnAnnounce func(e *sched.Env)
+	OnAnnounce func(e shmem.Ctx)
 }
 
 // Engine is the shared announce/return-value state.
@@ -50,7 +49,7 @@ type Engine struct {
 }
 
 // New allocates the engine's shared variables.
-func New(m *shmem.Mem, cfg Config) (*Engine, error) {
+func New(m shmem.Memory, cfg Config) (*Engine, error) {
 	if cfg.Procs < 1 {
 		return nil, fmt.Errorf("inchelp: process count %d out of range", cfg.Procs)
 	}
@@ -77,17 +76,17 @@ func (g *Engine) AnnPidAddr() shmem.Addr { return g.annPid }
 func (g *Engine) RvAddr(p int) shmem.Addr { return g.rv + shmem.Addr(p) }
 
 // Rv reads Rv[p] with simulated time charged.
-func (g *Engine) Rv(e *sched.Env, p int) uint64 { return e.Load(g.RvAddr(p)) }
+func (g *Engine) Rv(e shmem.Ctx, p int) uint64 { return e.Load(g.RvAddr(p)) }
 
 // SetRv writes Rv[p] (helpers use plain stores under the uniprocessor
 // priority model, as in Figure 5).
-func (g *Engine) SetRv(e *sched.Env, p int, v uint64) { e.Store(g.RvAddr(p), v) }
+func (g *Engine) SetRv(e shmem.Ctx, p int, v uint64) { e.Store(g.RvAddr(p), v) }
 
 // DoOp drives the calling process's announced operation: help any
 // previously-announced operation, announce ours, execute it, clear the
 // announcement (lines 15-23 of Figure 5). The caller must have published
 // its Par record first; the operation's result is left in Rv[slot].
-func (g *Engine) DoOp(e *sched.Env) {
+func (g *Engine) DoOp(e shmem.Ctx) {
 	p := e.Slot()
 	if p < 0 || p >= g.cfg.Procs {
 		panic(fmt.Sprintf("inchelp: slot %d out of range [0,%d)", p, g.cfg.Procs))

@@ -24,7 +24,7 @@ func newRegObject(t *testing.T, m *shmem.Mem, n int) *regObject {
 	o.par = m.MustAlloc("rpar", 2*n) // per slot: value, journal cell
 	eng, err := inchelp.New(m, inchelp.Config{
 		Procs: n,
-		Help: func(e *sched.Env, pid int) {
+		Help: func(e shmem.Ctx, pid int) {
 			// Record Par[pid].val at Par[pid].cell. The cell index is
 			// fixed per operation (chosen at announce time), so every
 			// helper — including stale ones resuming later — writes
@@ -39,7 +39,7 @@ func newRegObject(t *testing.T, m *shmem.Mem, n int) *regObject {
 			e.CAS(o.journal, cell, cell+1)
 			e.Store(o.eng.RvAddr(pid), inchelp.RvTrue)
 		},
-		OnAnnounce: func(e *sched.Env) {
+		OnAnnounce: func(e shmem.Ctx) {
 			// The previous operation has been drained, so the cursor
 			// is stable; claim the next cell for this operation.
 			e.Store(o.par+shmem.Addr(2*e.Slot()+1), e.Load(o.journal))
@@ -52,7 +52,7 @@ func newRegObject(t *testing.T, m *shmem.Mem, n int) *regObject {
 	return o
 }
 
-func (o *regObject) Record(e *sched.Env, v uint64) {
+func (o *regObject) Record(e shmem.Ctx, v uint64) {
 	e.Store(o.par+shmem.Addr(2*e.Slot()), v)
 	o.eng.DoOp(e)
 }
@@ -126,7 +126,7 @@ func TestAnnounceLifecycle(t *testing.T) {
 // TestValidation covers configuration errors.
 func TestValidation(t *testing.T) {
 	m := shmem.New(64)
-	if _, err := inchelp.New(m, inchelp.Config{Procs: 0, Help: func(*sched.Env, int) {}}); err == nil {
+	if _, err := inchelp.New(m, inchelp.Config{Procs: 0, Help: func(shmem.Ctx, int) {}}); err == nil {
 		t.Error("zero procs accepted")
 	}
 	if _, err := inchelp.New(m, inchelp.Config{Procs: 1}); err == nil {

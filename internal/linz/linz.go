@@ -33,9 +33,11 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"repro/internal/registry"
 	"repro/internal/sched"
+	"repro/internal/shmem"
 )
 
 // OpRecord is one completed (or still-pending) operation interval of a
@@ -93,11 +95,55 @@ func Record(inst registry.Instance) (*Recorder, registry.Instance) {
 	return rec, &recorded{inner: inst, rec: rec}
 }
 
-func (r *recorded) Apply(e *sched.Env, slot int, op registry.Op) registry.Result {
-	id := r.rec.invoke(slot, op, e.Sim().Slices())
+func (r *recorded) Apply(e shmem.Ctx, slot int, op registry.Op) registry.Result {
+	id := r.rec.invoke(slot, op, stepOf(e))
 	res := r.inner.Apply(e, slot, op)
-	r.rec.response(id, res, e.Sim().Slices())
+	r.rec.response(id, res, stepOf(e))
 	return res
+}
+
+// recordedShared is the concurrently-driven recorder wrapper (RecordShared).
+type recordedShared struct {
+	mu    sync.Mutex
+	inner registry.Instance
+	rec   *Recorder
+}
+
+// RecordShared is Record for instances driven by concurrent goroutines (the
+// native backend). Event indices are assigned under a mutex, with the
+// invocation recorded at Apply entry and the response at Apply exit; the
+// wrapped operation runs entirely between its two record points, so the
+// recorded event order is a real-time order for the recorded history and
+// the Wing–Gong engine's precedence test (A.Return < B.Invoke) remains
+// exact off-simulator.
+func RecordShared(inst registry.Instance) (*Recorder, registry.Instance) {
+	rec := &Recorder{}
+	return rec, &recordedShared{inner: inst, rec: rec}
+}
+
+func (r *recordedShared) Apply(e shmem.Ctx, slot int, op registry.Op) registry.Result {
+	r.mu.Lock()
+	id := r.rec.invoke(slot, op, stepOf(e))
+	r.mu.Unlock()
+	res := r.inner.Apply(e, slot, op)
+	r.mu.Lock()
+	r.rec.response(id, res, stepOf(e))
+	r.mu.Unlock()
+	return res
+}
+
+func (r *recordedShared) Snapshot() []uint64 { return r.inner.Snapshot() }
+func (r *recordedShared) Underlying() any    { return r.inner.Underlying() }
+func (r *recordedShared) CheckErr() error    { return r.inner.CheckErr() }
+
+// stepOf reads the global slice count when the context is the simulator's
+// (for trace-span correlation); other backends have no slice clock and
+// record step 0.
+func stepOf(e shmem.Ctx) uint64 {
+	if se, ok := e.(interface{ Sim() *sched.Sim }); ok {
+		return se.Sim().Slices()
+	}
+	return 0
 }
 
 func (r *recorded) Snapshot() []uint64 { return r.inner.Snapshot() }

@@ -25,7 +25,7 @@ import (
 	"fmt"
 
 	"repro/internal/registry"
-	"repro/internal/sched"
+	"repro/internal/shmem"
 )
 
 // pending is one announced-but-uncommitted value.
@@ -85,7 +85,7 @@ func NewLazyQueue(slots int, model registry.Model) *LazyQueue {
 // drain commits announced enqueues in DESCENDING slot order — the
 // mis-linearization. A correct helping engine would commit them in
 // announce order.
-func (q *LazyQueue) drain(e *sched.Env) {
+func (q *LazyQueue) drain(e shmem.Ctx) {
 	for slot := len(q.ann) - 1; slot >= 0; slot-- {
 		if q.ann[slot].set {
 			q.q = append(q.q, q.ann[slot].val)
@@ -97,7 +97,7 @@ func (q *LazyQueue) drain(e *sched.Env) {
 }
 
 // Apply implements registry.Instance.
-func (q *LazyQueue) Apply(e *sched.Env, slot int, op registry.Op) registry.Result {
+func (q *LazyQueue) Apply(e shmem.Ctx, slot int, op registry.Op) registry.Result {
 	switch op.Code {
 	case registry.OpEnqueue:
 		// Announce and respond; the splice — the operation's actual
@@ -157,7 +157,7 @@ func NewLazyStack(slots int, model registry.Model) *LazyStack {
 	return &LazyStack{ann: make([]pending, slots), wb: whitebox{model: model}}
 }
 
-func (s *LazyStack) drain(e *sched.Env) {
+func (s *LazyStack) drain(e shmem.Ctx) {
 	for slot := len(s.ann) - 1; slot >= 0; slot-- {
 		if s.ann[slot].set {
 			s.st = append([]uint64{s.ann[slot].val}, s.st...)
@@ -169,7 +169,7 @@ func (s *LazyStack) drain(e *sched.Env) {
 }
 
 // Apply implements registry.Instance.
-func (s *LazyStack) Apply(e *sched.Env, slot int, op registry.Op) registry.Result {
+func (s *LazyStack) Apply(e shmem.Ctx, slot int, op registry.Op) registry.Result {
 	switch op.Code {
 	case registry.OpPush:
 		s.ann[slot] = pending{val: op.Val, set: true}

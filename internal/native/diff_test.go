@@ -1,0 +1,65 @@
+// Differential test: the simulator and the native backend must implement
+// the same objects (satellite of the native-backend tentpole). Histories
+// recorded from real concurrent goroutines are fed to the same Wing–Gong
+// engine that certifies simulator schedules; a bug that only real hardware
+// can expose (a missing fence, a shard handoff hole, an unsound CAS2
+// emulation) shows up as a non-linearizable history here.
+//
+// Runs are kept small — a handful of processes and operations per seed —
+// because Wing–Gong search cost grows with the overlap the recorder
+// observes, and because small histories make failures readable.
+package native_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/linz"
+	"repro/internal/registry"
+)
+
+func diffSeeds() []int64 {
+	if testing.Short() {
+		return []int64{1, 2}
+	}
+	return []int64{1, 2, 3, 4, 5}
+}
+
+func TestNativeDifferential(t *testing.T) {
+	const procs, ops = 4, 6
+	for _, d := range registry.All() {
+		for _, seed := range diffSeeds() {
+			t.Run(fmt.Sprintf("%s/seed%d", d.Name, seed), func(t *testing.T) {
+				d, seed := d, seed
+				t.Parallel()
+				cfg := d.StressConfig(procs)
+				cfg.Check = false
+				var rec *linz.Recorder
+				res, err := d.RunNative(registry.NativeRun{
+					Procs: procs, Ops: ops, Seed: seed, Cfg: cfg,
+					Wrap: func(inst registry.Instance) registry.Instance {
+						r, wrapped := linz.RecordShared(inst)
+						rec = r
+						return wrapped
+					},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				h := rec.History()
+				if len(h.Ops) != procs*ops {
+					t.Fatalf("recorded %d ops, want %d", len(h.Ops), procs*ops)
+				}
+				out, err := linz.Check(h, linz.SpecFor(d, cfg), linz.Options{})
+				if err != nil {
+					t.Fatalf("engine gave up: %v", err)
+				}
+				if !out.OK {
+					t.Errorf("native history of %s (seed %d) is not linearizable\n%s\ncounterexample:\n%s",
+						d.Name, seed, h.Text(), out.Counterexample.Tree(h))
+				}
+				_ = res
+			})
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package native
+
+import (
+	"sync"
+	"testing"
+)
+
+// FuzzCAS2Tape runs the guard-emulated double-word CAS through an
+// arbitrary sequential tape of stores and CAS2 attempts with
+// fuzzer-controlled correct/perturbed old guesses, cross-checked against a
+// two-variable reference: CAS2 succeeds iff both olds match, and then
+// writes both news atomically.
+func FuzzCAS2Tape(f *testing.F) {
+	f.Add([]byte("\x00\x00\x01\x02\x02\x03"))
+	f.Add([]byte("0123456789"))
+	f.Add([]byte("\x03\xff\x00\x01\x00\x02\x00\x04"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 128 {
+			data = data[:128]
+		}
+		m := NewMem(4)
+		a := m.MustAlloc("a", 1)
+		b := m.MustAlloc("b", 1)
+		var refA, refB uint64
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i], uint64(data[i+1])
+			switch op % 4 {
+			case 0:
+				o1, o2 := refA, refB
+				if arg&1 != 0 {
+					o1++
+				}
+				if arg&2 != 0 {
+					o2 += 3
+				}
+				n1, n2 := arg>>2, arg>>3
+				got := m.cas2(a, b, o1, o2, n1, n2)
+				want := o1 == refA && o2 == refB
+				if got != want {
+					t.Fatalf("step %d: cas2(olds=%d,%d) = %v, want %v (ref %d,%d)", i, o1, o2, got, want, refA, refB)
+				}
+				if want {
+					refA, refB = n1, n2
+				}
+			case 1:
+				m.store(a, arg)
+				refA = arg
+			case 2:
+				m.store(b, arg)
+				refB = arg
+			case 3:
+				if m.load(a) != refA || m.load(b) != refB {
+					t.Fatalf("step %d: words (%d,%d), want (%d,%d)", i, m.load(a), m.load(b), refA, refB)
+				}
+			}
+		}
+		if m.Peek(a) != refA || m.Peek(b) != refB {
+			t.Fatalf("final words (%d,%d), want (%d,%d)", m.Peek(a), m.Peek(b), refA, refB)
+		}
+	})
+}
+
+// FuzzCAS2Concurrent turns the fuzzer loose on the guard protocol's
+// concurrency: fuzzer-chosen worker counts and retry budgets hammer a
+// (version, value) pair gclist-style, and the run must satisfy the same
+// atomic-transition law the unit test checks — final version equals total
+// successes and the value word tracks it exactly.
+func FuzzCAS2Concurrent(f *testing.F) {
+	f.Add([]byte("\x02\x08"))
+	f.Add([]byte("\x06\x20\x01"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		workers := 2 + int(data[0]%6)
+		perWorker := 1 + int(data[1]%32)
+		m := NewMem(4)
+		ver := m.MustAlloc("ver", 1)
+		val := m.MustAlloc("val", 1)
+		wins := make([]uint64, workers)
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for n := 0; n < perWorker; n++ {
+					for {
+						v := m.load(ver)
+						x := m.load(val)
+						if m.cas2(ver, val, v, x, v+1, x+3) {
+							wins[i]++
+							break
+						}
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		var total uint64
+		for _, w := range wins {
+			total += w
+		}
+		if total != uint64(workers*perWorker) {
+			t.Fatalf("wins = %d, want %d", total, workers*perWorker)
+		}
+		if m.Peek(ver) != total || m.Peek(val) != 3*total {
+			t.Fatalf("final (ver,val) = (%d,%d), want (%d,%d)", m.Peek(ver), m.Peek(val), total, 3*total)
+		}
+	})
+}

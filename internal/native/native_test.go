@@ -1,0 +1,244 @@
+package native
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/shmem"
+)
+
+func TestMemAllocPeekPokeName(t *testing.T) {
+	m := NewMem(8)
+	a, err := m.Alloc("head", 1)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	b := m.MustAlloc("nodes", 3)
+	if m.Allocated() != 4 || m.Capacity() != 8 {
+		t.Fatalf("Allocated=%d Capacity=%d, want 4, 8", m.Allocated(), m.Capacity())
+	}
+	m.Poke(a, 7)
+	if m.Peek(a) != 7 {
+		t.Fatalf("Peek(a) = %d, want 7", m.Peek(a))
+	}
+	if got := m.Name(a); got != "head" {
+		t.Errorf("Name(a) = %q, want %q", got, "head")
+	}
+	if got := m.Name(b + 2); got != "nodes[2]" {
+		t.Errorf("Name(b+2) = %q, want %q", got, "nodes[2]")
+	}
+	if got := m.Name(7); got != "word7" {
+		t.Errorf("Name(unallocated) = %q, want %q", got, "word7")
+	}
+	if _, err := m.Alloc("huge", 5); err == nil {
+		t.Error("over-capacity Alloc should fail")
+	}
+}
+
+func TestCAS2Semantics(t *testing.T) {
+	m := NewMem(4)
+	a := m.MustAlloc("a", 1)
+	b := m.MustAlloc("b", 1)
+	m.Poke(a, 1)
+	m.Poke(b, 2)
+	if m.cas2(a, b, 9, 2, 10, 20) {
+		t.Fatal("CAS2 succeeded with wrong old1")
+	}
+	if m.cas2(a, b, 1, 9, 10, 20) {
+		t.Fatal("CAS2 succeeded with wrong old2")
+	}
+	if m.Peek(a) != 1 || m.Peek(b) != 2 {
+		t.Fatal("failed CAS2 modified memory")
+	}
+	if !m.cas2(a, b, 1, 2, 10, 20) {
+		t.Fatal("CAS2 failed with matching olds")
+	}
+	if m.Peek(a) != 10 || m.Peek(b) != 20 {
+		t.Fatalf("CAS2 left (%d,%d), want (10,20)", m.Peek(a), m.Peek(b))
+	}
+}
+
+// TestCAS2Concurrent hammers the guard emulation from free-running
+// goroutines on a (version, value) pair, gclist-style: each success must be
+// exactly one atomic (ver+1, val+2) transition, so the final words equal
+// the success totals.
+func TestCAS2Concurrent(t *testing.T) {
+	m := NewMem(4)
+	ver := m.MustAlloc("ver", 1)
+	val := m.MustAlloc("val", 1)
+	const procs, perProc = 8, 2000
+	wins := make([]uint64, procs)
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for n := 0; n < perProc; n++ {
+				for {
+					v := m.load(ver)
+					x := m.load(val)
+					if m.cas2(ver, val, v, x, v+1, x+2) {
+						wins[i]++
+						break
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	var total uint64
+	for _, w := range wins {
+		total += w
+	}
+	if total != procs*perProc {
+		t.Fatalf("wins = %d, want %d", total, procs*perProc)
+	}
+	if m.Peek(ver) != total || m.Peek(val) != 2*total {
+		t.Fatalf("final (ver,val) = (%d,%d), want (%d,%d)", m.Peek(ver), m.Peek(val), total, 2*total)
+	}
+}
+
+// TestShardSerializesEqualPriorities: equal-priority processes on one shard
+// never preempt each other, so Begin/End windows are mutually exclusive.
+// The plain (unsynchronized) counter is the assertion: a lost update fails
+// the count and any overlap is a data race the race detector reports.
+func TestShardSerializesEqualPriorities(t *testing.T) {
+	m := NewMem(8)
+	scratch := m.MustAlloc("scratch", 1)
+	w := NewWorld(m, 1)
+	const procs, perProc = 8, 400
+	counter := 0
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := w.NewProc(i, 0, 0)
+			for n := 0; n < perProc; n++ {
+				p.Begin()
+				v := counter
+				// Memory operations are preemption points; with equal
+				// priorities they must not hand the shard away.
+				p.Store(scratch, uint64(v))
+				p.Load(scratch)
+				counter = v + 1
+				p.End()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if counter != procs*perProc {
+		t.Fatalf("counter = %d, want %d (shard windows overlapped)", counter, procs*perProc)
+	}
+}
+
+// TestShardPreemptsHigherPriority proves preemption actually happens: a
+// low-priority process spins inside one Begin/End window until a value only
+// a higher-priority arrival can write. If the arrival could not preempt
+// mid-window, the spin would never terminate.
+func TestShardPreemptsHigherPriority(t *testing.T) {
+	m := NewMem(8)
+	scratch := m.MustAlloc("scratch", 1)
+	flagAddr := m.MustAlloc("flag", 1)
+	w := NewWorld(m, 1)
+	low := w.NewProc(0, 0, 1)
+	high := w.NewProc(1, 0, 9)
+
+	started := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		low.Begin()
+		close(started)
+		for low.Load(flagAddr) == 0 {
+		}
+		low.End()
+	}()
+	<-started
+	high.Begin() // blocks until low yields at a preemption point
+	high.Store(flagAddr, 1)
+	high.Store(scratch, 2)
+	high.End()
+	<-done
+}
+
+// TestShardNoPreemptMasksPreemption: inside NoPreempt, memory operations
+// must not hand the shard away even to a higher priority; the handoff
+// happens at the section's end.
+func TestShardNoPreemptMasksPreemption(t *testing.T) {
+	m := NewMem(8)
+	scratch := m.MustAlloc("scratch", 1)
+	w := NewWorld(m, 1)
+	low := w.NewProc(0, 0, 1)
+	high := w.NewProc(1, 0, 9)
+
+	inSection := make(chan struct{})
+	highDone := make(chan struct{})
+	witness := 0
+	go func() {
+		low.Begin()
+		low.NoPreempt(func() {
+			close(inSection)
+			// Give the high-priority proc time to queue up, then cross
+			// many preemption points; none may yield.
+			for i := 0; i < 50_000; i++ {
+				low.Store(scratch, uint64(i))
+			}
+			select {
+			case <-highDone:
+				witness = 1
+			default:
+			}
+		})
+		low.End()
+	}()
+	<-inSection
+	high.Begin()
+	high.Store(scratch, 99)
+	high.End()
+	close(highDone)
+	if witness == 1 {
+		t.Fatal("high-priority process ran inside the low process's NoPreempt section")
+	}
+}
+
+// TestPickNextOrder checks the scheduler's choice rule directly: highest
+// priority wins between the preempted stack and the arrivals, with the
+// preempted process winning ties.
+func TestPickNextOrder(t *testing.T) {
+	mk := func(prio shmem.Priority) *Proc { return &Proc{prio: prio} }
+	s := &shard{}
+	p3, p5a, p5b, p7 := mk(3), mk(5), mk(5), mk(7)
+	s.preempted = []*Proc{p3, p5a} // stack: p5a on top
+	s.waiting = []*Proc{p5b, p7}
+
+	if got := s.pickNextLocked(); got != p7 {
+		t.Fatalf("pick 1: got prio %d, want the prio-7 arrival", got.prio)
+	}
+	if got := s.pickNextLocked(); got != p5a {
+		t.Fatalf("pick 2: got prio %d, want the preempted prio-5 (tie goes to the stack)", got.prio)
+	}
+	if got := s.pickNextLocked(); got != p5b {
+		t.Fatalf("pick 3: got prio %d, want the waiting prio-5", got.prio)
+	}
+	if got := s.pickNextLocked(); got != p3 {
+		t.Fatalf("pick 4: got prio %d, want the preempted prio-3", got.prio)
+	}
+	if got := s.pickNextLocked(); got != nil {
+		t.Fatalf("pick 5: got prio %d, want nil (shard idle)", got.prio)
+	}
+}
+
+func TestCCASNativePanics(t *testing.T) {
+	m := NewMem(8)
+	v := m.MustAlloc("v", 1)
+	x := m.MustAlloc("x", 1)
+	w := NewFreeWorld(m)
+	p := w.NewProc(0, 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CCASNative should panic on the native backend")
+		}
+	}()
+	p.CCASNative(v, 1, x, 0, 1)
+}

@@ -25,7 +25,6 @@ package prim
 import (
 	"fmt"
 
-	"repro/internal/sched"
 	"repro/internal/shmem"
 )
 
@@ -37,20 +36,20 @@ type Impl interface {
 	// Exec performs CCAS(v, ver, x, old, new): iff *v == ver and the
 	// logical value of *x equals old, set *x's logical value to new.
 	// old and new are logical values and must be <= MaxLogical.
-	Exec(e *sched.Env, v shmem.Addr, ver uint64, x shmem.Addr, old, new uint64) bool
+	Exec(e shmem.Ctx, v shmem.Addr, ver uint64, x shmem.Addr, old, new uint64) bool
 	// Read returns the logical value of the managed word x.
-	Read(e *sched.Env, x shmem.Addr) uint64
+	Read(e shmem.Ctx, x shmem.Addr) uint64
 	// Write performs a protocol-level plain write of a managed word. It
 	// is only legal at points where the algorithm guarantees no
 	// concurrent CCAS can succeed on x (e.g. re-arming Rv[p] before
 	// announcing).
-	Write(e *sched.Env, x shmem.Addr, val uint64)
+	Write(e shmem.Ctx, x shmem.Addr, val uint64)
 	// Logical decodes a raw word value into its logical value, for
 	// checkers and trace printers.
 	Logical(raw uint64) uint64
 	// InitWord initializes a managed word at setup time (no process
 	// context, no time charged).
-	InitWord(m *shmem.Mem, x shmem.Addr, val uint64)
+	InitWord(m shmem.Memory, x shmem.Addr, val uint64)
 	// MaxLogical is the largest logical value the representation can
 	// hold.
 	MaxLogical() uint64
@@ -65,21 +64,21 @@ var _ Impl = Native{}
 func (Native) Name() string { return "native" }
 
 // Exec implements Impl.
-func (Native) Exec(e *sched.Env, v shmem.Addr, ver uint64, x shmem.Addr, old, val uint64) bool {
+func (Native) Exec(e shmem.Ctx, v shmem.Addr, ver uint64, x shmem.Addr, old, val uint64) bool {
 	return e.CCASNative(v, ver, x, old, val)
 }
 
 // Read implements Impl.
-func (Native) Read(e *sched.Env, x shmem.Addr) uint64 { return e.Load(x) }
+func (Native) Read(e shmem.Ctx, x shmem.Addr) uint64 { return e.Load(x) }
 
 // Write implements Impl.
-func (Native) Write(e *sched.Env, x shmem.Addr, val uint64) { e.Store(x, val) }
+func (Native) Write(e shmem.Ctx, x shmem.Addr, val uint64) { e.Store(x, val) }
 
 // Logical implements Impl.
 func (Native) Logical(raw uint64) uint64 { return raw }
 
 // InitWord implements Impl.
-func (Native) InitWord(m *shmem.Mem, x shmem.Addr, val uint64) { m.Poke(x, val) }
+func (Native) InitWord(m shmem.Memory, x shmem.Addr, val uint64) { m.Poke(x, val) }
 
 // MaxLogical implements Impl.
 func (Native) MaxLogical() uint64 { return ^uint64(0) }
@@ -108,7 +107,7 @@ var _ Impl = Tagged{}
 func (Tagged) Name() string { return "tagged" }
 
 // Exec implements Impl.
-func (Tagged) Exec(e *sched.Env, v shmem.Addr, ver uint64, x shmem.Addr, old, val uint64) bool {
+func (Tagged) Exec(e shmem.Ctx, v shmem.Addr, ver uint64, x shmem.Addr, old, val uint64) bool {
 	checkLogical("Tagged", old, val)
 	raw := e.Load(x) // line 1
 	if raw&logicalMask != old {
@@ -129,13 +128,13 @@ func (Tagged) Exec(e *sched.Env, v shmem.Addr, ver uint64, x shmem.Addr, old, va
 }
 
 // Read implements Impl.
-func (Tagged) Read(e *sched.Env, x shmem.Addr) uint64 { return e.Load(x) & logicalMask }
+func (Tagged) Read(e shmem.Ctx, x shmem.Addr) uint64 { return e.Load(x) & logicalMask }
 
 // Write implements Impl.
 //
 // The read-modify-write is not atomic; it is only legal under the protocol
 // condition documented on Impl.Write (no concurrent successful CCAS on x).
-func (Tagged) Write(e *sched.Env, x shmem.Addr, val uint64) {
+func (Tagged) Write(e shmem.Ctx, x shmem.Addr, val uint64) {
 	checkLogical("Tagged", val)
 	raw := e.Load(x)
 	e.Store(x, (val&logicalMask)|(raw&^logicalMask+tagIncrement))
@@ -145,7 +144,7 @@ func (Tagged) Write(e *sched.Env, x shmem.Addr, val uint64) {
 func (Tagged) Logical(raw uint64) uint64 { return raw & logicalMask }
 
 // InitWord implements Impl.
-func (Tagged) InitWord(m *shmem.Mem, x shmem.Addr, val uint64) {
+func (Tagged) InitWord(m shmem.Memory, x shmem.Addr, val uint64) {
 	checkLogical("Tagged", val)
 	m.Poke(x, val&logicalMask)
 }
@@ -174,7 +173,7 @@ var _ Impl = Delayed{}
 func (d Delayed) Name() string { return "delayed" }
 
 // Exec implements Impl.
-func (d Delayed) Exec(e *sched.Env, v shmem.Addr, ver uint64, x shmem.Addr, old, val uint64) bool {
+func (d Delayed) Exec(e shmem.Ctx, v shmem.Addr, ver uint64, x shmem.Addr, old, val uint64) bool {
 	if e.Load(x) != old { // line 1
 		return false
 	}
@@ -190,23 +189,23 @@ func (d Delayed) Exec(e *sched.Env, v shmem.Addr, ver uint64, x shmem.Addr, old,
 }
 
 // Read implements Impl.
-func (d Delayed) Read(e *sched.Env, x shmem.Addr) uint64 { return e.Load(x) }
+func (d Delayed) Read(e shmem.Ctx, x shmem.Addr) uint64 { return e.Load(x) }
 
 // Write implements Impl.
-func (d Delayed) Write(e *sched.Env, x shmem.Addr, val uint64) { e.Store(x, val) }
+func (d Delayed) Write(e shmem.Ctx, x shmem.Addr, val uint64) { e.Store(x, val) }
 
 // Logical implements Impl.
 func (d Delayed) Logical(raw uint64) uint64 { return raw }
 
 // InitWord implements Impl.
-func (d Delayed) InitWord(m *shmem.Mem, x shmem.Addr, val uint64) { m.Poke(x, val) }
+func (d Delayed) InitWord(m shmem.Memory, x shmem.Addr, val uint64) { m.Poke(x, val) }
 
 // MaxLogical implements Impl.
 func (d Delayed) MaxLogical() uint64 { return ^uint64(0) }
 
 // AfterAdvance gives an implementation a hook after every advance of the
 // version word. Only Delayed uses it (the paper's delay(Δ)).
-func AfterAdvance(impl Impl, e *sched.Env) {
+func AfterAdvance(impl Impl, e shmem.Ctx) {
 	if d, ok := impl.(Delayed); ok && d.Delta > 0 {
 		e.Delay(d.Delta)
 	}

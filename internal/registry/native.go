@@ -1,0 +1,20 @@
+package registry
+
+import (
+	"repro/internal/native"
+	"repro/internal/sched"
+	"repro/internal/shmem"
+)
+
+// nativeBackend adapts *native.World to Backend. Sim() is nil, which is
+// what steers Normalize: white-box checkers are rejected and the CCAS
+// implementation defaults to a software construction.
+type nativeBackend struct{ w *native.World }
+
+func (b nativeBackend) Memory() shmem.Memory { return b.w.Mem() }
+func (b nativeBackend) Processors() int      { return b.w.Processors() }
+func (b nativeBackend) Sim() *sched.Sim      { return nil }
+
+// NativeBackend wraps a native world as a construction Backend for
+// BuildOn.
+func NativeBackend(w *native.World) Backend { return nativeBackend{w: w} }

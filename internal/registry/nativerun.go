@@ -1,0 +1,154 @@
+package registry
+
+// The native-backend run harness: one function that builds any registered
+// object on real hardware (internal/native) and drives it with real
+// goroutines, so the race stress suite, the off-simulator differential
+// tests and cmd/wfbench's native experiment all share one spawn/join
+// protocol instead of three.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/native"
+	"repro/internal/shmem"
+)
+
+// NativeRun parameterizes one native execution of a descriptor.
+type NativeRun struct {
+	// Procs is the number of process goroutines; Ops the operations each
+	// one performs, drawn from the descriptor's deterministic generator
+	// with Seed.
+	Procs, Ops int
+	Seed       int64
+	// Shards overrides the shard count for the multiprocessor family
+	// (default GOMAXPROCS). The uniprocessor family always runs on one
+	// shard; the baselines always run free.
+	Shards int
+	// Cfg sizes the instance. The harness fills Procs and, when zero,
+	// a Capacity large enough that no process exhausts its node pool
+	// (arena exhaustion panics by design).
+	Cfg Config
+	// Wrap optionally wraps the built instance before the run (the linz
+	// history recorder). The wrapper must be safe for concurrent Apply.
+	Wrap func(Instance) Instance
+}
+
+// NativeResult is what one native run observed.
+type NativeResult struct {
+	// Inst is the (unwrapped) instance; quiescent after the join, so
+	// Snapshot and CheckErr are safe.
+	Inst Instance
+	// World is the finished execution (help counters).
+	World *native.World
+	// Results holds each process's per-op outcomes, index-aligned with
+	// the generator's op stream.
+	Results [][]Result
+	// Elapsed is the wall-clock spawn-to-join time; Counts the summed
+	// memory-operation tallies of all processes.
+	Elapsed time.Duration
+	Counts  metrics.OpCounts
+	// PerProc holds each process's own tally.
+	PerProc []metrics.OpCounts
+}
+
+// OpsDone returns the total operations applied.
+func (r *NativeResult) OpsDone() int {
+	n := 0
+	for _, rs := range r.Results {
+		n += len(rs)
+	}
+	return n
+}
+
+// nativeLayout maps a descriptor's family onto a world and a per-process
+// (cpu, priority) assignment:
+//
+//   - uni: one shard, priorities slot%8 — ties interleave at operation
+//     boundaries, strict inequalities preempt mid-operation, which is the
+//     paper's uniprocessor model and exercises incremental helping;
+//   - multi: Shards priority-disciplined shards, processes dealt
+//     round-robin with distinct priorities within each shard (Figures 6-7:
+//     one announce ring, P processors);
+//   - baseline: free-running goroutines — the anything-goes scheduling the
+//     lock-free and lock-based baselines are designed for.
+func nativeLayout(d *Descriptor, mem *native.Mem, shards int) (*native.World, func(slot int) (cpu int, prio shmem.Priority)) {
+	switch d.Family {
+	case FamilyUni:
+		w := native.NewWorld(mem, 1)
+		return w, func(slot int) (int, shmem.Priority) { return 0, shmem.Priority(slot % 8) }
+	case FamilyMulti:
+		w := native.NewWorld(mem, shards)
+		return w, func(slot int) (int, shmem.Priority) {
+			return slot % shards, shmem.Priority(slot / shards)
+		}
+	default:
+		w := native.NewFreeWorld(mem)
+		return w, func(slot int) (int, shmem.Priority) { return 0, 0 }
+	}
+}
+
+// RunNative builds the object on a fresh native world and drives it to
+// quiescence: Procs goroutines, each applying its generated op stream with
+// one Begin/End shard window per operation.
+func (d *Descriptor) RunNative(r NativeRun) (*NativeResult, error) {
+	if r.Procs <= 0 || r.Ops < 0 {
+		return nil, fmt.Errorf("registry: native run needs Procs >= 1 and Ops >= 0 (got %d, %d)", r.Procs, r.Ops)
+	}
+	shards := r.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	cfg := r.Cfg
+	cfg.Procs = r.Procs
+	if cfg.Capacity == 0 {
+		// Worst case every op of every process allocates a node and frees
+		// go to the freeing slot's pool, so size per-slot pools to the
+		// full op budget plus the seeds.
+		cfg.Capacity = r.Procs*(r.Ops+4) + 2*len(cfg.SeedKeys) + 8
+	}
+	mem := native.NewMem(1<<15 + cfg.Capacity*8 + r.Procs*64)
+	w, place := nativeLayout(d, mem, shards)
+	inst, err := BuildOn(NativeBackend(w), d.Name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	driven := inst
+	if r.Wrap != nil {
+		driven = r.Wrap(inst)
+	}
+	procs := make([]*native.Proc, r.Procs)
+	for i := range procs {
+		cpu, prio := place(i)
+		procs[i] = w.NewProc(i, cpu, prio)
+	}
+	res := &NativeResult{Inst: inst, World: w, Results: make([][]Result, r.Procs)}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range procs {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			p := procs[slot]
+			ops := d.Ops(cfg, r.Seed, slot, r.Ops)
+			out := make([]Result, len(ops))
+			for j, op := range ops {
+				p.Begin()
+				out[j] = driven.Apply(p, slot, op)
+				p.End()
+			}
+			res.Results[slot] = out
+		}(i)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	res.PerProc = make([]metrics.OpCounts, r.Procs)
+	for i, p := range procs {
+		res.PerProc[i] = p.Counts
+		res.Counts.Add(p.Counts)
+	}
+	return res, nil
+}

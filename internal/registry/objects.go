@@ -25,11 +25,10 @@ import (
 	"repro/internal/core/unimwcas"
 	"repro/internal/core/uniqueue"
 	"repro/internal/core/unistack"
-	"repro/internal/sched"
 	"repro/internal/shmem"
 )
 
-type applyFn func(e *sched.Env, slot int, op Op) Result
+type applyFn func(e shmem.Ctx, slot int, op Op) Result
 
 // instance is the one concrete Instance implementation; descriptors fill
 // in the closures.
@@ -41,10 +40,10 @@ type instance struct {
 	finish   func() error
 }
 
-func (in *instance) Apply(e *sched.Env, slot int, op Op) Result { return in.apply(e, slot, op) }
-func (in *instance) Snapshot() []uint64                         { return in.snapshot() }
-func (in *instance) Underlying() any                            { return in.under }
-func (in *instance) AppWords() []shmem.Addr                     { return in.words }
+func (in *instance) Apply(e shmem.Ctx, slot int, op Op) Result { return in.apply(e, slot, op) }
+func (in *instance) Snapshot() []uint64                        { return in.snapshot() }
+func (in *instance) Underlying() any                           { return in.under }
+func (in *instance) AppWords() []shmem.Addr                    { return in.words }
 func (in *instance) CheckErr() error {
 	if in.finish == nil {
 		return nil
@@ -54,7 +53,7 @@ func (in *instance) CheckErr() error {
 
 // listApply adapts the shared list surface to the op model.
 func listApply(l List) applyFn {
-	return func(e *sched.Env, slot int, op Op) Result {
+	return func(e shmem.Ctx, slot int, op Op) Result {
 		switch op.Code {
 		case OpInsert:
 			return Result{OK: l.Insert(e, op.Key, op.Val)}
@@ -83,7 +82,7 @@ func listKind(c OpCode) uint64 {
 // baselines.
 func multiListChecked(l List, chk *check.MultiListChecker) (applyFn, func() error) {
 	base := listApply(l)
-	apply := func(e *sched.Env, slot int, op Op) Result {
+	apply := func(e shmem.Ctx, slot int, op Op) Result {
 		chk.BeginOp(slot, listKind(op.Code), op.Key)
 		r := base(e, slot, op)
 		chk.EndOp(slot, r.OK)
@@ -92,8 +91,13 @@ func multiListChecked(l List, chk *check.MultiListChecker) (applyFn, func() erro
 	return apply, func() error { chk.Finish(); return chk.Err() }
 }
 
-func newArena(sim *sched.Sim, cfg Config) (*arena.Arena, error) {
-	return arena.New(sim.Mem(), cfg.Capacity, cfg.Procs)
+// simMem returns the simulated memory behind b for the white-box checkers.
+// Normalize rejects Config.Check off-simulator, so b.Sim() is non-nil on
+// every path that reaches here.
+func simMem(b Backend) *shmem.Mem { return b.Sim().Mem() }
+
+func newArena(b Backend, cfg Config) (*arena.Arena, error) {
+	return arena.New(b.Memory(), cfg.Capacity, cfg.Procs)
 }
 
 func init() {
@@ -107,12 +111,12 @@ func init() {
 				{{Code: OpInsert, Key: 30, Val: 3}},
 			},
 		},
-		New: func(sim *sched.Sim, cfg Config) (Instance, error) {
-			ar, err := newArena(sim, cfg)
+		New: func(b Backend, cfg Config) (Instance, error) {
+			ar, err := newArena(b, cfg)
 			if err != nil {
 				return nil, err
 			}
-			l, err := unilist.New(sim.Mem(), ar, cfg.Procs)
+			l, err := unilist.New(b.Memory(), ar, cfg.Procs)
 			if err != nil {
 				return nil, err
 			}
@@ -124,9 +128,9 @@ func init() {
 			ar.Freeze()
 			in := &instance{under: l, snapshot: l.Snapshot, apply: listApply(l)}
 			if cfg.Check {
-				chk := check.NewUniListChecker(l, sim.Mem(), cfg.Procs)
+				chk := check.NewUniListChecker(l, simMem(b), cfg.Procs)
 				base := listApply(l)
-				in.apply = func(e *sched.Env, slot int, op Op) Result {
+				in.apply = func(e shmem.Ctx, slot int, op Op) Result {
 					r := base(e, slot, op)
 					chk.EndOp(slot, r.OK)
 					return r
@@ -147,17 +151,17 @@ func init() {
 				{{Code: OpDequeue}},
 			},
 		},
-		New: func(sim *sched.Sim, cfg Config) (Instance, error) {
-			ar, err := newArena(sim, cfg)
+		New: func(b Backend, cfg Config) (Instance, error) {
+			ar, err := newArena(b, cfg)
 			if err != nil {
 				return nil, err
 			}
-			q, err := uniqueue.New(sim.Mem(), ar, cfg.Procs)
+			q, err := uniqueue.New(b.Memory(), ar, cfg.Procs)
 			if err != nil {
 				return nil, err
 			}
 			ar.Freeze()
-			apply := func(e *sched.Env, slot int, op Op) Result {
+			apply := func(e shmem.Ctx, slot int, op Op) Result {
 				switch op.Code {
 				case OpEnqueue:
 					q.Enqueue(e, op.Val)
@@ -173,17 +177,17 @@ func init() {
 				// Incremental helping totally orders operations by
 				// announce; replay them against the FIFO model.
 				model := &fifoModel{}
-				chk := check.NewSerialChecker(sim.Mem(), q.Engine().AnnPidAddr(), cfg.Procs,
+				chk := check.NewSerialChecker(simMem(b), q.Engine().AnnPidAddr(), cfg.Procs,
 					func(p int) bool {
 						node, opc := q.PeekPar(p)
 						if opc == 1 {
-							val := sim.Mem().Peek(ar.ValAddr(arena.Ref(node)))
+							val := simMem(b).Peek(ar.ValAddr(arena.Ref(node)))
 							return model.Apply(Op{Code: OpEnqueue, Val: val}).OK
 						}
 						return model.Apply(Op{Code: OpDequeue}).OK
 					},
 					func() error { return check.SliceEqual(q.Snapshot(), model.Snapshot()) })
-				in.apply = func(e *sched.Env, slot int, op Op) Result {
+				in.apply = func(e shmem.Ctx, slot int, op Op) Result {
 					r := apply(e, slot, op)
 					chk.EndOp(slot, r.OK)
 					return r
@@ -204,17 +208,17 @@ func init() {
 				{{Code: OpPop}},
 			},
 		},
-		New: func(sim *sched.Sim, cfg Config) (Instance, error) {
-			ar, err := newArena(sim, cfg)
+		New: func(b Backend, cfg Config) (Instance, error) {
+			ar, err := newArena(b, cfg)
 			if err != nil {
 				return nil, err
 			}
-			st, err := unistack.New(sim.Mem(), ar, cfg.Procs)
+			st, err := unistack.New(b.Memory(), ar, cfg.Procs)
 			if err != nil {
 				return nil, err
 			}
 			ar.Freeze()
-			apply := func(e *sched.Env, slot int, op Op) Result {
+			apply := func(e shmem.Ctx, slot int, op Op) Result {
 				switch op.Code {
 				case OpPush:
 					st.Push(e, op.Val)
@@ -228,17 +232,17 @@ func init() {
 			in := &instance{under: st, snapshot: st.Snapshot, apply: apply}
 			if cfg.Check {
 				model := &lifoModel{}
-				chk := check.NewSerialChecker(sim.Mem(), st.Engine().AnnPidAddr(), cfg.Procs,
+				chk := check.NewSerialChecker(simMem(b), st.Engine().AnnPidAddr(), cfg.Procs,
 					func(p int) bool {
 						node, opc := st.PeekPar(p)
 						if opc == 1 {
-							val := sim.Mem().Peek(ar.ValAddr(arena.Ref(node)))
+							val := simMem(b).Peek(ar.ValAddr(arena.Ref(node)))
 							return model.Apply(Op{Code: OpPush, Val: val}).OK
 						}
 						return model.Apply(Op{Code: OpPop}).OK
 					},
 					func() error { return check.SliceEqual(st.Snapshot(), model.Snapshot()) })
-				in.apply = func(e *sched.Env, slot int, op Op) Result {
+				in.apply = func(e shmem.Ctx, slot int, op Op) Result {
 					r := apply(e, slot, op)
 					chk.EndOp(slot, r.OK)
 					return r
@@ -259,12 +263,12 @@ func init() {
 				{{Code: OpDelete, Key: 40}},
 			},
 		},
-		New: func(sim *sched.Sim, cfg Config) (Instance, error) {
-			ar, err := newArena(sim, cfg)
+		New: func(b Backend, cfg Config) (Instance, error) {
+			ar, err := newArena(b, cfg)
 			if err != nil {
 				return nil, err
 			}
-			tb, err := unihash.New(sim.Mem(), ar, cfg.Procs, cfg.Buckets)
+			tb, err := unihash.New(b.Memory(), ar, cfg.Procs, cfg.Buckets)
 			if err != nil {
 				return nil, err
 			}
@@ -277,7 +281,7 @@ func init() {
 			in := &instance{under: tb, snapshot: tb.Snapshot, apply: listApply(tb)}
 			if cfg.Check {
 				model := Lookup0("unihash").NewModel(cfg)
-				chk := check.NewSerialChecker(sim.Mem(), tb.Engine().AnnPidAddr(), cfg.Procs,
+				chk := check.NewSerialChecker(simMem(b), tb.Engine().AnnPidAddr(), cfg.Procs,
 					func(p int) bool {
 						_, key, opc := tb.PeekPar(p)
 						switch opc {
@@ -291,7 +295,7 @@ func init() {
 					},
 					func() error { return check.SliceEqual(tb.Snapshot(), model.Snapshot()) })
 				base := listApply(tb)
-				in.apply = func(e *sched.Env, slot int, op Op) Result {
+				in.apply = func(e shmem.Ctx, slot int, op Op) Result {
 					r := base(e, slot, op)
 					chk.EndOp(slot, r.OK)
 					return r
@@ -312,12 +316,12 @@ func init() {
 				{{Code: OpMWCAS, Words: []int{2}, Delta: 3}},
 			},
 		},
-		New: func(sim *sched.Sim, cfg Config) (Instance, error) {
-			obj, err := unimwcas.New(sim.Mem(), cfg.Procs, cfg.Width)
+		New: func(b Backend, cfg Config) (Instance, error) {
+			obj, err := unimwcas.New(b.Memory(), cfg.Procs, cfg.Width)
 			if err != nil {
 				return nil, err
 			}
-			words, err := allocWords(sim, cfg.Words)
+			words, err := allocWords(b.Memory(), cfg.Words)
 			if err != nil {
 				return nil, err
 			}
@@ -333,17 +337,17 @@ func init() {
 			}
 			var chk *check.MWCASChecker
 			if cfg.Check {
-				chk = check.NewMWCASChecker(obj, sim.Mem(), words)
+				chk = check.NewMWCASChecker(obj, simMem(b), words)
 			}
 			in := &instance{under: obj, words: words}
 			in.snapshot = func() []uint64 {
 				out := make([]uint64, len(words))
 				for i, w := range words {
-					out[i] = uint64(unimwcas.Unpack(sim.Mem().Peek(w)).Val)
+					out[i] = uint64(unimwcas.Unpack(b.Memory().Peek(w)).Val)
 				}
 				return out
 			}
-			in.apply = func(e *sched.Env, slot int, op Op) Result {
+			in.apply = func(e shmem.Ctx, slot int, op Op) Result {
 				if op.Code != OpMWCAS {
 					panic("registry: unimwcas got " + op.Code.String())
 				}
@@ -387,8 +391,8 @@ func init() {
 				{{Code: OpInsert, Key: 15, Val: 3}, {Code: OpInsert, Key: 25, Val: 4}},
 			},
 		},
-		New: func(sim *sched.Sim, cfg Config) (Instance, error) {
-			ar, err := newArena(sim, cfg)
+		New: func(b Backend, cfg Config) (Instance, error) {
+			ar, err := newArena(b, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -396,7 +400,7 @@ func init() {
 			if stride == 0 {
 				stride = 100
 			}
-			l, err := multilist.New(sim.Mem(), ar, multilist.Config{
+			l, err := multilist.New(b.Memory(), ar, multilist.Config{
 				Processors: cfg.Processors, Procs: cfg.Procs, CC: cfg.CC,
 				Mode: cfg.Mode, Stride: stride, OneRound: cfg.OneRound,
 			})
@@ -411,7 +415,7 @@ func init() {
 			ar.Freeze()
 			in := &instance{under: l, snapshot: l.Snapshot, apply: listApply(l)}
 			if cfg.Check {
-				in.apply, in.finish = multiListChecked(l, check.NewMultiListChecker(l, sim.Mem()))
+				in.apply, in.finish = multiListChecked(l, check.NewMultiListChecker(l, simMem(b)))
 			}
 			return in, nil
 		},
@@ -427,12 +431,12 @@ func init() {
 				{{Code: OpDequeue}, {Code: OpDequeue}},
 			},
 		},
-		New: func(sim *sched.Sim, cfg Config) (Instance, error) {
-			ar, err := newArena(sim, cfg)
+		New: func(b Backend, cfg Config) (Instance, error) {
+			ar, err := newArena(b, cfg)
 			if err != nil {
 				return nil, err
 			}
-			q, err := multiqueue.New(sim.Mem(), ar, multiqueue.Config{
+			q, err := multiqueue.New(b.Memory(), ar, multiqueue.Config{
 				Processors: cfg.Processors, Procs: cfg.Procs, CC: cfg.CC,
 				Mode: cfg.Mode, OneRound: cfg.OneRound,
 			})
@@ -442,10 +446,10 @@ func init() {
 			ar.Freeze()
 			var chk *check.FIFOChecker
 			if cfg.Check {
-				chk = check.NewFIFOChecker(q, sim.Mem())
+				chk = check.NewFIFOChecker(q, simMem(b))
 			}
 			in := &instance{under: q, snapshot: q.Snapshot}
-			in.apply = func(e *sched.Env, slot int, op Op) Result {
+			in.apply = func(e shmem.Ctx, slot int, op Op) Result {
 				switch op.Code {
 				case OpEnqueue:
 					if chk != nil {
@@ -485,12 +489,12 @@ func init() {
 				{{Code: OpPop}, {Code: OpPop}},
 			},
 		},
-		New: func(sim *sched.Sim, cfg Config) (Instance, error) {
-			ar, err := newArena(sim, cfg)
+		New: func(b Backend, cfg Config) (Instance, error) {
+			ar, err := newArena(b, cfg)
 			if err != nil {
 				return nil, err
 			}
-			st, err := multistack.New(sim.Mem(), ar, multistack.Config{
+			st, err := multistack.New(b.Memory(), ar, multistack.Config{
 				Processors: cfg.Processors, Procs: cfg.Procs, CC: cfg.CC,
 				Mode: cfg.Mode, OneRound: cfg.OneRound,
 			})
@@ -500,10 +504,10 @@ func init() {
 			ar.Freeze()
 			var chk *check.LIFOChecker
 			if cfg.Check {
-				chk = check.NewLIFOChecker(st, sim.Mem())
+				chk = check.NewLIFOChecker(st, simMem(b))
 			}
 			in := &instance{under: st, snapshot: st.Snapshot}
-			in.apply = func(e *sched.Env, slot int, op Op) Result {
+			in.apply = func(e shmem.Ctx, slot int, op Op) Result {
 				switch op.Code {
 				case OpPush:
 					if chk != nil {
@@ -543,12 +547,12 @@ func init() {
 				{{Code: OpDelete, Key: 40}, {Code: OpInsert, Key: 30, Val: 3}},
 			},
 		},
-		New: func(sim *sched.Sim, cfg Config) (Instance, error) {
-			ar, err := newArena(sim, cfg)
+		New: func(b Backend, cfg Config) (Instance, error) {
+			ar, err := newArena(b, cfg)
 			if err != nil {
 				return nil, err
 			}
-			tb, err := multihash.New(sim.Mem(), ar, multihash.Config{
+			tb, err := multihash.New(b.Memory(), ar, multihash.Config{
 				Processors: cfg.Processors, Procs: cfg.Procs, Buckets: cfg.Buckets,
 				CC: cfg.CC, Mode: cfg.Mode, OneRound: cfg.OneRound,
 			})
@@ -563,7 +567,7 @@ func init() {
 			ar.Freeze()
 			in := &instance{under: tb, snapshot: tb.Snapshot, apply: listApply(tb)}
 			if cfg.Check {
-				in.apply, in.finish = multiListChecked(tb, check.NewMultiListChecker(tb, sim.Mem()))
+				in.apply, in.finish = multiListChecked(tb, check.NewMultiListChecker(tb, simMem(b)))
 			}
 			return in, nil
 		},
@@ -579,15 +583,15 @@ func init() {
 				{{Code: OpMWCAS, Words: []int{0, 2}, Delta: 2}, {Code: OpMWCAS, Words: []int{0, 1}, Delta: 3}},
 			},
 		},
-		New: func(sim *sched.Sim, cfg Config) (Instance, error) {
-			obj, err := multimwcas.New(sim.Mem(), multimwcas.Config{
+		New: func(b Backend, cfg Config) (Instance, error) {
+			obj, err := multimwcas.New(b.Memory(), multimwcas.Config{
 				Processors: cfg.Processors, Procs: cfg.Procs, Width: cfg.Width,
 				CC: cfg.CC, Mode: cfg.Mode, OneRound: cfg.OneRound,
 			})
 			if err != nil {
 				return nil, err
 			}
-			words, err := allocWords(sim, cfg.Words)
+			words, err := allocWords(b.Memory(), cfg.Words)
 			if err != nil {
 				return nil, err
 			}
@@ -600,7 +604,7 @@ func init() {
 			}
 			var chk *check.MultiMWCASChecker
 			if cfg.Check {
-				chk = check.NewMultiMWCASChecker(obj, sim.Mem(), cfg.Procs, words)
+				chk = check.NewMultiMWCASChecker(obj, simMem(b), cfg.Procs, words)
 			}
 			in := &instance{under: obj, words: words}
 			in.snapshot = func() []uint64 {
@@ -610,7 +614,7 @@ func init() {
 				}
 				return out
 			}
-			in.apply = func(e *sched.Env, slot int, op Op) Result {
+			in.apply = func(e shmem.Ctx, slot int, op Op) Result {
 				if op.Code != OpMWCAS {
 					panic("registry: multimwcas got " + op.Code.String())
 				}
@@ -644,12 +648,12 @@ func init() {
 	// priority preemption — that is the paper's motivating failure).
 	register(&Descriptor{
 		Name: "gclist", Pkg: "baseline/gclist", Family: FamilyBaseline, Model: ModelSorted,
-		New: func(sim *sched.Sim, cfg Config) (Instance, error) {
-			ar, err := newArena(sim, cfg)
+		New: func(b Backend, cfg Config) (Instance, error) {
+			ar, err := newArena(b, cfg)
 			if err != nil {
 				return nil, err
 			}
-			l, err := gclist.New(sim.Mem(), ar, cfg.Procs)
+			l, err := gclist.New(b.Memory(), ar, cfg.Procs)
 			if err != nil {
 				return nil, err
 			}
@@ -661,7 +665,7 @@ func init() {
 			ar.Freeze()
 			in := &instance{under: l, snapshot: l.Snapshot, apply: listApply(l)}
 			if cfg.Check {
-				in.apply, in.finish = multiListChecked(l, check.NewMultiListChecker(l, sim.Mem()))
+				in.apply, in.finish = multiListChecked(l, check.NewMultiListChecker(l, simMem(b)))
 			}
 			return in, nil
 		},
@@ -669,12 +673,12 @@ func init() {
 
 	register(&Descriptor{
 		Name: "valois", Pkg: "baseline/valois", Family: FamilyBaseline, Model: ModelSorted,
-		New: func(sim *sched.Sim, cfg Config) (Instance, error) {
-			ar, err := newArena(sim, cfg)
+		New: func(b Backend, cfg Config) (Instance, error) {
+			ar, err := newArena(b, cfg)
 			if err != nil {
 				return nil, err
 			}
-			l, err := valois.New(sim.Mem(), ar, cfg.Procs)
+			l, err := valois.New(b.Memory(), ar, cfg.Procs)
 			if err != nil {
 				return nil, err
 			}
@@ -686,7 +690,7 @@ func init() {
 			ar.Freeze()
 			in := &instance{under: l, snapshot: l.Snapshot, apply: listApply(l)}
 			if cfg.Check {
-				in.apply, in.finish = multiListChecked(l, check.NewMultiListChecker(l, sim.Mem()))
+				in.apply, in.finish = multiListChecked(l, check.NewMultiListChecker(l, simMem(b)))
 			}
 			return in, nil
 		},
@@ -694,12 +698,12 @@ func init() {
 
 	register(&Descriptor{
 		Name: "locklist", Pkg: "baseline/locklist", Family: FamilyBaseline, Model: ModelSorted,
-		New: func(sim *sched.Sim, cfg Config) (Instance, error) {
-			ar, err := newArena(sim, cfg)
+		New: func(b Backend, cfg Config) (Instance, error) {
+			ar, err := newArena(b, cfg)
 			if err != nil {
 				return nil, err
 			}
-			l, err := locklist.New(sim.Mem(), ar)
+			l, err := locklist.New(b.Memory(), ar)
 			if err != nil {
 				return nil, err
 			}
@@ -715,11 +719,11 @@ func init() {
 
 	register(&Descriptor{
 		Name: "herlihy", Pkg: "baseline/herlihy", Family: FamilyBaseline, Model: ModelSorted,
-		New: func(sim *sched.Sim, cfg Config) (Instance, error) {
+		New: func(b Backend, cfg Config) (Instance, error) {
 			if len(cfg.SeedKeys) > 0 {
 				return nil, fmt.Errorf("registry: the herlihy universal construction does not support seeding")
 			}
-			obj, err := herlihy.New(sim.Mem(), cfg.Procs, cfg.Capacity, herlihy.SortedSetApply)
+			obj, err := herlihy.New(b.Memory(), cfg.Procs, cfg.Capacity, herlihy.SortedSetApply)
 			if err != nil {
 				return nil, err
 			}
@@ -734,7 +738,7 @@ func init() {
 				sortUint64(out)
 				return out
 			}
-			in.apply = func(e *sched.Env, slot int, op Op) Result {
+			in.apply = func(e shmem.Ctx, slot int, op Op) Result {
 				switch op.Code {
 				case OpInsert:
 					return Result{OK: obj.Do(e, 1, op.Key) == 1}
@@ -759,11 +763,11 @@ func Lookup0(name string) *Descriptor {
 	return d
 }
 
-func allocWords(sim *sched.Sim, n int) ([]shmem.Addr, error) {
+func allocWords(m shmem.Memory, n int) ([]shmem.Addr, error) {
 	if n <= 0 {
 		return nil, nil
 	}
-	base, err := sim.Mem().Alloc("appwords", n)
+	base, err := m.Alloc("appwords", n)
 	if err != nil {
 		return nil, err
 	}

@@ -140,11 +140,37 @@ type Result struct {
 // the hash tables, and the lock-free / lock-based baselines. It is the
 // interface internal/workload measures through.
 type List interface {
-	Insert(e *sched.Env, key, val uint64) bool
-	Delete(e *sched.Env, key uint64) bool
-	Search(e *sched.Env, key uint64) bool
+	Insert(e shmem.Ctx, key, val uint64) bool
+	Delete(e shmem.Ctx, key uint64) bool
+	Search(e shmem.Ctx, key uint64) bool
 	Snapshot() []uint64
 }
+
+// Backend is the execution substrate a descriptor constructs an instance
+// on: the memory words come from Memory(), the helping-ring width bound
+// from Processors(). The simulator backend additionally exposes its Sim for
+// the white-box checkers (Config.Check); the native backend returns nil
+// there, and Build rejects Check off-simulator.
+type Backend interface {
+	// Memory returns the backend's shared memory (allocation surface).
+	Memory() shmem.Memory
+	// Processors returns the number of processors (simulator) or shards
+	// (native backend) available to the helping ring.
+	Processors() int
+	// Sim returns the simulation when this backend is the simulator, or
+	// nil on any other backend.
+	Sim() *sched.Sim
+}
+
+// simBackend adapts *sched.Sim to Backend.
+type simBackend struct{ sim *sched.Sim }
+
+func (b simBackend) Memory() shmem.Memory { return b.sim.Mem() }
+func (b simBackend) Processors() int      { return b.sim.Processors() }
+func (b simBackend) Sim() *sched.Sim      { return b.sim }
+
+// SimBackend wraps a simulation as a construction Backend.
+func SimBackend(sim *sched.Sim) Backend { return simBackend{sim: sim} }
 
 // Config parameterizes an instance of any registered object; irrelevant
 // fields are ignored by objects that don't use them. The zero value gets
@@ -187,7 +213,7 @@ var ErrProcConfig = errors.New("invalid Processors/Procs configuration")
 type Instance interface {
 	// Apply performs one operation as process slot. With Config.Check it
 	// also drives the linearizability checker.
-	Apply(e *sched.Env, slot int, op Op) Result
+	Apply(e shmem.Ctx, slot int, op Op) Result
 	// Snapshot returns the canonical quiescent state (sorted keys, queue
 	// front-to-back, stack top-down, MWCAS word values).
 	Snapshot() []uint64
@@ -239,9 +265,9 @@ type Descriptor struct {
 	UniPeer string
 	// Scenario is the named-run recipe.
 	Scenario ScenarioSpec
-	// New constructs an instance inside sim. Callers go through Build,
-	// which normalizes and validates cfg first.
-	New func(sim *sched.Sim, cfg Config) (Instance, error)
+	// New constructs an instance on the given backend. Callers go through
+	// Build/BuildOn, which normalize and validate cfg first.
+	New func(b Backend, cfg Config) (Instance, error)
 }
 
 var byName = map[string]*Descriptor{}
@@ -299,7 +325,7 @@ func All() []*Descriptor {
 // processor/process combination; every constructor path (registry, facade,
 // workload) funnels through it, so an invalid combination is rejected with
 // the one ErrProcConfig message everywhere.
-func (d *Descriptor) Normalize(sim *sched.Sim, cfg *Config) error {
+func (d *Descriptor) Normalize(b Backend, cfg *Config) error {
 	if cfg.Capacity == 0 {
 		cfg.Capacity = 1024
 	}
@@ -318,25 +344,45 @@ func (d *Descriptor) Normalize(sim *sched.Sim, cfg *Config) error {
 		cfg.Processors = 1
 	default:
 		if cfg.Processors == 0 {
-			cfg.Processors = sim.Processors()
+			cfg.Processors = b.Processors()
 		}
 	}
 	if cfg.Procs < 1 || cfg.Processors < 1 ||
-		(d.Family == FamilyMulti && cfg.Processors > sim.Processors()) {
-		return fmt.Errorf("%s: %w: Processors=%d Procs=%d (need Procs >= 1 and 1 <= Processors <= the simulation's %d)",
-			d.Name, ErrProcConfig, cfg.Processors, cfg.Procs, sim.Processors())
+		(d.Family == FamilyMulti && cfg.Processors > b.Processors()) {
+		return fmt.Errorf("%s: %w: Processors=%d Procs=%d (need Procs >= 1 and 1 <= Processors <= the backend's %d)",
+			d.Name, ErrProcConfig, cfg.Processors, cfg.Procs, b.Processors())
+	}
+	if b.Sim() == nil {
+		if cfg.Check {
+			return fmt.Errorf("%s: Config.Check drives the white-box checkers, which observe simulated memory; off-simulator use the black-box engine (internal/linz) instead", d.Name)
+		}
+		// Real hardware has no CCAS instruction (the Figure 8 premise):
+		// default to the tagged software construction and refuse the
+		// simulator-only atomic one.
+		if cfg.CC == nil {
+			cfg.CC = prim.Tagged{}
+		} else if _, hw := cfg.CC.(prim.Native); hw {
+			return fmt.Errorf("%s: prim.Native is the simulator's atomic CCAS; off-simulator use a software construction (prim.Tagged or prim.Delayed)", d.Name)
+		}
 	}
 	return nil
 }
 
-// Build normalizes cfg and constructs an instance of the named object.
+// Build normalizes cfg and constructs an instance of the named object
+// inside sim.
 func Build(sim *sched.Sim, name string, cfg Config) (Instance, error) {
+	return BuildOn(SimBackend(sim), name, cfg)
+}
+
+// BuildOn normalizes cfg and constructs an instance of the named object on
+// an arbitrary backend.
+func BuildOn(b Backend, name string, cfg Config) (Instance, error) {
 	d, err := Lookup(name)
 	if err != nil {
 		return nil, err
 	}
-	if err := d.Normalize(sim, &cfg); err != nil {
+	if err := d.Normalize(b, &cfg); err != nil {
 		return nil, err
 	}
-	return d.New(sim, cfg)
+	return d.New(b, cfg)
 }

@@ -14,6 +14,9 @@ import (
 // charges virtual time.
 //
 // An Env is only valid inside the body of the process it was created for.
+//
+// Env is the simulator's implementation of shmem.Ctx, the backend seam the
+// algorithms are written against; internal/native provides the other.
 type Env struct {
 	sim *Sim
 	p   *Proc
@@ -240,3 +243,6 @@ func (e *Env) SyncCostUnits() int64 { return e.sim.cfg.SyncCost }
 
 // Sim returns the simulation this process belongs to.
 func (e *Env) Sim() *Sim { return e.sim }
+
+// Env is the simulator backend's execution context.
+var _ shmem.Ctx = (*Env)(nil)

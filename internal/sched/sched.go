@@ -41,8 +41,10 @@ import (
 
 // Priority is a process priority; larger values are more urgent. Priorities
 // on one processor need not be distinct, but a process can only be preempted
-// by a strictly higher priority.
-type Priority int
+// by a strictly higher priority. The type itself lives in internal/shmem so
+// the algorithms (written against shmem.Ctx) can name it without depending
+// on the simulator.
+type Priority = shmem.Priority
 
 // Granularity selects where preemption points fall.
 type Granularity int

@@ -1,0 +1,74 @@
+package shmem
+
+import "testing"
+
+// TestResetClearsObserversAndHooks pins the pool-reuse contract that
+// sched.Acquire/Release depend on: a Reset memory is observably identical
+// to a fresh one. Observers, the fail hook and the last-writer attribution
+// tables must all be gone — a stale observer would let one sweep run's
+// checker watch the next run's writes, and a stale fail hook would charge
+// phantom attribution work on untraced runs.
+func TestResetClearsObserversAndHooks(t *testing.T) {
+	m := New(16)
+	a := m.MustAlloc("a", 1)
+
+	var writes, fails int
+	m.AddObserver(ObserverFunc(func(ev WriteEvent) { writes++ }))
+	m.SetFailHook(func(ev FailEvent) { fails++ })
+	m.SetCurrentProc(0)
+	m.Store(a, 1)
+	if m.CAS(a, 99, 2) {
+		t.Fatal("CAS against wrong old value should fail")
+	}
+	if writes != 1 || fails != 1 {
+		t.Fatalf("before Reset: writes=%d fails=%d, want 1,1", writes, fails)
+	}
+	if m.lastWriter == nil {
+		t.Fatal("fail hook should have armed last-writer tracking")
+	}
+
+	m.Reset(16)
+	if len(m.observers) != 0 || m.failHook != nil || m.lastWriter != nil || m.lastStep != nil {
+		t.Fatalf("Reset left hook state: observers=%d failHook=%v lastWriter=%v lastStep=%v",
+			len(m.observers), m.failHook != nil, m.lastWriter != nil, m.lastStep != nil)
+	}
+	if m.CurrentProc() != -1 {
+		t.Fatalf("Reset left current proc %d, want -1", m.CurrentProc())
+	}
+
+	// Same-capacity Reset reuses the word array but must still zero it.
+	if got := m.Peek(a); got != 0 {
+		t.Fatalf("word %d survived Reset with value %d", a, got)
+	}
+
+	// The old registrations must not see post-Reset traffic.
+	b := m.MustAlloc("b", 1)
+	m.SetCurrentProc(0)
+	m.Store(b, 7)
+	if m.CAS(b, 99, 8) {
+		t.Fatal("CAS against wrong old value should fail")
+	}
+	if writes != 1 || fails != 1 {
+		t.Fatalf("after Reset: stale observer or hook fired (writes=%d fails=%d, want 1,1)", writes, fails)
+	}
+}
+
+// TestResetCapacityChange covers the reallocation path: growing and
+// shrinking both yield zeroed memory of the requested capacity.
+func TestResetCapacityChange(t *testing.T) {
+	m := New(8)
+	a := m.MustAlloc("a", 1)
+	m.Poke(a, 42)
+	m.Reset(32)
+	if m.Capacity() != 32 {
+		t.Fatalf("Capacity = %d, want 32", m.Capacity())
+	}
+	for i := 0; i < 32; i++ {
+		if v := m.Peek(Addr(i)); v != 0 {
+			t.Fatalf("word %d = %d after growing Reset, want 0", i, v)
+		}
+	}
+	if m.Allocated() != 1 {
+		t.Fatalf("Allocated = %d after Reset, want 1 (reserved word)", m.Allocated())
+	}
+}

@@ -1,0 +1,128 @@
+package waitfree_test
+
+import (
+	"sync"
+	"testing"
+
+	waitfree "repro"
+)
+
+// TestNativeFacadeQueue drives the package-level native quick-start: a
+// wait-free queue on real goroutines, with FIFO value conservation as the
+// oracle (every enqueued value is unique, so multiset(in) must equal
+// multiset(out) + multiset(remaining)).
+func TestNativeFacadeQueue(t *testing.T) {
+	const procs, perProc = 6, 50
+	w := waitfree.NewNativeWorld(1<<16, 1)
+	q, err := waitfree.NewUniQueueOn(waitfree.NativeBackend(w), waitfree.QueueConfig{
+		Procs: procs, Capacity: procs*perProc + 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	popped := make([][]uint64, procs)
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			p := w.NewProc(slot, 0, waitfree.Priority(slot))
+			for n := 0; n < perProc; n++ {
+				p.Begin()
+				if n%2 == 0 {
+					q.Enqueue(p, uint64(1000*(slot+1)+n))
+				} else if v, ok := q.Dequeue(p); ok {
+					popped[slot] = append(popped[slot], v)
+				}
+				p.End()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	seen := map[uint64]bool{}
+	for _, vs := range popped {
+		for _, v := range vs {
+			if seen[v] {
+				t.Fatalf("value %d dequeued twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	// The run is quiescent; drain from slot 0 (slots index the announce
+	// structures, so they must stay within Procs).
+	remaining := 0
+	p := w.NewProc(0, 0, 0)
+	for {
+		p.Begin()
+		v, ok := q.Dequeue(p)
+		p.End()
+		if !ok {
+			break
+		}
+		if seen[v] {
+			t.Fatalf("value %d both dequeued and remaining", v)
+		}
+		seen[v] = true
+		remaining++
+	}
+	enqueued := procs * ((perProc + 1) / 2)
+	if len(seen) != enqueued {
+		t.Fatalf("accounted for %d values, enqueued %d (%d remained)", len(seen), enqueued, remaining)
+	}
+}
+
+// TestNativeFacadeMWCAS runs the multiprocessor MWCAS through the facade
+// on a sharded native world and checks delta accounting.
+func TestNativeFacadeMWCAS(t *testing.T) {
+	const procs, perProc = 4, 200
+	w := waitfree.NewNativeWorld(1<<16, 2)
+	o, err := waitfree.NewMultiMWCASOn(waitfree.NativeBackend(w), waitfree.MWCASConfig{
+		Procs: procs, Words: 2, Width: 2, Initial: []uint64{100, 200},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wins [procs]uint64
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			p := w.NewProc(slot, slot%2, waitfree.Priority(slot/2))
+			for n := 0; n < perProc; n++ {
+				p.Begin()
+				olds := []uint64{o.Read(p, o.Words[0]), o.Read(p, o.Words[1])}
+				if o.MWCAS(p, o.Words, olds, []uint64{olds[0] + 1, olds[1] + 2}) {
+					wins[slot]++
+				}
+				p.End()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	var total uint64
+	for _, n := range wins {
+		total += n
+	}
+	p := w.NewProc(0, 0, 0)
+	p.Begin()
+	got0, got1 := o.Read(p, o.Words[0]), o.Read(p, o.Words[1])
+	p.End()
+	if got0 != 100+total || got1 != 200+2*total {
+		t.Fatalf("words = (%d,%d) after %d successes, want (%d,%d)", got0, got1, total, 100+total, 200+2*total)
+	}
+}
+
+// TestNativeRejectsSimulatorOnlyConfig pins the Normalize guard rails:
+// white-box checking and the hardware CCAS model have no native
+// equivalents and must be rejected up front, not fail mysteriously later.
+func TestNativeRejectsSimulatorOnlyConfig(t *testing.T) {
+	w := waitfree.NewNativeWorld(1<<12, 1)
+	if _, err := waitfree.NewMultiListOn(waitfree.NativeBackend(w), waitfree.ListConfig{
+		Procs: 2, Capacity: 16, CC: waitfree.CCASNative(),
+	}); err == nil {
+		t.Fatal("hardware-CCAS config should be rejected on the native backend")
+	}
+}

@@ -190,12 +190,12 @@ func NewUniMWCAS(sim *Sim, cfg MWCASConfig) (*UniMWCAS, error) {
 
 // MWCAS performs the multi-word compare-and-swap. Values are 32-bit (the
 // uniprocessor representation packs control fields beside the value).
-func (o *UniMWCAS) MWCAS(e *Env, addrs []Addr, old, new []uint32) bool {
+func (o *UniMWCAS) MWCAS(e Ctx, addrs []Addr, old, new []uint32) bool {
 	return o.Object.MWCAS(e, addrs, old, new)
 }
 
 // Read returns the current value of a word.
-func (o *UniMWCAS) Read(e *Env, a Addr) uint32 { return o.Object.Read(e, a) }
+func (o *UniMWCAS) Read(e Ctx, a Addr) uint32 { return o.Object.Read(e, a) }
 
 // MultiMWCAS is the paper's wait-free MWCAS for priority-based
 // multiprocessors (Figure 6): Θ(2·P·W) per operation, CAS plus CCAS.
@@ -224,13 +224,13 @@ func NewMultiMWCAS(sim *Sim, cfg MWCASConfig) (*MultiMWCAS, error) {
 
 // MWCAS performs the multi-word compare-and-swap on full-width words
 // (under the tagged CCAS representation, values are limited to 56 bits).
-func (o *MultiMWCAS) MWCAS(e *Env, addrs []Addr, old, new []uint64) bool {
+func (o *MultiMWCAS) MWCAS(e Ctx, addrs []Addr, old, new []uint64) bool {
 	return o.Object.MWCAS(e, addrs, old, new)
 }
 
 // Read returns the logical value of a word (plain read; see
 // Object.ReadConsistent for the helping-scheme read).
-func (o *MultiMWCAS) Read(e *Env, a Addr) uint64 { return o.Object.ReadWord(e, a) }
+func (o *MultiMWCAS) Read(e Ctx, a Addr) uint64 { return o.Object.ReadWord(e, a) }
 
 // Experiment harness, re-exported for benchmarks and tools.
 type (
