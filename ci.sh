@@ -8,11 +8,13 @@
 # coroutine rendezvous, the trace log, the parallel sweep harness, and
 # the native-hardware backend with its whole-registry stress suite).
 # Everything is stdlib-only and deterministic, so a green run on one
-# machine is a green run on all. Then three end-to-end smokes into
-# artifacts/ (which stays out of git): the Figure 2 trace export, the
-# parallel-vs-serial byte-identity of wfcheck's sweep output, and the
-# wfbench full-matrix sweep (which asserts the same identity internally
-# and records the serial/parallel timing in BENCH_sweep.json).
+# machine is a green run on all. Then end-to-end smokes into artifacts/
+# (which stays out of git): the Figure 2 trace export, the
+# parallel-vs-serial byte-identity of wfcheck's sweep output (with and
+# without -cover), the wfbench full-matrix sweep (which asserts the same
+# identity internally and records timing plus schedule-space coverage in
+# BENCH_sweep.json), the native metrics report inside BENCH_native.json,
+# and a flight-recorder Perfetto export of a real-hardware run.
 set -eux
 
 test -z "$(gofmt -l .)"
@@ -41,6 +43,15 @@ go run ./cmd/wfcheck -max 40 -par 1 > artifacts/wfcheck_serial.txt
 go run ./cmd/wfcheck -max 40 -par 0 > artifacts/wfcheck_par.txt
 cmp artifacts/wfcheck_serial.txt artifacts/wfcheck_par.txt
 
+# Schedule-space coverage: the -cover accounting must be byte-identical at
+# any worker count (signatures fold post-merge in suite order) and must
+# actually report distinct-behavior lines.
+go run ./cmd/wfcheck -max 40 -cover -par 1 > artifacts/wfcheck_cover_serial.txt
+go run ./cmd/wfcheck -max 40 -cover -par 0 > artifacts/wfcheck_cover_par.txt
+cmp artifacts/wfcheck_cover_serial.txt artifacts/wfcheck_cover_par.txt
+grep -q "cover" artifacts/wfcheck_cover_serial.txt
+grep -q "curve" artifacts/wfcheck_cover_serial.txt
+
 # Byte-identity goldens, pinned before the simulator fast path (run-ahead
 # slice batching, heap ready queues, Sim pooling, zero-alloc tracing)
 # landed: the optimized core must not change one observable byte of the
@@ -56,12 +67,23 @@ done
 
 go run ./cmd/wfbench -exp sweep -sweepseeds 1 -outdir artifacts
 test -s artifacts/BENCH_sweep.json
+grep -q '"coverage"' artifacts/BENCH_sweep.json
+grep -q '"saturation"' artifacts/BENCH_sweep.json
 
 # Native smoke: real-hardware ops/sec for all objects plus the sync.Mutex
 # reference (timings vary by host, so BENCH_native.json is an artifact,
-# not a golden).
+# not a golden). The native metrics layer rides along: every object entry
+# must carry an aggregated report with its op-latency histogram.
 go run ./cmd/wfbench -exp native -ops 4000 -outdir artifacts > /dev/null
 test -s artifacts/BENCH_native.json
+grep -q '"op_latency_ns"' artifacts/BENCH_native.json
+grep -q '"go_version"' artifacts/BENCH_native.json
+
+# Flight recorder: a native run drained into the standard span pipeline
+# must export a non-empty Perfetto trace of real-hardware causality.
+go run ./cmd/wftrace -native -object uniqueue -procs 4 -ops 10 \
+    -export perfetto -o artifacts/uniqueue.native.trace.json > /dev/null
+test -s artifacts/uniqueue.native.trace.json
 
 # Black-box mode: randomized adversary schedules judged by the
 # history-based linearizability engine, all objects (baselines included),

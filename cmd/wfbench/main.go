@@ -40,6 +40,7 @@ import (
 	"repro/internal/core/unimwcas"
 	"repro/internal/core/uniqueue"
 	"repro/internal/core/unistack"
+	"repro/internal/cover"
 	"repro/internal/harness"
 	"repro/internal/helping"
 	"repro/internal/metrics"
@@ -56,8 +57,12 @@ import (
 )
 
 // withTrace is the -trace flag: record the report runs' event logs and
-// write span-model exports next to the BENCH_*.json files.
-var withTrace bool
+// write span-model exports next to the BENCH_*.json files. withProgress is
+// the -progress flag: live sweep progress on stderr.
+var (
+	withTrace    bool
+	withProgress bool
+)
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: fig1|ext|mwcas|sec34|retries|valois|ablations|report|sweep|core|native|all")
@@ -69,14 +74,19 @@ func main() {
 	coreBaseline := flag.String("corebaseline", "", "with -exp core: committed BENCH_core.json to gate ns/slice regressions against")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	blockprofile := flag.String("blockprofile", "", "write a block (contention) profile to this file on exit")
+	flag.BoolVar(&withProgress, "progress", false, "with -exp sweep: stream live progress (cells/sec, coverage, ETA) to stderr")
 	flag.BoolVar(&withTrace, "trace", false, "with -exp report: also write TRACE_<object>.trace.json span exports (Perfetto)")
 	flag.Parse()
 
-	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	stopProf, err := prof.Start(*cpuprofile, *memprofile, *blockprofile)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wfbench: %v\n", err)
 		os.Exit(1)
 	}
+	// Idempotent: the defer covers error returns, the exit wrapper covers
+	// os.Exit (which skips defers).
+	defer stopProf()
 	exit := func(code int) {
 		stopProf()
 		os.Exit(code)
@@ -901,13 +911,21 @@ func sweepCells(seeds int) []sweepCell {
 	return out
 }
 
-// runSweepCell executes one cell and returns its canonical report bytes.
-func runSweepCell(c sweepCell) ([]byte, error) {
+// sweepOut is one cell's canonical report bytes plus its behavioral
+// signature (the coverage unit: cover.ReportSig of the same report).
+type sweepOut struct {
+	b   []byte
+	sig uint64
+}
+
+// runSweepCell executes one cell and returns its canonical report bytes
+// and coverage signature.
+func runSweepCell(c sweepCell) (sweepOut, error) {
 	cfg := scenario.Config{Object: c.Object, Seed: c.Seed, Pattern: c.Pattern}
 	if c.CC != "" {
 		impl, err := prim.ByName(c.CC)
 		if err != nil {
-			return nil, err
+			return sweepOut{}, err
 		}
 		cfg.CC = impl
 	}
@@ -916,27 +934,41 @@ func runSweepCell(c sweepCell) ([]byte, error) {
 	}
 	s, err := scenario.Run(cfg)
 	if err != nil {
-		return nil, err
+		return sweepOut{}, err
 	}
-	b, err := s.Report(c.Object).JSON()
+	rep := s.Report(c.Object)
+	b, err := rep.JSON()
+	out := sweepOut{b: b, sig: cover.ReportSig(rep)}
 	sched.Release(s)
-	return b, err
+	return out, err
 }
 
 // sweep runs the full object × CCAS × helping-mode × pattern × seed matrix
 // twice — serially and fanned out across all cores via internal/harness —
 // asserts the merged outputs are byte-identical, and records both wall-clock
-// times (the repo's first real-parallelism figure) in
+// times (the repo's first real-parallelism figure) plus the campaign's
+// schedule-space coverage (internal/cover, folded from the merged results
+// in input order so it is identical at any worker count) in
 // <outdir>/BENCH_sweep.json.
 func sweep(outdir string, seeds int) error {
 	cells := sweepCells(seeds)
-	timed := func(workers int) ([][]byte, time.Duration, error) {
+	timed := func(workers int, label string) ([]sweepOut, time.Duration, error) {
+		var meter *cover.Meter
+		if withProgress {
+			meter = cover.NewMeter(os.Stderr, "sweep "+label, len(cells), 0)
+		}
 		start := time.Now()
-		out, err := harness.Map(len(cells), harness.Options{Workers: workers},
-			func(i int) ([]byte, error) { return runSweepCell(cells[i]) })
+		out, err := harness.Map(len(cells),
+			harness.Options{Workers: workers, OnDone: func(int) { meter.Done() }},
+			func(i int) (sweepOut, error) {
+				o, err := runSweepCell(cells[i])
+				meter.Note(o.sig)
+				return o, err
+			})
+		meter.Finish()
 		return out, time.Since(start), err
 	}
-	serial, serialDur, err := timed(1)
+	serial, serialDur, err := timed(1, "serial")
 	if err != nil {
 		return fmt.Errorf("serial sweep: %w", err)
 	}
@@ -947,22 +979,31 @@ func sweep(outdir string, seeds int) error {
 	if workers < 2 {
 		workers = 2
 	}
-	parallel, parallelDur, err := timed(workers)
+	parallel, parallelDur, err := timed(workers, "parallel")
 	if err != nil {
 		return fmt.Errorf("parallel sweep: %w", err)
 	}
 	for i := range cells {
-		if !bytes.Equal(serial[i], parallel[i]) {
+		if !bytes.Equal(serial[i].b, parallel[i].b) || serial[i].sig != parallel[i].sig {
 			return fmt.Errorf("sweep cell %+v: parallel report differs from serial report", cells[i])
 		}
 	}
+	// Coverage folds from the merged (input-order) results, so the two
+	// runs produce one identical Stats; the byte-identity loop above has
+	// already proven per-cell signature agreement.
+	acc := cover.NewAccumulator()
+	for i := range cells {
+		acc.Add(serial[i].sig)
+	}
+	cov := acc.Stats()
 	doc := struct {
-		Cells      int     `json:"cells"`
-		Workers    int     `json:"workers"`
-		SerialMs   float64 `json:"serial_ms"`
-		ParallelMs float64 `json:"parallel_ms"`
-		Speedup    float64 `json:"speedup"`
-		Identical  bool    `json:"byte_identical"`
+		Cells      int         `json:"cells"`
+		Workers    int         `json:"workers"`
+		SerialMs   float64     `json:"serial_ms"`
+		ParallelMs float64     `json:"parallel_ms"`
+		Speedup    float64     `json:"speedup"`
+		Identical  bool        `json:"byte_identical"`
+		Coverage   cover.Stats `json:"coverage"`
 	}{
 		Cells:      len(cells),
 		Workers:    workers,
@@ -970,6 +1011,7 @@ func sweep(outdir string, seeds int) error {
 		ParallelMs: float64(parallelDur.Microseconds()) / 1000,
 		Speedup:    float64(serialDur) / float64(parallelDur),
 		Identical:  true,
+		Coverage:   cov,
 	}
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -980,11 +1022,12 @@ func sweep(outdir string, seeds int) error {
 		return err
 	}
 	table("Full-matrix sweep — serial vs parallel harness (byte-identical merged reports)",
-		[]string{"cells", "workers", "serial ms", "parallel ms", "speedup"},
+		[]string{"cells", "workers", "serial ms", "parallel ms", "speedup", "distinct behaviors"},
 		[][]string{{
 			fmt.Sprint(doc.Cells), fmt.Sprint(doc.Workers),
 			fmt.Sprintf("%.1f", doc.SerialMs), fmt.Sprintf("%.1f", doc.ParallelMs),
 			fmt.Sprintf("%.2fx", doc.Speedup),
+			fmt.Sprintf("%d (%.1f%%)", cov.Distinct, 100*cov.Coverage),
 		}})
 	fmt.Printf("wrote %s\n", path)
 	return nil

@@ -38,12 +38,24 @@ type nativeEntry struct {
 	ElapsedNs int64   `json:"elapsed_ns"`
 	OpsPerSec float64 `json:"ops_per_sec"`
 
+	// Goroutines is the number of process goroutines the run spawned;
+	// Shards the shard count of its world (0 for free-running worlds and
+	// the mutex baseline).
+	Goroutines int `json:"goroutines"`
+	Shards     int `json:"shards,omitempty"`
+
 	// Mem tallies the object's shared-memory operations (zero for the
 	// mutex baseline, whose state is ordinary Go memory).
 	Mem metrics.OpCounts `json:"mem_total"`
 
 	HelpGiven    uint64 `json:"help_given_total"`
 	HelpReceived uint64 `json:"help_received_total"`
+
+	// Report is the run's full observability report (internal/native metrics
+	// aggregated into the simulator's report shape): per-goroutine counter
+	// blocks, op-latency histograms, preemption depths, CAS2 guard retries.
+	// Absent for the mutex baseline, which runs outside the memory seam.
+	Report *metrics.Report `json:"report,omitempty"`
 }
 
 // nativeReport is the BENCH_native.json payload.
@@ -52,6 +64,8 @@ type nativeReport struct {
 	Seed       int64         `json:"seed"`
 	Procs      int           `json:"procs"`
 	GoMaxProcs int           `json:"gomaxprocs"`
+	GoVersion  string        `json:"go_version"`
+	NumCPU     int           `json:"num_cpu"`
 	Entries    []nativeEntry `json:"entries"`
 }
 
@@ -86,6 +100,8 @@ func nativeBench(outdir string, totalOps, procs int, seed int64) error {
 		Seed:       seed,
 		Procs:      procs,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
 	}
 
 	for _, d := range registry.All() {
@@ -98,6 +114,7 @@ func nativeBench(outdir string, totalOps, procs int, seed int64) error {
 		}
 		res, err := d.RunNative(registry.NativeRun{
 			Procs: procs, Ops: perProc, Seed: seed, Cfg: cfg,
+			Obs: true, // the metrics layer costs ~nothing; the report is the payload
 		})
 		if err != nil {
 			return fmt.Errorf("native %s: %w", d.Name, err)
@@ -117,10 +134,12 @@ func nativeBench(outdir string, totalOps, procs int, seed int64) error {
 			Object: d.Name, Kind: kind,
 			Family: d.Family.String(), Model: modelName(d.Model),
 			Procs: procs, OpsTotal: done,
-			ElapsedNs: res.Elapsed.Nanoseconds(),
-			OpsPerSec: opsPerSec(done, res.Elapsed),
+			ElapsedNs:  res.Elapsed.Nanoseconds(),
+			OpsPerSec:  opsPerSec(done, res.Elapsed),
+			Goroutines: procs, Shards: res.World.Processors(),
 			Mem:       res.Counts,
 			HelpGiven: given, HelpReceived: received,
+			Report: res.Report,
 		})
 	}
 
@@ -241,8 +260,9 @@ func mutexBench(m registry.ModelKind, totalOps, procs int, seed int64) (*nativeE
 		Object: "mutex-" + modelName(m), Kind: "mutex",
 		Family: "-", Model: modelName(m),
 		Procs: procs, OpsTotal: done,
-		ElapsedNs: elapsed.Nanoseconds(),
-		OpsPerSec: opsPerSec(done, elapsed),
+		ElapsedNs:  elapsed.Nanoseconds(),
+		OpsPerSec:  opsPerSec(done, elapsed),
+		Goroutines: procs,
 	}, nil
 }
 
@@ -257,15 +277,21 @@ func printNative(rep *nativeReport) {
 	})
 	rows := make([][]string, 0, len(entries))
 	for _, e := range entries {
+		p50, p95 := "-", "-"
+		if e.Report != nil && e.Report.OpLatency != nil && e.Report.OpLatency.Count > 0 {
+			s := e.Report.OpTime
+			p50, p95 = fmt.Sprintf("%d", s.P50), fmt.Sprintf("%d", s.P95)
+		}
 		rows = append(rows, []string{
 			e.Model, e.Object, e.Kind,
 			fmt.Sprintf("%d", e.OpsTotal),
 			fmt.Sprintf("%.0f", e.OpsPerSec),
+			p50, p95,
 			fmt.Sprintf("%d", e.Mem.CASFail+e.Mem.CAS2Fail+e.Mem.CCASFail),
 			fmt.Sprintf("%d", e.HelpReceived),
 		})
 	}
-	table(fmt.Sprintf("Native-hardware throughput (%d procs on GOMAXPROCS=%d, %d ops each)",
-		rep.Procs, rep.GoMaxProcs, rep.Entries[0].OpsTotal),
-		[]string{"model", "object", "kind", "ops", "ops/sec", "retries", "helps"}, rows)
+	table(fmt.Sprintf("Native-hardware throughput (%d procs on GOMAXPROCS=%d, %d ops each, go %s)",
+		rep.Procs, rep.GoMaxProcs, rep.Entries[0].OpsTotal, rep.GoVersion),
+		[]string{"model", "object", "kind", "ops", "ops/sec", "p50 ns", "p95 ns", "retries", "helps"}, rows)
 }

@@ -20,12 +20,21 @@
 // from the object but its sequential model. A failing (object, seed,
 // strategy) triple is a perfect reproducer, replayable with wftrace -linz.
 //
+// -cover adds schedule-space coverage to either mode: every executed
+// schedule is signed (internal/cover) and the suite lines are followed by
+// "cover" lines reporting distinct-behavior counts and the saturation
+// curve. Signatures are collected per suite and folded post-merge in suite
+// order, so coverage output is byte-identical at any -par setting.
+// -progress streams live schedules/sec, coverage-so-far and an ETA to
+// stderr (wall-clock, deliberately outside the byte-identity contract).
+//
 // Usage:
 //
 //	wfcheck                  # all suites, default depth
 //	wfcheck -suite uniqueue  # one object
 //	wfcheck -max 200         # widen the release-point range
 //	wfcheck -par 0           # sweep objects in parallel on all cores
+//	wfcheck -cover -progress # coverage accounting + live progress
 //	wfcheck -linz -rand 200  # 200 randomized schedules per object, black-box checked
 package main
 
@@ -35,6 +44,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cover"
 	"repro/internal/explore"
 	"repro/internal/harness"
 	"repro/internal/linz"
@@ -51,26 +61,31 @@ func main() {
 	keepGoing := flag.Bool("keepgoing", false, "explore past failures and report every failing vector")
 	par := flag.Int("par", 1, "workers for sweeping suites in parallel (0 = all cores); output is identical at any setting")
 	traceFailures := flag.Bool("trace", false, "record traces and write wfcheck_fail.trace.json for a failing schedule")
+	coverage := flag.Bool("cover", false, "sign every schedule and report distinct-behavior coverage per suite")
+	progress := flag.Bool("progress", false, "stream live progress (schedules/sec, coverage, ETA) to stderr")
 	linzMode := flag.Bool("linz", false, "black-box mode: randomized adversary schedules judged by the history-based engine")
 	randN := flag.Int("rand", 200, "randomized schedules per object in -linz mode (seeds 1..N, strategies alternating)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	blockprofile := flag.String("blockprofile", "", "write a block (contention) profile to this file on exit")
 	flag.Parse()
 
-	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	stopProf, err := prof.Start(*cpuprofile, *memprofile, *blockprofile)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wfcheck: %v\n", err)
 		os.Exit(1)
 	}
-	// os.Exit skips deferred calls, so every exit goes through this wrapper
-	// to flush the profiles first.
+	// The stop function is idempotent: deferring it covers error panics,
+	// and the exit wrapper still flushes ahead of os.Exit, which skips
+	// deferred calls.
+	defer stopProf()
 	exit := func(code int) {
 		stopProf()
 		os.Exit(code)
 	}
 
 	if *linzMode {
-		exit(linzMain(*suite, *randN, *par))
+		exit(linzMain(*suite, *randN, *par, *coverage, *progress))
 	}
 
 	names := append(registry.CoreNames(), "workload")
@@ -88,25 +103,51 @@ func main() {
 		names = []string{*suite}
 	}
 
-	type outcome struct {
-		n   int
-		err error
+	var meter *cover.Meter
+	if *progress {
+		meter = cover.NewMeter(os.Stderr, "wfcheck", sweepTotal(names, *maxSlice), 0)
 	}
+
+	type outcome struct {
+		n    int
+		sigs []uint64
+		err  error
+	}
+	observing := *coverage || *progress
 	// Suites are independent simulations; fan them out and report in name
-	// order so -par only changes wall-clock, never output.
+	// order so -par only changes wall-clock, never output. Signatures are
+	// collected per suite (enumeration order within each) and folded after
+	// the merge, which keeps the cover lines inside the same contract.
 	results, _ := harness.Map(len(names), harness.Options{Workers: *par}, func(i int) (outcome, error) {
 		var o outcome
+		observe := func(sig uint64) {
+			if *coverage {
+				o.sigs = append(o.sigs, sig)
+			}
+			meter.Note(sig)
+			meter.Done()
+		}
 		if names[i] == "workload" {
-			o.n, o.err = workloadSweep(*maxSlice)
+			var obs func(uint64)
+			if observing {
+				obs = observe
+			}
+			o.n, o.err = workloadSweep(*maxSlice, obs)
 			return o, nil
 		}
+		cfg := registry.SweepConfig{Max: *maxSlice, KeepGoing: *keepGoing, Trace: *traceFailures}
+		if observing {
+			cfg.Observe = func(rel []int64, sig uint64) { observe(sig) }
+		}
 		d := registry.Lookup0(names[i])
-		o.n, o.err = d.Sweep(registry.SweepConfig{Max: *maxSlice, KeepGoing: *keepGoing, Trace: *traceFailures})
+		o.n, o.err = d.Sweep(cfg)
 		return o, nil
 	})
+	meter.Finish()
 
 	total := 0
 	failed := false
+	acc := cover.NewAccumulator()
 	for i, o := range results {
 		if o.err != nil {
 			var fs explore.Failures
@@ -121,20 +162,70 @@ func main() {
 			exit(1)
 		}
 		fmt.Printf("%-10s %6d schedules explored, 0 violations\n", names[i], o.n)
+		if *coverage {
+			suiteAcc := cover.NewAccumulator()
+			for _, sig := range o.sigs {
+				suiteAcc.Add(sig)
+				acc.Add(sig)
+			}
+			printCover(names[i], suiteAcc, false)
+		}
 		total += o.n
 	}
 	fmt.Printf("%-10s %6d schedules total\n", "all", total)
+	if *coverage {
+		printCover("all", acc, true)
+	}
 	if failed {
 		exit(1)
 	}
-	stopProf()
+}
+
+// sweepTotal prices the whole campaign up front (the progress meter's ETA
+// denominator): the exact per-object schedule counts via SweepSpace plus
+// one workload run per seed.
+func sweepTotal(names []string, maxSlice int64) int {
+	total := 0
+	for _, name := range names {
+		if name == "workload" {
+			total += int(maxSlice)
+			continue
+		}
+		n, err := registry.Lookup0(name).SweepSpace(registry.SweepConfig{Max: maxSlice})
+		if err != nil {
+			return 0 // unpriceable: the meter just drops the ETA
+		}
+		total += n
+	}
+	return total
+}
+
+// printCover renders one suite's coverage line; the saturation curve rides
+// along on the aggregate line only (per-suite curves would be noise).
+func printCover(name string, a *cover.Accumulator, curve bool) {
+	st := a.Stats()
+	if st.Schedules == 0 {
+		fmt.Printf("%-10s cover  no schedules signed\n", name)
+		return
+	}
+	fmt.Printf("%-10s cover  %6d distinct behaviors / %d schedules (%.1f%%)\n",
+		name, st.Distinct, st.Schedules, 100*st.Coverage)
+	if !curve {
+		return
+	}
+	fmt.Printf("%-10s curve ", name)
+	for _, p := range st.Saturation {
+		fmt.Printf(" %d:%d", p.Schedules, p.Distinct)
+	}
+	fmt.Println()
 }
 
 // linzMain is the -linz mode: randN seeded adversary schedules per object
 // (seeds 1..N, strategies alternating uniform/pct), every recorded history
 // judged by the black-box engine. Covers all registered objects, baselines
-// included — black-box checking needs only the sequential model.
-func linzMain(suite string, randN, par int) int {
+// included — black-box checking needs only the sequential model. With
+// coverage on, every run is signed by its interleaving shape (Run.Sig).
+func linzMain(suite string, randN, par int, coverage, progress bool) int {
 	names := registry.Names()
 	if suite != "all" {
 		if _, err := registry.Lookup(suite); err != nil {
@@ -144,8 +235,14 @@ func linzMain(suite string, randN, par int) int {
 		names = []string{suite}
 	}
 
+	var meter *cover.Meter
+	if progress {
+		meter = cover.NewMeter(os.Stderr, "wfcheck -linz", len(names)*randN, 0)
+	}
+
 	type outcome struct {
 		runs, ops, states int
+		sigs              []uint64
 		err               error
 	}
 	results, _ := harness.Map(len(names), harness.Options{Workers: par}, func(i int) (outcome, error) {
@@ -171,6 +268,14 @@ func linzMain(suite string, randN, par int) int {
 					names[i], cfg.Seed, strat, r.History.Text(), out.Counterexample.Tree(r.History))
 				return o, nil
 			}
+			if coverage || progress {
+				sig := r.Sig()
+				if coverage {
+					o.sigs = append(o.sigs, sig)
+				}
+				meter.Note(sig)
+			}
+			meter.Done()
 			o.runs++
 			o.ops += len(r.History.Ops)
 			o.states += out.States
@@ -178,24 +283,38 @@ func linzMain(suite string, randN, par int) int {
 		}
 		return o, nil
 	})
+	meter.Finish()
 
 	total := 0
+	acc := cover.NewAccumulator()
 	for i, o := range results {
 		if o.err != nil {
 			fmt.Fprintf(os.Stderr, "wfcheck: %v\n", o.err)
 			return 1
 		}
 		fmt.Printf("%-10s %6d schedules, %6d ops, %8d states, linearizable\n", names[i], o.runs, o.ops, o.states)
+		if coverage {
+			suiteAcc := cover.NewAccumulator()
+			for _, sig := range o.sigs {
+				suiteAcc.Add(sig)
+				acc.Add(sig)
+			}
+			printCover(names[i], suiteAcc, false)
+		}
 		total += o.runs
 	}
 	fmt.Printf("%-10s %6d randomized schedules total\n", "all", total)
+	if coverage {
+		printCover("all", acc, true)
+	}
 	return 0
 }
 
 // workloadSweep drives the checked multiprocessor workload across many
 // seeds (each seed is a distinct schedule of cross-processor interleavings
-// and preemptions).
-func workloadSweep(maxSlice int64) (int, error) {
+// and preemptions). observe, when non-nil, receives one behavioral
+// signature per seed.
+func workloadSweep(maxSlice int64, observe func(sig uint64)) (int, error) {
 	n := 0
 	for seed := int64(0); seed < maxSlice; seed++ {
 		res, err := workload.RunList(workload.ListConfig{
@@ -208,6 +327,16 @@ func workloadSweep(maxSlice int64) (int, error) {
 		}
 		if res.Livelocked {
 			return n, fmt.Errorf("seed %d: livelocked", seed)
+		}
+		if observe != nil {
+			h := cover.NewHasher()
+			h.String("workload")
+			h.Word(uint64(res.Ops))
+			h.Word(uint64(res.Makespan))
+			h.Word(uint64(res.WorstOp))
+			h.Word(uint64(res.Retries))
+			h.Word(uint64(res.Final))
+			observe(h.Sum())
 		}
 		n++
 	}

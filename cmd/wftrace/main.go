@@ -17,9 +17,16 @@
 // tree. -export still works: the exported span model is the adversary
 // run's trace.
 //
+// The -native mode runs the object on the native backend (real goroutines,
+// internal/native) with the flight recorder on, drains the per-goroutine
+// rings into the same span model, and exports it — so a real-hardware run
+// is inspectable with the same tooling as a simulated one. Times are
+// wall-clock nanoseconds there, virtual units everywhere else.
+//
 // The perfetto export is Chrome trace-event JSON: open it at ui.perfetto.dev
-// or chrome://tracing. Time units are virtual (one unit per shared-memory
-// access), not wall-clock.
+// or chrome://tracing.
+//
+//	wftrace -native -object uniqueue -procs 4 -ops 10 -export perfetto
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 
 	"repro/internal/linz"
 	"repro/internal/linz/adversary"
+	"repro/internal/registry"
 	"repro/internal/scenario"
 	"repro/internal/tracex"
 )
@@ -43,17 +51,74 @@ func main() {
 	report := flag.Bool("report", false, "print the run report after the span summary")
 	linzMode := flag.Bool("linz", false, "replay one randomized adversary schedule and print its black-box history and verdict")
 	strategy := flag.String("strategy", "uniform", "adversary strategy in -linz mode: uniform|pct")
+	nativeMode := flag.Bool("native", false, "record a native-backend run (flight recorder) instead of a simulation")
+	procs := flag.Int("procs", 4, "goroutines in -native mode")
+	ops := flag.Int("ops", 10, "operations per goroutine in -native mode")
 	flag.Parse()
 
 	var err error
-	if *linzMode {
+	switch {
+	case *linzMode:
 		err = runLinz(*object, *seed, *strategy, *export, *out)
-	} else {
+	case *nativeMode:
+		err = runNative(*object, *seed, *procs, *ops, *export, *out, *report)
+	default:
 		err = run(*object, *seed, *pat, *export, *out, *report)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wftrace: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// runNative executes one observed native run and exports the drained
+// flight recording through the standard span pipeline.
+func runNative(object string, seed int64, procs, ops int, export, out string, report bool) error {
+	d, err := registry.Lookup(object)
+	if err != nil {
+		return err
+	}
+	cfg := d.StressConfig(procs)
+	cfg.Check = false // white-box checkers are simulator-only
+	if d.Name != "herlihy" {
+		cfg.Capacity = 0 // size node pools to the op budget
+	}
+	res, err := d.RunNative(registry.NativeRun{
+		Procs: procs, Ops: ops, Seed: seed, Cfg: cfg,
+		Obs: true, Recorder: true,
+	})
+	if err != nil {
+		return err
+	}
+	t := tracex.Build(res.TraceLog)
+
+	fmt.Printf("%s seed=%d native procs=%d ops=%d: %d events (%d dropped), %d slices, %d operations, %v\n",
+		object, seed, procs, ops, res.TraceLog.Len(), res.DroppedEvents,
+		len(t.SliceSpans()), len(t.OpSpans()), res.Elapsed)
+	fmt.Println()
+	printOps(t)
+	printEdges(t)
+
+	if report {
+		fmt.Println()
+		if err := res.Report.WriteText(os.Stdout); err != nil {
+			return err
+		}
+	}
+
+	switch export {
+	case "":
+		return nil
+	case "perfetto":
+		b, err := t.Perfetto()
+		if err != nil {
+			return err
+		}
+		return write(defaultPath(out, object+".native.trace.json"), b)
+	case "text":
+		return write(defaultPath(out, object+".native.trace.txt"), []byte(t.Text()))
+	default:
+		return fmt.Errorf("unknown export format %q (want perfetto or text)", export)
 	}
 }
 

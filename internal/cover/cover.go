@@ -1,0 +1,186 @@
+// Package cover measures schedule-space coverage: how many *behaviorally
+// distinct* executions a sweep or randomized-adversary campaign actually
+// explored, as opposed to how many schedules it ran.
+//
+// The ROADMAP's million-schedule question ("what fraction of the schedule
+// space do the sweeps cover?") is unanswerable by raw run counts: two
+// release vectors that produce the same interleaving teach nothing new.
+// This package gives each executed schedule a signature — a 64-bit FNV-1a
+// hash of its observable scheduling behavior (per-process step counts,
+// slices, preemptions, helps for sweep runs; the invoke/return
+// interleaving shape for adversary histories) — and folds signatures into
+// an Accumulator that reports distinct counts and a saturation curve
+// (distinct signatures after 1, 2, 4, ... schedules). A flattening curve
+// is the evidence that more schedules are revisiting known behavior.
+//
+// Determinism contract: Accumulator folding is order-sensitive only in
+// the curve (the distinct total is order-free), so drivers that run
+// schedules in parallel collect signatures per task and fold them
+// post-merge in input order (harness.Map's ordered results), keeping
+// coverage output byte-identical to a serial run at any worker count.
+package cover
+
+import (
+	"sort"
+
+	"repro/internal/metrics"
+)
+
+// FNV-1a 64-bit parameters.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Hasher accumulates a 64-bit FNV-1a signature word by word. The zero
+// value is NOT ready; use NewHasher.
+type Hasher uint64
+
+// NewHasher returns a Hasher at the FNV offset basis.
+func NewHasher() Hasher { return fnvOffset }
+
+// Word folds one 64-bit value, byte by byte (little-endian).
+func (h *Hasher) Word(v uint64) {
+	x := uint64(*h)
+	for i := 0; i < 8; i++ {
+		x ^= v & 0xff
+		x *= fnvPrime
+		v >>= 8
+	}
+	*h = Hasher(x)
+}
+
+// String folds a string.
+func (h *Hasher) String(s string) {
+	x := uint64(*h)
+	for i := 0; i < len(s); i++ {
+		x ^= uint64(s[i])
+		x *= fnvPrime
+	}
+	*h = Hasher(x)
+}
+
+// Sum returns the signature.
+func (h Hasher) Sum() uint64 { return uint64(h) }
+
+// ReportSig signs a run's scheduling behavior from its metrics.Report:
+// the object identity, the global slice count and makespan, and each
+// process's step/fail/slice/dispatch/preemption/help figures. Two
+// schedules hash equal exactly when every one of those observables agrees
+// — the behavioral equivalence the coverage question is about. Wall-clock
+// histogram fields are deliberately excluded, so the signature is
+// deterministic on the simulator (virtual time) and stable across hosts.
+func ReportSig(r *metrics.Report) uint64 {
+	h := NewHasher()
+	h.String(r.Object)
+	h.Word(uint64(r.Processors))
+	h.Word(r.Slices)
+	h.Word(uint64(r.ElapsedVT))
+	for _, p := range r.Procs {
+		h.Word(uint64(p.Slot))
+		h.Word(p.Mem.Steps())
+		h.Word(p.Mem.Fails())
+		h.Word(p.Slices)
+		h.Word(uint64(p.Dispatches))
+		h.Word(uint64(p.Preemptions))
+		h.Word(uint64(p.HelpGiven))
+		h.Word(uint64(p.HelpReceived))
+	}
+	return h.Sum()
+}
+
+// Point is one saturation-curve sample: the distinct-signature count
+// after Schedules folds.
+type Point struct {
+	Schedules int `json:"schedules"`
+	Distinct  int `json:"distinct"`
+}
+
+// Accumulator folds schedule signatures into coverage statistics. Not
+// safe for concurrent use: parallel drivers fold post-merge (see the
+// package comment).
+type Accumulator struct {
+	seen  map[uint64]struct{}
+	total int
+	curve []Point
+}
+
+// NewAccumulator returns an empty accumulator.
+func NewAccumulator() *Accumulator {
+	return &Accumulator{seen: make(map[uint64]struct{})}
+}
+
+// Add folds one schedule's signature. Curve samples are taken at every
+// power-of-two total, so the curve stays logarithmic in campaign size.
+func (a *Accumulator) Add(sig uint64) {
+	a.seen[sig] = struct{}{}
+	a.total++
+	if a.total&(a.total-1) == 0 {
+		a.curve = append(a.curve, Point{Schedules: a.total, Distinct: len(a.seen)})
+	}
+}
+
+// Schedules returns the number of signatures folded so far.
+func (a *Accumulator) Schedules() int { return a.total }
+
+// Distinct returns the number of distinct signatures seen so far.
+func (a *Accumulator) Distinct() int { return len(a.seen) }
+
+// Stats is the JSON-ready coverage summary.
+type Stats struct {
+	// Schedules is the number of executions; Distinct the number of
+	// behaviorally distinct ones; Coverage the ratio (0 when no
+	// schedules ran).
+	Schedules int     `json:"schedules"`
+	Distinct  int     `json:"distinct"`
+	Coverage  float64 `json:"coverage"`
+	// Saturation is the distinct-count growth curve, sampled at
+	// power-of-two schedule totals plus the final total.
+	Saturation []Point `json:"saturation,omitempty"`
+}
+
+// Stats summarizes the accumulator. The final total is appended to the
+// curve when it is not already a sample point, so the curve always ends
+// at (Schedules, Distinct).
+func (a *Accumulator) Stats() Stats {
+	s := Stats{Schedules: a.total, Distinct: len(a.seen)}
+	if a.total > 0 {
+		s.Coverage = float64(len(a.seen)) / float64(a.total)
+	}
+	s.Saturation = append(s.Saturation, a.curve...)
+	if n := len(s.Saturation); a.total > 0 && (n == 0 || s.Saturation[n-1].Schedules != a.total) {
+		s.Saturation = append(s.Saturation, Point{Schedules: a.total, Distinct: len(a.seen)})
+	}
+	return s
+}
+
+// Merge folds every signature of a sorted, deduplicated snapshot into a
+// fresh Stats without curve information — used by drivers that only have
+// per-shard distinct sets. Provided for completeness; the deterministic
+// drivers in this repo fold per-schedule signatures instead.
+func Merge(sets ...[]uint64) Stats {
+	seen := map[uint64]struct{}{}
+	total := 0
+	for _, set := range sets {
+		for _, sig := range set {
+			seen[sig] = struct{}{}
+			total++
+		}
+	}
+	s := Stats{Schedules: total, Distinct: len(seen)}
+	if total > 0 {
+		s.Coverage = float64(len(seen)) / float64(total)
+	}
+	return s
+}
+
+// SortedSigs returns the accumulator's distinct signatures in ascending
+// order (a deterministic dump for tests and debugging).
+func (a *Accumulator) SortedSigs() []uint64 {
+	out := make([]uint64, 0, len(a.seen))
+	for sig := range a.seen {
+		out = append(out, sig)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

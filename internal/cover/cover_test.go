@@ -1,0 +1,145 @@
+package cover
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func TestHasherDeterministicAndSensitive(t *testing.T) {
+	h1 := NewHasher()
+	h1.String("unilist")
+	h1.Word(42)
+	h2 := NewHasher()
+	h2.String("unilist")
+	h2.Word(42)
+	if h1.Sum() != h2.Sum() {
+		t.Fatal("identical inputs hashed differently")
+	}
+	h3 := NewHasher()
+	h3.String("unilist")
+	h3.Word(43)
+	if h1.Sum() == h3.Sum() {
+		t.Fatal("distinct inputs collided (FNV fold broken)")
+	}
+	// Word folds all eight bytes, not just the low ones.
+	a, b := NewHasher(), NewHasher()
+	a.Word(1 << 56)
+	b.Word(2 << 56)
+	if a.Sum() == b.Sum() {
+		t.Fatal("high bytes of Word are not folded")
+	}
+}
+
+func TestReportSigBehavioralEquivalence(t *testing.T) {
+	mk := func(steps uint64, preempts int) *metrics.Report {
+		return &metrics.Report{
+			Object: "x", Processors: 1, Slices: 10, ElapsedVT: 100,
+			Procs: []metrics.ProcReport{
+				{Slot: 0, Mem: metrics.OpCounts{Loads: steps}, Preemptions: preempts},
+			},
+		}
+	}
+	if ReportSig(mk(5, 1)) != ReportSig(mk(5, 1)) {
+		t.Fatal("equal behavior produced different signatures")
+	}
+	if ReportSig(mk(5, 1)) == ReportSig(mk(5, 2)) {
+		t.Fatal("different preemption counts collided")
+	}
+	if ReportSig(mk(5, 1)) == ReportSig(mk(6, 1)) {
+		t.Fatal("different step counts collided")
+	}
+	// Wall-clock-only fields must not affect the signature.
+	r := mk(5, 1)
+	var h metrics.Hist
+	h.Observe(123)
+	r.OpLatency = &h
+	r.Procs[0].Latency = &h
+	if ReportSig(r) != ReportSig(mk(5, 1)) {
+		t.Fatal("wall-clock histogram fields leaked into the signature")
+	}
+}
+
+func TestAccumulatorStatsAndCurve(t *testing.T) {
+	a := NewAccumulator()
+	// 10 schedules, 3 distinct behaviors.
+	for i := 0; i < 10; i++ {
+		a.Add(uint64(i % 3))
+	}
+	s := a.Stats()
+	if s.Schedules != 10 || s.Distinct != 3 {
+		t.Fatalf("Stats = %+v, want 10 schedules / 3 distinct", s)
+	}
+	if s.Coverage < 0.29 || s.Coverage > 0.31 {
+		t.Fatalf("Coverage = %v, want 0.3", s.Coverage)
+	}
+	// Curve samples at 1, 2, 4, 8 plus the final 10.
+	want := []Point{{1, 1}, {2, 2}, {4, 3}, {8, 3}, {10, 3}}
+	if len(s.Saturation) != len(want) {
+		t.Fatalf("curve = %v, want %v", s.Saturation, want)
+	}
+	for i, p := range want {
+		if s.Saturation[i] != p {
+			t.Fatalf("curve[%d] = %v, want %v", i, s.Saturation[i], p)
+		}
+	}
+	// Folding the same sequence again yields identical stats (the
+	// determinism the parallel-merge contract relies on).
+	b := NewAccumulator()
+	for i := 0; i < 10; i++ {
+		b.Add(uint64(i % 3))
+	}
+	sb := b.Stats()
+	if sb.Schedules != s.Schedules || sb.Distinct != s.Distinct || len(sb.Saturation) != len(s.Saturation) {
+		t.Fatal("same fold order produced different stats")
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	s := NewAccumulator().Stats()
+	if s.Schedules != 0 || s.Distinct != 0 || s.Coverage != 0 || len(s.Saturation) != 0 {
+		t.Fatalf("empty accumulator Stats = %+v, want zeros", s)
+	}
+}
+
+func TestMeterNilSafe(t *testing.T) {
+	var m *Meter
+	m.Note(1) // must not panic
+	m.Done()
+	m.Finish()
+}
+
+func TestMeterSnapshots(t *testing.T) {
+	var sb strings.Builder
+	m := NewMeter(&sb, "sweep", 4, time.Nanosecond)
+	for i := 0; i < 4; i++ {
+		m.Note(uint64(i % 2))
+		m.Done()
+	}
+	out := sb.String()
+	if !strings.Contains(out, "sweep: 4/4 (100.0%)") {
+		t.Fatalf("final snapshot missing completion: %q", out)
+	}
+	if !strings.Contains(out, "coverage 2/4 distinct") {
+		t.Fatalf("snapshot missing live coverage: %q", out)
+	}
+}
+
+func TestSortedSigs(t *testing.T) {
+	a := NewAccumulator()
+	for _, s := range []uint64{9, 3, 9, 7} {
+		a.Add(s)
+	}
+	got := a.SortedSigs()
+	want := []uint64{3, 7, 9}
+	if len(got) != len(want) {
+		t.Fatalf("SortedSigs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedSigs = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package cover
+
+// Live progress for long schedule campaigns: a Meter prints periodic
+// snapshots (schedules/sec, coverage so far, ETA) to a side channel —
+// stderr in the cmd tools — while the campaign's real output stays on
+// stdout. Progress is wall-clock and therefore intentionally outside the
+// byte-identity contract; the deterministic coverage numbers come from
+// the post-merge Accumulator fold, never from the meter.
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Meter emits periodic progress snapshots. A nil *Meter is a valid no-op
+// receiver, so callers can plumb one unconditionally and only construct
+// it under a -progress flag. All methods are safe for concurrent use —
+// parallel sweep workers call Done/Note directly.
+type Meter struct {
+	w     io.Writer
+	label string
+	total int // expected task count (0 = unknown; no ETA)
+	every time.Duration
+
+	mu      sync.Mutex
+	start   time.Time
+	last    time.Time
+	done    int
+	printed int // done count at the last printed line (Finish dedup)
+	seen    map[uint64]struct{}
+	sigs    int
+}
+
+// NewMeter returns a meter that writes a snapshot to w at most once per
+// interval (default 1s) as tasks complete. total is the expected task
+// count, used for the ETA; pass 0 when unknown.
+func NewMeter(w io.Writer, label string, total int, interval time.Duration) *Meter {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	now := time.Now()
+	return &Meter{
+		w: w, label: label, total: total, every: interval,
+		start: now, last: now, seen: make(map[uint64]struct{}),
+	}
+}
+
+// Note folds a schedule signature into the meter's live (non-
+// authoritative) coverage estimate.
+func (m *Meter) Note(sig uint64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.seen[sig] = struct{}{}
+	m.sigs++
+	m.mu.Unlock()
+}
+
+// Done records one completed task and prints a snapshot when the
+// reporting interval has elapsed.
+func (m *Meter) Done() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.done++
+	now := time.Now()
+	if now.Sub(m.last) < m.every && !(m.total > 0 && m.done == m.total) {
+		m.mu.Unlock()
+		return
+	}
+	m.last = now
+	m.printed = m.done
+	line := m.lineLocked(now)
+	m.mu.Unlock()
+	fmt.Fprintln(m.w, line)
+}
+
+// Finish prints a final snapshot regardless of the interval, unless the
+// current count was already printed (e.g. by the completing Done call).
+func (m *Meter) Finish() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if m.printed == m.done && m.done > 0 {
+		m.mu.Unlock()
+		return
+	}
+	m.printed = m.done
+	line := m.lineLocked(time.Now())
+	m.mu.Unlock()
+	fmt.Fprintln(m.w, line)
+}
+
+func (m *Meter) lineLocked(now time.Time) string {
+	elapsed := now.Sub(m.start).Seconds()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(m.done) / elapsed
+	}
+	s := fmt.Sprintf("%s: %d", m.label, m.done)
+	if m.total > 0 {
+		s = fmt.Sprintf("%s/%d (%.1f%%)", s, m.total, 100*float64(m.done)/float64(m.total))
+	}
+	s = fmt.Sprintf("%s done, %.0f/s", s, rate)
+	if m.sigs > 0 {
+		s = fmt.Sprintf("%s, coverage %d/%d distinct (%.1f%%)",
+			s, len(m.seen), m.sigs, 100*float64(len(m.seen))/float64(m.sigs))
+	}
+	if m.total > 0 && m.done > 0 && m.done < m.total && rate > 0 {
+		eta := time.Duration(float64(m.total-m.done) / rate * float64(time.Second)).Round(time.Second)
+		s = fmt.Sprintf("%s, eta %s", s, eta)
+	}
+	return s
+}

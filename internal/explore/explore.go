@@ -77,6 +77,14 @@ const DefaultMaxFailures = 100
 // silently grinding.
 const UnconstrainedSpaceCap = 1 << 20
 
+// Count returns the number of release vectors Sweep would enumerate for
+// cfg without running any schedule. Progress meters use it to price a
+// sweep up front (the ETA denominator); enumeration is pure recursion, so
+// counting a million-vector space costs microseconds.
+func Count(cfg Config) (int, error) {
+	return Sweep(cfg, func([]int64) error { return nil })
+}
+
 // Sweep runs the scenario for every release vector permitted by cfg and
 // returns the number of schedules explored. It stops at the first failure
 // unless cfg.KeepGoing is set, in which case it explores the whole space

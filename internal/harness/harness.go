@@ -18,6 +18,12 @@ type Options struct {
 	// Workers is the number of OS workers; 0 means GOMAXPROCS. 1 degrades
 	// to a plain serial loop on the calling goroutine.
 	Workers int
+	// OnDone, when set, is called once per task immediately after it
+	// completes, from the worker goroutine that ran it (concurrently
+	// under parallel execution — the callback must be safe for that).
+	// It exists for progress meters; results still merge in input order,
+	// so it must not be used to observe or alter outputs.
+	OnDone func(i int)
 }
 
 func (o Options) workers() int {
@@ -44,6 +50,9 @@ func Map[T any](n int, opts Options, f func(i int) (T, error)) ([]T, error) {
 	if w <= 1 {
 		for i := 0; i < n; i++ {
 			out[i], errs[i] = f(i)
+			if opts.OnDone != nil {
+				opts.OnDone(i)
+			}
 		}
 	} else {
 		var next atomic.Int64
@@ -58,6 +67,9 @@ func Map[T any](n int, opts Options, f func(i int) (T, error)) ([]T, error) {
 						return
 					}
 					out[i], errs[i] = f(i)
+					if opts.OnDone != nil {
+						opts.OnDone(i)
+					}
 				}
 			}()
 		}

@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/cover"
 	"repro/internal/linz"
 	"repro/internal/registry"
 	"repro/internal/sched"
@@ -112,6 +113,31 @@ type Run struct {
 // Check hands the recorded history to the engine.
 func (r *Run) Check(opts linz.Options) (linz.Outcome, error) {
 	return linz.Check(r.History, r.Spec, opts)
+}
+
+// Sig returns the run's interleaving-shape signature for schedule-space
+// coverage (internal/cover): a hash of the object identity and, per
+// recorded operation, its slot, opcode, and invoke/return event indices.
+// Two seeds whose schedules drove the same operations through the same
+// interleaving collide — the behavioral equivalence the coverage counters
+// are after. Operation keys/values and outcomes are excluded on purpose:
+// they vary with the generated streams, not with the schedule shape.
+func (r *Run) Sig() uint64 {
+	h := cover.NewHasher()
+	h.String(r.Desc.Name)
+	h.Word(uint64(r.History.Events))
+	for _, op := range r.History.Ops {
+		h.Word(uint64(op.Proc))
+		h.Word(uint64(op.Op.Code))
+		h.Word(uint64(op.Invoke))
+		h.Word(uint64(int64(op.Return)))
+		if op.Pending {
+			h.Word(1)
+		} else {
+			h.Word(0)
+		}
+	}
+	return h.Sum()
 }
 
 // Close returns the run's simulation to the scheduler pool. Call it once the

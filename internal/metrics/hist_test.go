@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestHistBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11},
+	}
+	for _, c := range cases {
+		if got := HistBucket(c.v); got != c.want {
+			t.Errorf("HistBucket(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// The last bucket is a catch-all.
+	if got := HistBucket(int64(1) << 62); got != HistBuckets-1 {
+		t.Errorf("HistBucket(2^62) = %d, want %d", got, HistBuckets-1)
+	}
+}
+
+func TestHistObserveAddSummary(t *testing.T) {
+	var h Hist
+	for _, v := range []int64{1, 2, 3, 100, 100, 100, 5000} {
+		h.Observe(v)
+	}
+	if h.Count != 7 {
+		t.Fatalf("Count = %d, want 7", h.Count)
+	}
+	s := h.Summary()
+	if s.Count != 7 {
+		t.Fatalf("Summary.Count = %d, want 7", s.Count)
+	}
+	// Min is the lower bound of the first occupied bucket (value 1 →
+	// bucket 1, lower bound 1); Max the upper bound of the last (5000 →
+	// bucket 13, bound 8191).
+	if s.Min != 1 {
+		t.Errorf("Min = %d, want 1", s.Min)
+	}
+	if s.Max != 8191 {
+		t.Errorf("Max = %d, want 8191", s.Max)
+	}
+	// p50 rank = (7-1)*50/100 = 3 → the first 100 sample → bucket bound 127.
+	if s.P50 != 127 {
+		t.Errorf("P50 = %d, want 127", s.P50)
+	}
+	// p95 rank = 6*95/100 = 5 → sample 100 again → 127; check p95 >= p50.
+	if s.P95 < s.P50 {
+		t.Errorf("P95 = %d < P50 = %d", s.P95, s.P50)
+	}
+
+	var h2 Hist
+	h2.Observe(0)
+	h2.Add(&h)
+	if h2.Count != 8 {
+		t.Fatalf("after Add: Count = %d, want 8", h2.Count)
+	}
+	if got := h2.Summary().Min; got != 0 {
+		t.Errorf("after observing 0: Min = %d, want 0", got)
+	}
+}
+
+func TestHistQuantileEmpty(t *testing.T) {
+	var h Hist
+	if h.Quantile(50) != 0 || h.Summary() != (Summary{}) {
+		t.Fatal("empty histogram must digest to zeros")
+	}
+}
+
+// TestReportJSONOmitsNativeFields pins the golden-file contract: a report
+// without native-only fields marshals to JSON containing none of their
+// keys, so the simulator's byte-compared report goldens cannot change.
+func TestReportJSONOmitsNativeFields(t *testing.T) {
+	r := Report{Object: "x", Procs: []ProcReport{{ID: 0, Name: "p0"}}}
+	r.Finalize()
+	b, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"latency_ns", "op_latency_ns", "max_preempt_depth", "cas2_guard_retries"} {
+		if containsKey(b, key) {
+			t.Errorf("simulator-shaped report JSON contains native-only key %q", key)
+		}
+	}
+
+	// And when set, they round-trip.
+	var h Hist
+	h.Observe(42)
+	r.OpLatency = &h
+	r.CAS2GuardRetries = 3
+	r.Procs[0].Latency = &h
+	r.Procs[0].MaxPreemptDepth = 2
+	b, err = r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.OpLatency == nil || back.OpLatency.Count != 1 || back.Procs[0].MaxPreemptDepth != 2 {
+		t.Fatalf("native fields did not round-trip: %s", b)
+	}
+}
+
+func containsKey(b []byte, key string) bool {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(b, &m); err != nil {
+		return false
+	}
+	if _, ok := m[key]; ok {
+		return true
+	}
+	var procs []map[string]json.RawMessage
+	if raw, ok := m["procs"]; ok {
+		if err := json.Unmarshal(raw, &procs); err == nil {
+			for _, p := range procs {
+				if _, ok := p[key]; ok {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

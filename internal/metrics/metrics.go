@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/bits"
 	"sort"
 	"strings"
 )
@@ -98,6 +99,102 @@ func (s Summary) String() string {
 	return fmt.Sprintf("n=%d min=%d p50=%d p95=%d max=%d", s.Count, s.Min, s.P50, s.P95, s.Max)
 }
 
+// HistBuckets is the fixed bucket count of Hist. Bucket 0 counts
+// non-positive samples; bucket i (i >= 1) counts samples v with
+// 2^(i-1) <= v < 2^i; the last bucket additionally catches everything
+// larger. 48 buckets cover [1ns, ~3.3 days) when samples are
+// nanoseconds, which is every latency a run can plausibly produce.
+const HistBuckets = 48
+
+// Hist is a fixed-bucket logarithmic (power-of-two) histogram. It is the
+// report-side shape of the native backend's lock-free latency histograms:
+// collection happens in per-goroutine atomic bucket blocks
+// (internal/native) and is drained into this plain-data form post-run.
+// The fixed bucket layout is what makes the hot path lock-free and
+// allocation-free — observing a sample is one atomic increment, never a
+// resize.
+type Hist struct {
+	Count   uint64              `json:"count"`
+	Buckets [HistBuckets]uint64 `json:"buckets"`
+}
+
+// HistBucket returns the bucket index for a sample value.
+func HistBucket(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(v))
+	if i >= HistBuckets {
+		return HistBuckets - 1
+	}
+	return i
+}
+
+// histBound returns the inclusive upper bound of bucket i (the value
+// reported for samples that landed in it).
+func histBound(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	return int64(1)<<uint(i) - 1
+}
+
+// Observe records one sample.
+func (h *Hist) Observe(v int64) {
+	h.Buckets[HistBucket(v)]++
+	h.Count++
+}
+
+// Add accumulates o into h.
+func (h *Hist) Add(o *Hist) {
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+	h.Count += o.Count
+}
+
+// Quantile returns the upper bound of the bucket holding the pct-th
+// percentile sample (the same floor((n-1)·p/100) rank Summarize uses), so
+// the figure is exact to within one power of two. An empty histogram
+// returns 0.
+func (h *Hist) Quantile(pct int) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := (h.Count - 1) * uint64(pct) / 100
+	var cum uint64
+	for i, b := range h.Buckets {
+		cum += b
+		if b > 0 && cum > rank {
+			return histBound(i)
+		}
+	}
+	return histBound(HistBuckets - 1)
+}
+
+// Summary digests the histogram into the min/p50/p95/max shape the rest of
+// the report uses. Figures are bucket upper bounds (exact to within one
+// power of two); Min is the lower bound of the first occupied bucket.
+func (h *Hist) Summary() Summary {
+	if h.Count == 0 {
+		return Summary{}
+	}
+	s := Summary{Count: int(h.Count), P50: h.Quantile(50), P95: h.Quantile(95)}
+	for i, b := range h.Buckets {
+		if b == 0 {
+			continue
+		}
+		s.Max = histBound(i)
+		if s.Min == 0 && s.Max != 0 {
+			s.Min = histBound(i-1) + 1
+		}
+	}
+	if h.Buckets[0] > 0 {
+		s.Min = 0
+	}
+	return s
+}
+
 // ProcReport is the per-process slice of a Report.
 type ProcReport struct {
 	ID   int    `json:"id"`
@@ -141,6 +238,21 @@ type ProcReport struct {
 	// OpTime digests the per-operation response times the process
 	// recorded via Env.RecordOp (empty when the workload records none).
 	OpTime Summary `json:"op_time_vt"`
+
+	// Latency is the native backend's per-goroutine wall-clock latency
+	// histogram (nanoseconds per abstract op, Begin to End). It is nil on
+	// simulator reports, so the simulator's golden JSON is unchanged.
+	Latency *Hist `json:"latency_ns,omitempty"`
+
+	// MaxPreemptDepth is the deepest preemption stack observed under the
+	// process on its native shard (zero on simulator reports).
+	MaxPreemptDepth int `json:"max_preempt_depth,omitempty"`
+
+	// CAS2GuardRetries counts native CAS2 guard-word acquisition retries —
+	// the spin iterations the software-emulated double-word CAS spent
+	// waiting for the guard (zero on simulator reports, where CAS2 is a
+	// primitive).
+	CAS2GuardRetries uint64 `json:"cas2_guard_retries,omitempty"`
 }
 
 // Report is the aggregate run report: per-process detail plus object-level
@@ -175,6 +287,13 @@ type Report struct {
 	HelpGiven    int `json:"help_given_total"`
 	HelpReceived int `json:"help_received_total"`
 	Preemptions  int `json:"preemptions_total"`
+
+	// OpLatency is the merged per-goroutine latency histogram of a native
+	// run (nil on simulator reports); CAS2GuardRetries the run's total
+	// guard-word retries. Both are omitted from simulator JSON so the
+	// golden report files are byte-stable.
+	OpLatency        *Hist  `json:"op_latency_ns,omitempty"`
+	CAS2GuardRetries uint64 `json:"cas2_guard_retries_total,omitempty"`
 }
 
 // Finalize recomputes the object-level summaries and totals from Procs.

@@ -34,7 +34,7 @@ func FuzzCAS2Tape(f *testing.F) {
 					o2 += 3
 				}
 				n1, n2 := arg>>2, arg>>3
-				got := m.cas2(a, b, o1, o2, n1, n2)
+				got, _ := m.cas2(a, b, o1, o2, n1, n2)
 				want := o1 == refA && o2 == refB
 				if got != want {
 					t.Fatalf("step %d: cas2(olds=%d,%d) = %v, want %v (ref %d,%d)", i, o1, o2, got, want, refA, refB)
@@ -87,7 +87,7 @@ func FuzzCAS2Concurrent(f *testing.F) {
 					for {
 						v := m.load(ver)
 						x := m.load(val)
-						if m.cas2(ver, val, v, x, v+1, x+3) {
+						if ok, _ := m.cas2(ver, val, v, x, v+1, x+3); ok {
 							wins[i]++
 							break
 						}

@@ -126,19 +126,23 @@ func (m *Mem) cas(a shmem.Addr, old, val uint64) bool {
 // The guard makes CAS2 blocking, not lock-free: a goroutine descheduled
 // between acquire and release stalls other CAS2s. That is the honest cost
 // of emulating a primitive real hardware does not have — the paper's own
-// premise (Section 3.4) for preferring CAS-plus-CCAS constructions.
-func (m *Mem) cas2(a1, a2 shmem.Addr, old1, old2, new1, new2 uint64) bool {
+// premise (Section 3.4) for preferring CAS-plus-CCAS constructions. The
+// returned retry count is the number of guard-acquisition spins — the
+// direct measure of that cost, surfaced by the observability layer as
+// the cas2_guard_retries counter.
+func (m *Mem) cas2(a1, a2 shmem.Addr, old1, old2, new1, new2 uint64) (ok bool, retries int) {
 	for !m.guard.CompareAndSwap(0, 1) {
+		retries++
 		runtime.Gosched()
 	}
 	if m.load(a1) != old1 || m.load(a2) != old2 {
 		m.guard.Store(0)
-		return false
+		return false, retries
 	}
 	m.store(a2, new2)
 	m.store(a1, new1)
 	m.guard.Store(0)
-	return true
+	return true, retries
 }
 
 var _ shmem.Memory = (*Mem)(nil)

@@ -41,16 +41,16 @@ func TestCAS2Semantics(t *testing.T) {
 	b := m.MustAlloc("b", 1)
 	m.Poke(a, 1)
 	m.Poke(b, 2)
-	if m.cas2(a, b, 9, 2, 10, 20) {
+	if ok, _ := m.cas2(a, b, 9, 2, 10, 20); ok {
 		t.Fatal("CAS2 succeeded with wrong old1")
 	}
-	if m.cas2(a, b, 1, 9, 10, 20) {
+	if ok, _ := m.cas2(a, b, 1, 9, 10, 20); ok {
 		t.Fatal("CAS2 succeeded with wrong old2")
 	}
 	if m.Peek(a) != 1 || m.Peek(b) != 2 {
 		t.Fatal("failed CAS2 modified memory")
 	}
-	if !m.cas2(a, b, 1, 2, 10, 20) {
+	if ok, _ := m.cas2(a, b, 1, 2, 10, 20); !ok {
 		t.Fatal("CAS2 failed with matching olds")
 	}
 	if m.Peek(a) != 10 || m.Peek(b) != 20 {
@@ -77,7 +77,7 @@ func TestCAS2Concurrent(t *testing.T) {
 				for {
 					v := m.load(ver)
 					x := m.load(val)
-					if m.cas2(ver, val, v, x, v+1, x+2) {
+					if ok, _ := m.cas2(ver, val, v, x, v+1, x+2); ok {
 						wins[i]++
 						break
 					}

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/shmem"
@@ -38,6 +39,10 @@ type World struct {
 	// helpReceived[p] counts help invocations received by slot p; written
 	// with atomics because helpers on different shards run concurrently.
 	helpReceived [maxSlots]atomic.Uint64
+	// obs is the observability context (nil unless EnableObs was called;
+	// see obs.go). Procs created while it is nil collect nothing and pay
+	// nothing beyond a nil check.
+	obs *obsState
 }
 
 // NewWorld returns a world whose processes are scheduled on `shards`
@@ -170,6 +175,17 @@ type Proc struct {
 	Counts metrics.OpCounts
 	// HelpGiven counts help invocations this process performed.
 	HelpGiven uint64
+
+	// Observability plumbing (all nil/zero unless the world's EnableObs
+	// ran before NewProc; see obs.go). obs is the shared context, stats
+	// the padded atomic counter block, ring the flight-recorder ring, lw
+	// the CAS-failure attribution table, opStart the Begin timestamp of
+	// the in-flight operation (ns since the obs epoch).
+	obs     *obsState
+	stats   *ProcStats
+	ring    *evRing
+	lw      []atomic.Int32
+	opStart int64
 }
 
 // NewProc creates the execution context for one process goroutine. cpu
@@ -181,6 +197,19 @@ func (w *World) NewProc(slot, cpu int, prio shmem.Priority) *Proc {
 		panic(fmt.Sprintf("native: slot %d out of range [0,%d)", slot, maxSlots))
 	}
 	p := &Proc{w: w, slot: slot, cpu: cpu, prio: prio, gate: make(chan struct{}, 1)}
+	if w.obs != nil {
+		p.obs = w.obs
+		if w.obs.cfg.Metrics {
+			p.stats = &ProcStats{}
+		}
+		if w.obs.cfg.Recorder {
+			p.ring = &evRing{buf: make([]recEvent, w.obs.cfg.RingCap)}
+			p.lw = w.obs.lastWriter
+		}
+		// NewProc is setup-time API (called before goroutines spawn), so
+		// the registration append needs no lock.
+		w.obs.procs = append(w.obs.procs, p)
+	}
 	if len(w.shards) > 0 {
 		if cpu < 0 || cpu >= len(w.shards) {
 			panic(fmt.Sprintf("native: cpu %d out of range [0,%d)", cpu, len(w.shards)))
@@ -195,6 +224,12 @@ func (w *World) NewProc(slot, cpu int, prio shmem.Priority) *Proc {
 // runner — the preemption itself happens at the runner's next preemption
 // point). In a free world it is a no-op.
 func (p *Proc) Begin() {
+	if p.stats != nil {
+		p.opStart = int64(time.Since(p.obs.epoch))
+	}
+	if p.ring != nil {
+		p.rec(evInvoke, 0, 0)
+	}
 	s := p.shard
 	if s == nil {
 		return
@@ -203,6 +238,7 @@ func (p *Proc) Begin() {
 	if s.running == nil {
 		s.running = p
 		s.mu.Unlock()
+		p.obsDispatch()
 		return
 	}
 	s.waiting = append(s.waiting, p)
@@ -211,11 +247,35 @@ func (p *Proc) Begin() {
 	}
 	s.mu.Unlock()
 	<-p.gate
+	p.obsDispatch()
+}
+
+// obsDispatch records that this process just became its shard's runner.
+func (p *Proc) obsDispatch() {
+	if p.stats != nil {
+		p.stats.Dispatches.Add(1)
+	}
+	if p.ring != nil {
+		p.rec(evDispatch, 0, 0)
+	}
 }
 
 // End leaves the shard after one abstract operation and hands the shard to
 // the highest-priority runnable process.
 func (p *Proc) End() {
+	// Record before the hand-off below: the next runner records its
+	// dispatch only after receiving the gate (or after observing this
+	// unlock), so the response/complete events order before it.
+	if p.stats != nil {
+		p.stats.Ops.Add(1)
+		p.stats.hist.observe(int64(time.Since(p.obs.epoch)) - p.opStart)
+	}
+	if p.ring != nil {
+		p.rec(evResponse, 0, 0)
+		if p.shard != nil {
+			p.rec(evComplete, 0, 0)
+		}
+	}
 	s := p.shard
 	if s == nil {
 		return
@@ -253,11 +313,22 @@ func (p *Proc) point() {
 	q := s.waiting[best]
 	s.waiting = append(s.waiting[:best], s.waiting[best+1:]...)
 	s.preempted = append(s.preempted, p)
+	depth := len(s.preempted)
 	s.running = q
 	s.refreshWantedLocked()
 	s.mu.Unlock()
+	if p.stats != nil {
+		p.stats.Preemptions.Add(1)
+		p.stats.maxDepth(uint64(depth))
+	}
+	if p.ring != nil {
+		// Before the gate send: q records its dispatch only after
+		// receiving it, keeping preempt < dispatch in sequence order.
+		p.rec(evPreempt, 0, 0)
+	}
 	q.gate <- struct{}{}
 	<-p.gate
+	p.obsDispatch()
 }
 
 // Load reads word a.
@@ -272,6 +343,9 @@ func (p *Proc) Load(a shmem.Addr) uint64 {
 func (p *Proc) Store(a shmem.Addr, v uint64) {
 	p.w.mem.store(a, v)
 	p.Counts.Stores++
+	if p.lw != nil {
+		p.lw[a].Store(int32(p.slot) + 1)
+	}
 	p.point()
 }
 
@@ -282,6 +356,13 @@ func (p *Proc) CAS(a shmem.Addr, old, val uint64) bool {
 	if !ok {
 		p.Counts.CASFail++
 	}
+	if p.lw != nil {
+		if ok {
+			p.lw[a].Store(int32(p.slot) + 1)
+		} else {
+			p.rec(evCASFail, int64(p.lw[a].Load())-1, int64(a))
+		}
+	}
 	p.point()
 	return ok
 }
@@ -289,10 +370,22 @@ func (p *Proc) CAS(a shmem.Addr, old, val uint64) bool {
 // CAS2 performs the software-emulated double-word compare-and-swap (see
 // Mem.cas2 for the emulation and its honesty clause).
 func (p *Proc) CAS2(a1, a2 shmem.Addr, old1, old2, new1, new2 uint64) bool {
-	ok := p.w.mem.cas2(a1, a2, old1, old2, new1, new2)
+	ok, retries := p.w.mem.cas2(a1, a2, old1, old2, new1, new2)
 	p.Counts.CAS2++
 	if !ok {
 		p.Counts.CAS2Fail++
+	}
+	if retries > 0 && p.stats != nil {
+		p.stats.CAS2GuardRetries.Add(uint64(retries))
+	}
+	if p.lw != nil {
+		if ok {
+			p.lw[a1].Store(int32(p.slot) + 1)
+			p.lw[a2].Store(int32(p.slot) + 1)
+		} else {
+			// Attribute the failure to the control word's last writer.
+			p.rec(evCASFail, int64(p.lw[a1].Load())-1, int64(a1))
+		}
 	}
 	p.point()
 	return ok
@@ -359,6 +452,9 @@ func (p *Proc) NoteHelp(pid int) {
 	p.HelpGiven++
 	if pid >= 0 && pid < maxSlots {
 		p.w.helpReceived[pid].Add(1)
+	}
+	if p.ring != nil {
+		p.rec(evHelp, int64(pid), 0)
 	}
 }
 

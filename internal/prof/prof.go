@@ -1,7 +1,7 @@
 // Package prof wires the standard pprof profilers into the CLI tools
-// (wfbench -cpuprofile/-memprofile, wfcheck likewise), so the next simulator
-// hot spot is one `go tool pprof` away. See EXPERIMENTS.md "Profiling a
-// run".
+// (wfbench -cpuprofile/-memprofile/-blockprofile, wfcheck likewise), so the
+// next simulator hot spot is one `go tool pprof` away. See EXPERIMENTS.md
+// "Profiling a run".
 package prof
 
 import (
@@ -9,14 +9,20 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync"
 )
 
-// Start begins CPU profiling when cpuPath is non-empty and returns a stop
-// function that finishes the CPU profile and, when memPath is non-empty,
-// writes an allocation ("allocs") profile. The stop function must run before
-// the process exits — call it explicitly ahead of os.Exit, since os.Exit
-// skips deferred calls.
-func Start(cpuPath, memPath string) (func(), error) {
+// Start begins CPU profiling when cpuPath is non-empty and, when blockPath
+// is non-empty, turns on block (contention) profiling — the profile that
+// shows where the native backend's goroutines wait on shard gates. It
+// returns a stop function that finishes the CPU profile and writes the
+// allocation ("allocs") and block profiles to their paths.
+//
+// The stop function is idempotent (sync.Once), so callers can both defer it
+// — covering error returns — and call it explicitly ahead of os.Exit, which
+// skips deferred calls. On its own errors Start closes anything it already
+// opened before returning, so no profile file leaks on a bad path.
+func Start(cpuPath, memPath, blockPath string) (func(), error) {
 	var cpuFile *os.File
 	if cpuPath != "" {
 		f, err := os.Create(cpuPath)
@@ -29,25 +35,43 @@ func Start(cpuPath, memPath string) (func(), error) {
 		}
 		cpuFile = f
 	}
+	if blockPath != "" {
+		// Rate 1 records every blocking event; these tools run bounded
+		// experiments, so completeness beats sampling.
+		runtime.SetBlockProfileRate(1)
+	}
+	var once sync.Once
 	return func() {
-		if cpuFile != nil {
-			pprof.StopCPUProfile()
-			if err := cpuFile.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "prof: %v\n", err)
+		once.Do(func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				if err := cpuFile.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "prof: %v\n", err)
+				}
 			}
-		}
-		if memPath == "" {
-			return
-		}
-		f, err := os.Create(memPath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "prof: %v\n", err)
-			return
-		}
-		defer f.Close()
-		runtime.GC() // flush pending allocation stats into the profile
-		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
-			fmt.Fprintf(os.Stderr, "prof: %v\n", err)
-		}
+			if memPath != "" {
+				runtime.GC() // flush pending allocation stats into the profile
+				writeProfile("allocs", memPath)
+			}
+			if blockPath != "" {
+				writeProfile("block", blockPath)
+				runtime.SetBlockProfileRate(0)
+			}
+		})
 	}, nil
+}
+
+// writeProfile dumps one named runtime profile, reporting rather than
+// returning errors: profile flushing runs on exit paths where there is
+// nothing left to do about a failure but say so.
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prof: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "prof: %v\n", err)
+	}
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/native"
 	"repro/internal/shmem"
+	"repro/internal/trace"
 )
 
 // NativeRun parameterizes one native execution of a descriptor.
@@ -35,6 +36,15 @@ type NativeRun struct {
 	// Wrap optionally wraps the built instance before the run (the linz
 	// history recorder). The wrapper must be safe for concurrent Apply.
 	Wrap func(Instance) Instance
+	// Obs enables the native metrics layer (per-goroutine counter blocks
+	// and latency histograms, aggregated into NativeResult.Report);
+	// Recorder enables the flight recorder (per-goroutine ring buffers
+	// drained into NativeResult.TraceLog); RingCap overrides the
+	// per-goroutine ring capacity (default native.DefaultRingCap). Both
+	// are off by default: an unobserved run pays nothing.
+	Obs      bool
+	Recorder bool
+	RingCap  int
 }
 
 // NativeResult is what one native run observed.
@@ -53,6 +63,15 @@ type NativeResult struct {
 	Counts  metrics.OpCounts
 	// PerProc holds each process's own tally.
 	PerProc []metrics.OpCounts
+	// Report is the run's aggregated metrics.Report (nil unless
+	// NativeRun.Obs): the same shape the simulator produces, with
+	// Granularity "native", wall-clock nanoseconds in the virtual-time
+	// fields, and the native-only histogram/depth/retry fields set.
+	Report *metrics.Report
+	// TraceLog is the drained flight recording (nil unless
+	// NativeRun.Recorder); DroppedEvents counts ring overwrites.
+	TraceLog      *trace.Log
+	DroppedEvents uint64
 }
 
 // OpsDone returns the total operations applied.
@@ -112,6 +131,10 @@ func (d *Descriptor) RunNative(r NativeRun) (*NativeResult, error) {
 	}
 	mem := native.NewMem(1<<15 + cfg.Capacity*8 + r.Procs*64)
 	w, place := nativeLayout(d, mem, shards)
+	if r.Obs || r.Recorder {
+		// Before BuildOn/NewProc: procs created earlier collect nothing.
+		w.EnableObs(native.ObsConfig{Metrics: r.Obs, Recorder: r.Recorder, RingCap: r.RingCap})
+	}
 	inst, err := BuildOn(NativeBackend(w), d.Name, cfg)
 	if err != nil {
 		return nil, err
@@ -150,5 +173,68 @@ func (d *Descriptor) RunNative(r NativeRun) (*NativeResult, error) {
 		res.PerProc[i] = p.Counts
 		res.Counts.Add(p.Counts)
 	}
+	if r.Obs {
+		res.Report = buildNativeReport(d, w, procs, r.Seed, res)
+	}
+	if r.Recorder {
+		res.TraceLog = w.DrainTrace()
+		res.DroppedEvents = w.DroppedEvents()
+	}
 	return res, nil
+}
+
+// buildNativeReport aggregates the per-goroutine observability blocks into
+// the simulator's report shape, so AssertWaitFree and the BENCH JSON
+// consumers read native runs through the same fields. Mapping:
+// Granularity is "native"; every *VT field carries wall-clock nanoseconds;
+// Slices/Dispatches count shard-runner tenures; OpTime digests the per-op
+// latency histogram (Begin→End, shard wait included — the response-time
+// figure the "practically wait-free" question asks about); Interference
+// uses the simulator's rule (own preemptions plus processes on other
+// shards). The native-only fields (Latency, OpLatency, MaxPreemptDepth,
+// CAS2GuardRetries) are the omitempty extras the simulator never sets.
+func buildNativeReport(d *Descriptor, w *native.World, procs []*native.Proc, seed int64, res *NativeResult) *metrics.Report {
+	rep := &metrics.Report{
+		Object:      d.Name,
+		Seed:        seed,
+		Processors:  w.Processors(),
+		Granularity: "native",
+		SyncCost:    1,
+		ElapsedVT:   res.Elapsed.Nanoseconds(),
+		Mem:         res.Counts,
+		OpLatency:   &metrics.Hist{},
+	}
+	for i, p := range procs {
+		s := p.Stats()
+		pr := metrics.ProcReport{
+			ID:               i,
+			Name:             fmt.Sprintf("g%d", i),
+			CPU:              p.CPU(),
+			Prio:             int(p.Prio()),
+			Slot:             p.Slot(),
+			Mem:              p.Counts,
+			HelpGiven:        int(p.HelpGiven),
+			HelpReceived:     int(w.HelpReceived(p.Slot())),
+			Slices:           s.Dispatches,
+			Dispatches:       int(s.Dispatches),
+			Preemptions:      int(s.Preemptions),
+			OpTime:           s.Latency.Summary(),
+			Latency:          s.Latency,
+			MaxPreemptDepth:  int(s.MaxPreemptDepth),
+			CAS2GuardRetries: s.CAS2GuardRetries,
+		}
+		pr.Interference = int(s.Preemptions)
+		for _, q := range procs {
+			if q != p && q.CPU() != p.CPU() {
+				pr.Interference++
+			}
+		}
+		rep.Slices += s.Dispatches
+		rep.OpLatency.Add(s.Latency)
+		rep.CAS2GuardRetries += s.CAS2GuardRetries
+		rep.Procs = append(rep.Procs, pr)
+	}
+	rep.Finalize()
+	rep.OpTime = rep.OpLatency.Summary()
+	return rep
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cover"
 	"repro/internal/explore"
 	"repro/internal/sched"
 	"repro/internal/tracex"
@@ -30,6 +31,12 @@ type SweepConfig struct {
 	Trace bool
 	// TracePath defaults to "wfcheck_fail.trace.json".
 	TracePath string
+	// Observe, when set, receives every successfully checked schedule's
+	// release vector and behavioral signature (cover.ReportSig of the
+	// run's report), in enumeration order — the coverage-accumulation
+	// hook. Signing a schedule builds its report, so leave Observe nil
+	// when coverage is not wanted.
+	Observe func(rel []int64, sig uint64)
 }
 
 // sweepOps sizes the generated scripts: victims and workers run three
@@ -62,6 +69,21 @@ func (d *Descriptor) StressConfig(slots int) Config {
 	return cfg
 }
 
+// exploreConfig is the release-point enumeration Sweep drives, shared
+// with SweepSpace so the progress meter's denominator matches exactly.
+func exploreConfig(cfg SweepConfig) explore.Config {
+	return explore.Config{Adversaries: 2, Max: cfg.Max, Stride: 2, Gap: 8, KeepGoing: cfg.KeepGoing}
+}
+
+// SweepSpace returns the number of schedules Sweep would run for cfg
+// without executing any (explore.Count over the same enumeration).
+func (d *Descriptor) SweepSpace(cfg SweepConfig) (int, error) {
+	if d.Family == FamilyBaseline {
+		return 0, fmt.Errorf("registry: %s is a baseline; sweeps cover the core objects", d.Name)
+	}
+	return explore.Count(exploreConfig(cfg))
+}
+
 // Sweep explores release-point schedules of the object and checks every one,
 // returning the number of schedules explored.
 func (d *Descriptor) Sweep(cfg SweepConfig) (int, error) {
@@ -81,8 +103,7 @@ func (d *Descriptor) Sweep(cfg SweepConfig) (int, error) {
 		}
 		scripts[slot] = d.Ops(icfg, sweepSeed, slot, n)
 	}
-	return explore.Sweep(
-		explore.Config{Adversaries: 2, Max: cfg.Max, Stride: 2, Gap: 8, KeepGoing: cfg.KeepGoing},
+	return explore.Sweep(exploreConfig(cfg),
 		func(rel []int64) error { return d.sweepOne(cfg, icfg, scripts, rel) })
 }
 
@@ -124,6 +145,9 @@ func (d *Descriptor) sweepOne(cfg SweepConfig, icfg Config, scripts [][]Op, rel 
 	}
 	if err := inst.CheckErr(); err != nil {
 		return dumpFailure(s, cfg, fmt.Errorf("%s rel=%v: %w", d.Name, rel, err))
+	}
+	if cfg.Observe != nil {
+		cfg.Observe(rel, cover.ReportSig(s.Report(d.Name)))
 	}
 	return nil
 }

@@ -52,6 +52,14 @@ type Memory interface {
 // it. On the simulator each call charges virtual time and is a potential
 // preemption point; on the native backend each call is a sync/atomic
 // operation and a shard preemption point.
+//
+// Ctx is also the observability collection seam: because every algorithm
+// step funnels through these methods, both backends can count operations,
+// record trace events and attribute CAS failures here without any object
+// opting in — the simulator via its event log and metrics (internal/sched),
+// the native backend via its per-goroutine counter blocks and flight
+// recorder (internal/native), aggregated into one report shape
+// (internal/metrics) and one span model (internal/tracex).
 type Ctx interface {
 	// Load reads word a.
 	Load(a Addr) uint64

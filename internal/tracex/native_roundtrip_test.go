@@ -1,0 +1,115 @@
+package tracex_test
+
+// Flight-recorder round trip: a native run's drained trace, normalized,
+// must export through the same span model and exporters as simulator
+// traces — the ISSUE's "one trace pipeline, two backends" claim. The test
+// lives in an external package because registry imports tracex for its
+// sweep failure dumps.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/registry"
+	"repro/internal/tracex"
+)
+
+// nativeGolden is the text export of the deterministic single-goroutine
+// recording below. Regenerate with WF_UPDATE=1 go test ./internal/tracex.
+const nativeGolden = "testdata/native_unilist_p1.txt"
+
+// recordUnilist runs one goroutine through 6 unilist operations with the
+// flight recorder on. With a single process there is no contention, no
+// preemption, and no helping, so the event sequence — and therefore the
+// normalized trace — is a pure function of the op stream.
+func recordUnilist(t *testing.T) *tracex.Trace {
+	t.Helper()
+	d, err := registry.Lookup("unilist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := d.StressConfig(1)
+	cfg.Check = false // white-box checkers are simulator-only
+	cfg.Capacity = 0  // let RunNative size the pools to the op budget
+	res, err := d.RunNative(registry.NativeRun{
+		Procs: 1, Ops: 6, Seed: 1, Cfg: cfg,
+		Obs: true, Recorder: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceLog == nil {
+		t.Fatal("recorder enabled but TraceLog is nil")
+	}
+	if res.DroppedEvents != 0 {
+		t.Fatalf("ring overflow: %d events dropped", res.DroppedEvents)
+	}
+	return tracex.Build(tracex.NormalizeTimes(res.TraceLog))
+}
+
+func TestNativeRoundTripText(t *testing.T) {
+	tr := recordUnilist(t)
+	ops := tr.OpSpans()
+	if len(ops) != 6 {
+		t.Fatalf("op spans = %d, want 6", len(ops))
+	}
+	for _, sp := range ops {
+		if sp.Open {
+			t.Fatalf("op span %d never closed", sp.ID)
+		}
+	}
+	if n := len(tr.SliceSpans()); n < 6 {
+		t.Fatalf("slice spans = %d, want >= 6 (one per Begin/End window)", n)
+	}
+	got := []byte(tr.Text())
+	if os.Getenv("WF_UPDATE") != "" {
+		if err := os.MkdirAll(filepath.Dir(nativeGolden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(nativeGolden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", nativeGolden)
+		return
+	}
+	want, err := os.ReadFile(nativeGolden)
+	if err != nil {
+		t.Fatalf("%v (run with WF_UPDATE=1 to create the golden)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("text export drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", nativeGolden, got, want)
+	}
+}
+
+// TestNativeRoundTripDeterministic pins what makes the golden above safe:
+// two identical runs normalize to byte-identical text even though their
+// wall-clock timestamps differ.
+func TestNativeRoundTripDeterministic(t *testing.T) {
+	a := recordUnilist(t).Text()
+	b := recordUnilist(t).Text()
+	if a != b {
+		t.Errorf("normalized exports differ across identical runs:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}
+
+func TestNativeRoundTripPerfetto(t *testing.T) {
+	b, err := recordUnilist(t).Perfetto()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(b) {
+		t.Fatalf("Perfetto export is not valid JSON:\n%s", b)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("Perfetto export has no trace events")
+	}
+}

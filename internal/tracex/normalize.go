@@ -1,0 +1,24 @@
+package tracex
+
+import "repro/internal/trace"
+
+// NormalizeTimes returns a copy of the log with every event's Time
+// replaced by its sequence position. Native flight recordings carry
+// wall-clock nanoseconds — different on every run even for identical
+// event sequences, and prone to adjacent-event collisions on coarse
+// clocks — so their span models cannot be golden-compared directly.
+// After normalization the log is a pure function of the event sequence:
+// deterministic runs (e.g. a single-goroutine native recording) export
+// byte-identical text, which is what the flight-recorder round-trip
+// golden asserts. Sequence order is the drain's causal order, so the
+// rewrite preserves event order, per-CPU monotonicity, and every span
+// containment relation; only the (meaningless) wall-clock widths are
+// lost.
+func NormalizeTimes(l *trace.Log) *trace.Log {
+	out := &trace.Log{}
+	for _, ev := range l.Events() {
+		ev.Time = int64(ev.Seq)
+		out.Append(ev)
+	}
+	return out
+}
