@@ -93,6 +93,24 @@ go run ./cmd/wfcheck -linz -rand 25 -par 0 > artifacts/wfcheck_linz_par.txt
 cmp artifacts/wfcheck_linz.txt artifacts/wfcheck_linz_par.txt
 cmp testdata/golden/wfcheck_linz25.txt artifacts/wfcheck_linz.txt
 
+# Policy layer: off-default disciplines keep the parallel-vs-serial
+# byte-identity contract. The reverse-priority stressor (lower priority
+# preempts, higher never does) sweeps one object clean; the fcfs+bursty
+# pair — non-preemptive dispatch under open-loop arrivals — is pinned to a
+# golden so the policy/arrival seams cannot drift silently.
+go run ./cmd/wfcheck -suite uniqueue -max 40 -policy reverse-priority -par 1 > artifacts/wfcheck_revprio.txt
+go run ./cmd/wfcheck -suite uniqueue -max 40 -policy reverse-priority -par 0 > artifacts/wfcheck_revprio_par.txt
+cmp artifacts/wfcheck_revprio.txt artifacts/wfcheck_revprio_par.txt
+go run ./cmd/wfcheck -suite uniqueue -max 40 -policy fcfs -arrival bursty -par 1 > artifacts/wfcheck_fcfs_bursty.txt
+go run ./cmd/wfcheck -suite uniqueue -max 40 -policy fcfs -arrival bursty -par 0 > artifacts/wfcheck_fcfs_bursty_par.txt
+cmp artifacts/wfcheck_fcfs_bursty.txt artifacts/wfcheck_fcfs_bursty_par.txt
+cmp testdata/golden/wfcheck_fcfs_bursty.txt artifacts/wfcheck_fcfs_bursty.txt
+
+# Run-ahead fast-path regression guard: batching must stay armed for the
+# default policy and declined for every other template (which fall back to
+# the serial loop the differential suite pins).
+go test ./internal/sched/ -run TestRunAheadPolicyGate -count=1
+
 # Perf gate: -exp core re-measures the serial and run-ahead simulator core
 # (asserting the two modes still agree exactly) and fails if run-ahead
 # ns/slice regresses more than 25% against the committed baseline. Set

@@ -30,6 +30,7 @@ import (
 
 	waitfree "repro"
 	"repro/internal/arena"
+	"repro/internal/arrival"
 	"repro/internal/baseline/gclist"
 	"repro/internal/baseline/herlihy"
 	"repro/internal/baseline/valois"
@@ -58,10 +59,16 @@ import (
 
 // withTrace is the -trace flag: record the report runs' event logs and
 // write span-model exports next to the BENCH_*.json files. withProgress is
-// the -progress flag: live sweep progress on stderr.
+// the -progress flag: live sweep progress on stderr. benchPolicy and
+// benchArrival are the -policy/-arrival flags: the scheduling discipline
+// and arrival trace for the report and sweep experiments (empty = the
+// paper's strict-priority model with the legacy release shapes, keeping
+// every BENCH_*.json byte-identical).
 var (
 	withTrace    bool
 	withProgress bool
+	benchPolicy  string
+	benchArrival string
 )
 
 func main() {
@@ -77,7 +84,20 @@ func main() {
 	blockprofile := flag.String("blockprofile", "", "write a block (contention) profile to this file on exit")
 	flag.BoolVar(&withProgress, "progress", false, "with -exp sweep: stream live progress (cells/sec, coverage, ETA) to stderr")
 	flag.BoolVar(&withTrace, "trace", false, "with -exp report: also write TRACE_<object>.trace.json span exports (Perfetto)")
+	flag.StringVar(&benchPolicy, "policy", "", "with -exp report/sweep: scheduling policy (default: the paper's strict-priority model)")
+	flag.StringVar(&benchArrival, "arrival", "", "with -exp report/sweep: arrival trace for the burst releases (default: the legacy shapes)")
 	flag.Parse()
+
+	if _, err := sched.PolicyByName(benchPolicy); err != nil {
+		fmt.Fprintf(os.Stderr, "wfbench: %v\n", err)
+		os.Exit(1)
+	}
+	if benchArrival != "" {
+		if _, err := arrival.ByName(benchArrival); err != nil {
+			fmt.Fprintf(os.Stderr, "wfbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile, *blockprofile)
 	if err != nil {
@@ -788,15 +808,23 @@ func reports(outdir string, seed int64) error {
 		return nil
 	}
 
-	// The list kinds run the Section 3.4 workload at report scale.
-	for _, lk := range []struct {
+	// The list kinds run the Section 3.4 workload at report scale. The
+	// workload driver owns its scheduler configuration, so under a
+	// non-default policy or arrival trace these reports are skipped
+	// (loudly) and only the registry objects are measured.
+	listKinds := []struct {
 		kind  workload.Kind
 		procs int
 	}{
 		{workload.WaitFree, 4},
 		{workload.WaitFreeUni, 1},
 		{workload.LockFreeGC, 4},
-	} {
+	}
+	if benchPolicy != "" || benchArrival != "" {
+		listKinds = nil
+		fmt.Fprintf(os.Stderr, "wfbench: skipping workload list reports under -policy/-arrival (registry objects only)\n")
+	}
+	for _, lk := range listKinds {
 		res, err := workload.RunList(workload.ListConfig{
 			Kind: lk.kind, Processors: lk.procs, BurstsPerCPU: 2, BurstOps: 10,
 			TotalOps: 400, ListSize: 100, Seed: seed, EnableTrace: withTrace,
@@ -821,7 +849,12 @@ func reports(outdir string, seed int64) error {
 		if err != nil {
 			return err
 		}
-		if err := writeReport(s.Report(name)); err != nil {
+		rep := s.Report(name)
+		// Report stamps the (off-default) policy itself; the arrival trace
+		// is driver knowledge. Both are empty on default runs, keeping the
+		// committed BENCH_*.json goldens byte-identical.
+		rep.Arrival = benchArrival
+		if err := writeReport(rep); err != nil {
 			return err
 		}
 		if err := writeTrace(name, s.Trace()); err != nil {
@@ -843,7 +876,21 @@ func objectReportRun(name string, seed int64) (*sched.Sim, error) {
 	if d.Family == registry.FamilyMulti {
 		procs = 2
 	}
-	s := sched.New(sched.Config{Processors: procs, Seed: seed, MemWords: 1 << 18, EnableTrace: withTrace})
+	pol, err := sched.PolicyByName(benchPolicy)
+	if err != nil {
+		return nil, err
+	}
+	// The burst releases come from the named arrival trace; the legacy
+	// shape (slices 25 and 60) is kept verbatim when no trace is named.
+	burstRel := []arrival.Release{{AfterSlices: 25}, {AfterSlices: 60}}
+	if benchArrival != "" {
+		trc, err := arrival.ByName(benchArrival)
+		if err != nil {
+			return nil, err
+		}
+		burstRel = trc.Releases(2, seed)
+	}
+	s := sched.New(sched.Config{Processors: procs, Seed: seed, MemWords: 1 << 18, EnableTrace: withTrace, Policy: pol})
 	cfg := registry.Config{Procs: 4, Capacity: 128, Buckets: 4, Words: 4, Width: 2}
 	if d.Model == registry.ModelSorted {
 		cfg.SeedKeys = []uint64{2, 4, 6, 8, 10, 12, 14, 16}
@@ -863,14 +910,14 @@ func objectReportRun(name string, seed int64) (*sched.Sim, error) {
 		}
 	}
 	if d.Family == registry.FamilyUni {
-		s.Spawn(sched.JobSpec{Name: "base", CPU: 0, Prio: 1, Slot: 0, AfterSlices: -1, Body: run(0, 20)})
-		s.Spawn(sched.JobSpec{Name: "burst1", CPU: 0, Prio: 5, Slot: 1, AfterSlices: 25, Body: run(1, 5)})
-		s.Spawn(sched.JobSpec{Name: "burst2", CPU: 0, Prio: 9, Slot: 2, AfterSlices: 60, Body: run(2, 5)})
+		s.Spawn(sched.JobSpec{Name: "base", CPU: 0, Prio: 1, Slot: 0, AfterSlices: -1, Cost: 20, Body: run(0, 20)})
+		s.Spawn(sched.JobSpec{Name: "burst1", CPU: 0, Prio: 5, Slot: 1, AfterSlices: burstRel[0].AfterSlices, At: burstRel[0].At, Cost: 5, Body: run(1, 5)})
+		s.Spawn(sched.JobSpec{Name: "burst2", CPU: 0, Prio: 9, Slot: 2, AfterSlices: burstRel[1].AfterSlices, At: burstRel[1].At, Cost: 5, Body: run(2, 5)})
 	} else {
-		s.Spawn(sched.JobSpec{Name: "w0", CPU: 0, Prio: 1, Slot: 0, AfterSlices: -1, Body: run(0, 20)})
-		s.Spawn(sched.JobSpec{Name: "w1", CPU: 1, Prio: 1, Slot: 1, AfterSlices: -1, Body: run(1, 20)})
-		s.Spawn(sched.JobSpec{Name: "burst0", CPU: 0, Prio: 9, Slot: 2, AfterSlices: 25, Body: run(2, 5)})
-		s.Spawn(sched.JobSpec{Name: "burst1", CPU: 1, Prio: 9, Slot: 3, AfterSlices: 60, Body: run(3, 5)})
+		s.Spawn(sched.JobSpec{Name: "w0", CPU: 0, Prio: 1, Slot: 0, AfterSlices: -1, Cost: 20, Body: run(0, 20)})
+		s.Spawn(sched.JobSpec{Name: "w1", CPU: 1, Prio: 1, Slot: 1, AfterSlices: -1, Cost: 20, Body: run(1, 20)})
+		s.Spawn(sched.JobSpec{Name: "burst0", CPU: 0, Prio: 9, Slot: 2, AfterSlices: burstRel[0].AfterSlices, At: burstRel[0].At, Cost: 5, Body: run(2, 5)})
+		s.Spawn(sched.JobSpec{Name: "burst1", CPU: 1, Prio: 9, Slot: 3, AfterSlices: burstRel[1].AfterSlices, At: burstRel[1].At, Cost: 5, Body: run(3, 5)})
 	}
 	if err := s.Run(); err != nil {
 		return nil, err
@@ -887,22 +934,32 @@ type sweepCell struct {
 	Mode    string `json:"mode,omitempty"`
 	Pattern string `json:"pattern"`
 	Seed    int64  `json:"seed"`
+	// Policy and Arrival carry the -policy/-arrival flags into the cell
+	// (empty on the default matrix, so cell identities are unchanged).
+	Policy  string `json:"policy,omitempty"`
+	Arrival string `json:"arrival,omitempty"`
 }
 
-// sweepCells enumerates the matrix over every core registry object.
+// sweepCells enumerates the matrix over every core registry object. A
+// -arrival flag replaces the legacy pattern axis with that single trace; a
+// -policy flag runs every cell under that discipline.
 func sweepCells(seeds int) []sweepCell {
+	patterns := scenario.Patterns()
+	if benchArrival != "" {
+		patterns = []string{benchArrival}
+	}
 	var out []sweepCell
 	for _, name := range registry.CoreNames() {
 		d := registry.Lookup0(name)
-		for _, pat := range scenario.Patterns() {
+		for _, pat := range patterns {
 			for seed := int64(1); seed <= int64(seeds); seed++ {
 				if d.Family != registry.FamilyMulti {
-					out = append(out, sweepCell{Object: name, Pattern: pat, Seed: seed})
+					out = append(out, sweepCell{Object: name, Pattern: pat, Seed: seed, Policy: benchPolicy, Arrival: benchArrival})
 					continue
 				}
 				for _, cc := range prim.All() {
 					for _, mode := range []helping.Mode{helping.Cyclic, helping.Priority} {
-						out = append(out, sweepCell{Object: name, CC: cc.Name(), Mode: mode.String(), Pattern: pat, Seed: seed})
+						out = append(out, sweepCell{Object: name, CC: cc.Name(), Mode: mode.String(), Pattern: pat, Seed: seed, Policy: benchPolicy, Arrival: benchArrival})
 					}
 				}
 			}
@@ -921,7 +978,7 @@ type sweepOut struct {
 // runSweepCell executes one cell and returns its canonical report bytes
 // and coverage signature.
 func runSweepCell(c sweepCell) (sweepOut, error) {
-	cfg := scenario.Config{Object: c.Object, Seed: c.Seed, Pattern: c.Pattern}
+	cfg := scenario.Config{Object: c.Object, Seed: c.Seed, Pattern: c.Pattern, Policy: c.Policy}
 	if c.CC != "" {
 		impl, err := prim.ByName(c.CC)
 		if err != nil {
@@ -937,6 +994,9 @@ func runSweepCell(c sweepCell) (sweepOut, error) {
 		return sweepOut{}, err
 	}
 	rep := s.Report(c.Object)
+	// Key the report (and so its signature) by the explicit arrival trace;
+	// empty on the default matrix keeps the bytes and sigs unchanged.
+	rep.Arrival = c.Arrival
 	b, err := rep.JSON()
 	out := sweepOut{b: b, sig: cover.ReportSig(rep)}
 	sched.Release(s)
@@ -997,13 +1057,18 @@ func sweep(outdir string, seeds int) error {
 	}
 	cov := acc.Stats()
 	doc := struct {
-		Cells      int         `json:"cells"`
-		Workers    int         `json:"workers"`
-		SerialMs   float64     `json:"serial_ms"`
-		ParallelMs float64     `json:"parallel_ms"`
-		Speedup    float64     `json:"speedup"`
-		Identical  bool        `json:"byte_identical"`
-		Coverage   cover.Stats `json:"coverage"`
+		Cells      int     `json:"cells"`
+		Workers    int     `json:"workers"`
+		SerialMs   float64 `json:"serial_ms"`
+		ParallelMs float64 `json:"parallel_ms"`
+		Speedup    float64 `json:"speedup"`
+		Identical  bool    `json:"byte_identical"`
+		// Policy and Arrival record the matrix's scheduling discipline and
+		// arrival trace when off the defaults (omitted otherwise, keeping
+		// the committed BENCH_sweep.json stable).
+		Policy   string      `json:"policy,omitempty"`
+		Arrival  string      `json:"arrival,omitempty"`
+		Coverage cover.Stats `json:"coverage"`
 	}{
 		Cells:      len(cells),
 		Workers:    workers,
@@ -1011,6 +1076,8 @@ func sweep(outdir string, seeds int) error {
 		ParallelMs: float64(parallelDur.Microseconds()) / 1000,
 		Speedup:    float64(serialDur) / float64(parallelDur),
 		Identical:  true,
+		Policy:     benchPolicy,
+		Arrival:    benchArrival,
 		Coverage:   cov,
 	}
 	b, err := json.MarshalIndent(doc, "", "  ")

@@ -36,6 +36,8 @@
 //	wfcheck -par 0           # sweep objects in parallel on all cores
 //	wfcheck -cover -progress # coverage accounting + live progress
 //	wfcheck -linz -rand 200  # 200 randomized schedules per object, black-box checked
+//	wfcheck -policy fcfs -arrival bursty   # sweep under another discipline/arrival shape
+//	wfcheck -linz -policy reverse-priority # randomized schedules under the stressor policy
 package main
 
 import (
@@ -44,6 +46,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/arrival"
 	"repro/internal/cover"
 	"repro/internal/explore"
 	"repro/internal/harness"
@@ -59,6 +62,8 @@ func main() {
 	suite := flag.String("suite", "all", "suite: any core registry object, workload, or all")
 	maxSlice := flag.Int64("max", 120, "largest release point swept")
 	keepGoing := flag.Bool("keepgoing", false, "explore past failures and report every failing vector")
+	policy := flag.String("policy", "", "scheduling policy for every schedule (default: the paper's strict-priority model)")
+	arrivalName := flag.String("arrival", "", "arrival trace shaping the base workers' releases (default: immediate)")
 	par := flag.Int("par", 1, "workers for sweeping suites in parallel (0 = all cores); output is identical at any setting")
 	traceFailures := flag.Bool("trace", false, "record traces and write wfcheck_fail.trace.json for a failing schedule")
 	coverage := flag.Bool("cover", false, "sign every schedule and report distinct-behavior coverage per suite")
@@ -84,10 +89,28 @@ func main() {
 		os.Exit(code)
 	}
 
-	if *linzMode {
-		exit(linzMain(*suite, *randN, *par, *coverage, *progress))
+	// Resolve the policy and arrival names up front so a typo fails fast
+	// with the known template lists, before any schedule runs.
+	if _, err := sched.PolicyByName(*policy); err != nil {
+		fmt.Fprintf(os.Stderr, "wfcheck: %v\n", err)
+		exit(1)
+	}
+	if *arrivalName != "" {
+		if _, err := arrival.ByName(*arrivalName); err != nil {
+			fmt.Fprintf(os.Stderr, "wfcheck: %v\n", err)
+			exit(1)
+		}
 	}
 
+	if *linzMode {
+		if *arrivalName != "" {
+			fmt.Fprintf(os.Stderr, "wfcheck: -arrival shapes the sweep cast; -linz generates its own randomized releases\n")
+			exit(1)
+		}
+		exit(linzMain(*suite, *randN, *par, *coverage, *progress, *policy))
+	}
+
+	offDefault := *policy != "" || *arrivalName != ""
 	names := append(registry.CoreNames(), "workload")
 	if *suite != "all" {
 		found := false
@@ -100,7 +123,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wfcheck: unknown suite %q (have %v)\n", *suite, names)
 			exit(1)
 		}
+		if *suite == "workload" && offDefault {
+			fmt.Fprintf(os.Stderr, "wfcheck: the workload suite drives its own scheduler config; -policy/-arrival apply to the registry sweeps only\n")
+			exit(1)
+		}
 		names = []string{*suite}
+	} else if offDefault {
+		// The workload suite builds its own simulator configuration; under
+		// a non-default policy or arrival trace it is skipped (loudly, not
+		// silently passed over).
+		names = names[:len(names)-1]
+		fmt.Fprintf(os.Stderr, "wfcheck: skipping workload suite under -policy/-arrival (registry sweeps only)\n")
 	}
 
 	var meter *cover.Meter
@@ -135,7 +168,8 @@ func main() {
 			o.n, o.err = workloadSweep(*maxSlice, obs)
 			return o, nil
 		}
-		cfg := registry.SweepConfig{Max: *maxSlice, KeepGoing: *keepGoing, Trace: *traceFailures}
+		cfg := registry.SweepConfig{Max: *maxSlice, KeepGoing: *keepGoing, Trace: *traceFailures,
+			Policy: *policy, Arrival: *arrivalName}
 		if observing {
 			cfg.Observe = func(rel []int64, sig uint64) { observe(sig) }
 		}
@@ -225,7 +259,7 @@ func printCover(name string, a *cover.Accumulator, curve bool) {
 // judged by the black-box engine. Covers all registered objects, baselines
 // included — black-box checking needs only the sequential model. With
 // coverage on, every run is signed by its interleaving shape (Run.Sig).
-func linzMain(suite string, randN, par int, coverage, progress bool) int {
+func linzMain(suite string, randN, par int, coverage, progress bool, policy string) int {
 	names := registry.Names()
 	if suite != "all" {
 		if _, err := registry.Lookup(suite); err != nil {
@@ -252,7 +286,7 @@ func linzMain(suite string, randN, par int, coverage, progress bool) int {
 			if n%2 == 1 {
 				strat = adversary.PCT
 			}
-			cfg := adversary.Config{Object: names[i], Seed: int64(n + 1), Strategy: strat}
+			cfg := adversary.Config{Object: names[i], Seed: int64(n + 1), Strategy: strat, Policy: policy}
 			r, err := adversary.Execute(cfg)
 			if err != nil {
 				o.err = err

@@ -31,20 +31,23 @@ var (
 
 func main() {
 	scenario := flag.String("scenario", "fig2", "scenario: fig2|fig4|inversion")
+	policyName := flag.String("policy", "", "scheduling policy (default: the paper's strict-priority model)")
 	flag.StringVar(&csvPath, "csv", "", "also write the trace as CSV to this file")
 	flag.StringVar(&tracePath, "trace", "", "also write the span model as Perfetto/Chrome trace-event JSON to this file")
 	flag.BoolVar(&showReport, "report", false, "print the run report (step/help/preemption accounting)")
 	flag.Parse()
-	var err error
-	switch *scenario {
-	case "fig2":
-		err = fig2()
-	case "fig4":
-		err = fig4()
-	case "inversion":
-		err = inversion()
-	default:
-		err = fmt.Errorf("unknown scenario %q", *scenario)
+	pol, err := sched.PolicyByName(*policyName)
+	if err == nil {
+		switch *scenario {
+		case "fig2":
+			err = fig2(pol)
+		case "fig4":
+			err = fig4(pol)
+		case "inversion":
+			err = inversion(pol)
+		default:
+			err = fmt.Errorf("unknown scenario %q", *scenario)
+		}
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wfsim: %v\n", err)
@@ -56,11 +59,11 @@ func main() {
 // is preempted by q, which starts helping p and is preempted by r; r helps p
 // to completion, runs its own operation, and relinquishes to q, which runs
 // its own operation and relinquishes to p, which finds its operation done.
-func fig2() error {
+func fig2(pol sched.Policy) error {
 	fmt.Println("Figure 2 — incremental helping on a priority uniprocessor")
 	fmt.Println("p (prio 1) inserts 10; q (prio 2) inserts 20; r (prio 3) inserts 30")
 	fmt.Println()
-	s := sched.New(sched.Config{Processors: 1, Seed: 1, EnableTrace: true, MemWords: 1 << 12})
+	s := sched.New(sched.Config{Processors: 1, Seed: 1, EnableTrace: true, MemWords: 1 << 12, Policy: pol})
 	ar, err := arena.New(s.Mem(), 32, 3)
 	if err != nil {
 		return err
@@ -140,10 +143,10 @@ func dumpTrace(s *sched.Sim, prior error) error {
 // fig4 reproduces the paper's Figure 4: process 4 performs MWCAS on words
 // x, y, z (old/new 12/5, 22/10, 8/17); process 9 interferes on z with new
 // value 56, so process 4's operation fails and restores x and y.
-func fig4() error {
+func fig4(pol sched.Policy) error {
 	fmt.Println("Figure 4 — uniprocessor MWCAS interference (insets (d)/(f))")
 	fmt.Println()
-	s := sched.New(sched.Config{Processors: 1, Seed: 1, EnableTrace: true, MemWords: 1 << 12})
+	s := sched.New(sched.Config{Processors: 1, Seed: 1, EnableTrace: true, MemWords: 1 << 12, Policy: pol})
 	obj, err := unimwcas.New(s.Mem(), 10, 3)
 	if err != nil {
 		return err
@@ -178,10 +181,10 @@ func fig4() error {
 // inversion demonstrates the motivating failure of lock-based objects on a
 // priority uniprocessor: the spinning high-priority process livelocks and
 // the watchdog fires.
-func inversion() error {
+func inversion(pol sched.Policy) error {
 	fmt.Println("Priority inversion with a spin-lock list (Section 1 motivation)")
 	fmt.Println()
-	s := sched.New(sched.Config{Processors: 1, Seed: 1, MemWords: 1 << 12, MaxSteps: 100_000})
+	s := sched.New(sched.Config{Processors: 1, Seed: 1, MemWords: 1 << 12, MaxSteps: 100_000, Policy: pol})
 	ar, err := arena.New(s.Mem(), 32, 2)
 	if err != nil {
 		return err
@@ -211,6 +214,16 @@ func inversion() error {
 		return dumpReport(s, "inversion")
 	case err != nil:
 		return err
+	case pol != sched.DefaultPolicy():
+		// Under a discipline that never lets the waiter preempt the lock
+		// holder, the motivating failure dissolves — worth showing, since
+		// it is exactly the scheduling assumption the paper's wait-free
+		// constructions are built to survive.
+		fmt.Printf("no inversion under policy=%s: the lock holder was never preempted\n", pol.Name())
+		fmt.Printf("by the spinning waiter (%d lock spins), so the lock-based list completed.\n", l.Spins)
+		fmt.Println("The paper's priority model is what makes spin locks unbounded; rerun")
+		fmt.Println("without -policy to see the watchdog fire.")
+		return dumpReport(s, "inversion")
 	default:
 		return fmt.Errorf("expected the watchdog to fire, but the run completed")
 	}

@@ -35,10 +35,12 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/arrival"
 	"repro/internal/linz"
 	"repro/internal/linz/adversary"
 	"repro/internal/registry"
 	"repro/internal/scenario"
+	"repro/internal/sched"
 	"repro/internal/tracex"
 )
 
@@ -46,6 +48,8 @@ func main() {
 	object := flag.String("object", "unilist", "object: "+strings.Join(scenario.Objects(), "|"))
 	seed := flag.Int64("seed", 1, "simulation seed")
 	pat := flag.String("pattern", "stagger", "preemption pattern: "+strings.Join(scenario.Patterns(), "|"))
+	policy := flag.String("policy", "", "scheduling policy (default: the paper's strict-priority model)")
+	arrivalName := flag.String("arrival", "", "arrival trace for the adversary/burst releases: "+strings.Join(arrival.Names(), "|")+" (default: -pattern)")
 	export := flag.String("export", "", "also export the span model: perfetto|text")
 	out := flag.String("o", "", "export path (default <object>.trace.json or <object>.trace.txt)")
 	report := flag.Bool("report", false, "print the run report after the span summary")
@@ -59,11 +63,19 @@ func main() {
 	var err error
 	switch {
 	case *linzMode:
-		err = runLinz(*object, *seed, *strategy, *export, *out)
+		if *arrivalName != "" {
+			err = fmt.Errorf("-arrival shapes scenario releases; -linz generates its own randomized schedule")
+		} else {
+			err = runLinz(*object, *seed, *strategy, *policy, *export, *out)
+		}
 	case *nativeMode:
-		err = runNative(*object, *seed, *procs, *ops, *export, *out, *report)
+		if *policy != "" || *arrivalName != "" {
+			err = fmt.Errorf("-policy/-arrival configure the simulator; the native backend runs under the host scheduler")
+		} else {
+			err = runNative(*object, *seed, *procs, *ops, *export, *out, *report)
+		}
 	default:
-		err = run(*object, *seed, *pat, *export, *out, *report)
+		err = run(*object, *seed, *pat, *policy, *arrivalName, *export, *out, *report)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wftrace: %v\n", err)
@@ -124,12 +136,12 @@ func runNative(object string, seed int64, procs, ops int, export, out string, re
 
 // runLinz replays one adversary schedule with tracing on: the reproducer
 // path for wfcheck -linz failures.
-func runLinz(object string, seed int64, strategy, export, out string) error {
+func runLinz(object string, seed int64, strategy, policy, export, out string) error {
 	strat, err := adversary.ParseStrategy(strategy)
 	if err != nil {
 		return err
 	}
-	r, err := adversary.Execute(adversary.Config{Object: object, Seed: seed, Strategy: strat, Trace: true})
+	r, err := adversary.Execute(adversary.Config{Object: object, Seed: seed, Strategy: strat, Policy: policy, Trace: true})
 	if err != nil {
 		return err
 	}
@@ -138,7 +150,7 @@ func runLinz(object string, seed int64, strategy, export, out string) error {
 		return err
 	}
 
-	fmt.Printf("%s seed=%d strategy=%s: %d slices\n\n", object, seed, strat, r.Sim.Slices())
+	fmt.Printf("%s seed=%d strategy=%s%s: %d slices\n\n", object, seed, strat, policySuffix(r.Sim.Policy()), r.Sim.Slices())
 	fmt.Print(r.History.Text())
 	fmt.Printf("\nverdict: %s\n", verdict.Summary())
 	if !verdict.OK {
@@ -163,15 +175,22 @@ func runLinz(object string, seed int64, strategy, export, out string) error {
 	}
 }
 
-func run(object string, seed int64, pat, export, out string, report bool) error {
-	s, err := scenario.Run(scenario.Config{Object: object, Seed: seed, Pattern: pat, Trace: true})
+func run(object string, seed int64, pat, policy, arrivalName, export, out string, report bool) error {
+	s, err := scenario.Run(scenario.Config{Object: object, Seed: seed, Pattern: pat, Arrival: arrivalName, Policy: policy, Trace: true})
 	if err != nil {
 		return err
 	}
 	t := tracex.Build(s.Trace())
 
-	fmt.Printf("%s seed=%d pattern=%s: %d events, %d slices, %d operations\n",
-		object, seed, pat, s.Trace().Len(), len(t.SliceSpans()), len(t.OpSpans()))
+	// An explicit -arrival supersedes -pattern as the release-shape label;
+	// the off-default policy rides as a suffix. Default runs keep the
+	// historical header byte-for-byte (the wftrace golden).
+	label := pat
+	if arrivalName != "" {
+		label = arrivalName
+	}
+	fmt.Printf("%s seed=%d pattern=%s%s: %d events, %d slices, %d operations\n",
+		object, seed, label, policySuffix(s.Policy()), s.Trace().Len(), len(t.SliceSpans()), len(t.OpSpans()))
 	fmt.Println()
 	printOps(t)
 	printEdges(t)
@@ -197,6 +216,15 @@ func run(object string, seed int64, pat, export, out string, report bool) error 
 	default:
 		return fmt.Errorf("unknown export format %q (want perfetto or text)", export)
 	}
+}
+
+// policySuffix renders " policy=<name>" for off-default policies and ""
+// for the default, so historical headers stay byte-identical.
+func policySuffix(p sched.Policy) string {
+	if p == sched.DefaultPolicy() {
+		return ""
+	}
+	return " policy=" + p.Name()
 }
 
 func defaultPath(out, fallback string) string {

@@ -1,0 +1,126 @@
+package arrival
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestLegacyTemplates pins the three pre-package scenario patterns to
+// their historical release points: every default golden output in the
+// repo is downstream of these numbers.
+func TestLegacyTemplates(t *testing.T) {
+	st, err := ByName("stagger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Release{{AfterSlices: 15}, {AfterSlices: 28}, {AfterSlices: 41}}
+	if got := st.Releases(3, 1); !reflect.DeepEqual(got, want) {
+		t.Errorf("stagger.Releases(3) = %v, want %v", got, want)
+	}
+
+	bu, err := ByName("burst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []Release{{AfterSlices: 6}, {AfterSlices: 8}, {AfterSlices: 10}}
+	if got := bu.Releases(3, 1); !reflect.DeepEqual(got, want) {
+		t.Errorf("burst.Releases(3) = %v, want %v", got, want)
+	}
+
+	no, err := ByName("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range no.Releases(3, 1) {
+		if !r.Immediate() {
+			t.Errorf("none.Releases(3)[%d] = %v, want an immediate release", i, r)
+		}
+	}
+}
+
+// TestBurstyDeterministicAndSeeded: bursty must be a pure function of
+// (n, seed) — two drivers asking for the same trace spawn identical
+// release points — while actually responding to the seed, and staying
+// inside its documented epoch/jitter envelope.
+func TestBurstyDeterministicAndSeeded(t *testing.T) {
+	b, err := ByName("bursty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, a2 := b.Releases(6, 7), b.Releases(6, 7)
+	if !reflect.DeepEqual(a1, a2) {
+		t.Errorf("bursty.Releases not deterministic: %v vs %v", a1, a2)
+	}
+	other := b.Releases(6, 8)
+	if reflect.DeepEqual(a1, other) {
+		t.Errorf("bursty.Releases identical across seeds 7 and 8: %v", a1)
+	}
+	for i, r := range a1 {
+		if r.AfterSlices >= 0 {
+			t.Errorf("bursty release %d is slice-triggered (%v); open-loop traces must be time-triggered", i, r)
+		}
+		base := int64(burstyStart + burstyEpochGap*(i/burstySize))
+		if r.At < base || r.At >= base+burstyJitter {
+			t.Errorf("bursty release %d At=%d outside epoch window [%d,%d)", i, r.At, base, base+burstyJitter)
+		}
+	}
+}
+
+// TestRateTemplate pins the closed-form two-tenant schedule.
+func TestRateTemplate(t *testing.T) {
+	ra, err := ByName("rate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ra.Releases(4, 99)
+	want := []Release{
+		{AfterSlices: -1, At: 60},
+		{AfterSlices: -1, At: 105},
+		{AfterSlices: -1, At: 120},
+		{AfterSlices: -1, At: 210},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("rate.Releases(4) = %v, want %v", got, want)
+	}
+	if !reflect.DeepEqual(got, ra.Releases(4, 1)) {
+		t.Errorf("rate.Releases should ignore the seed (closed-form schedule)")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Names() not sorted: %v", names)
+	}
+	want := []string{"burst", "bursty", "none", "rate", "stagger"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for _, n := range names {
+		tr, err := ByName(n)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", n, err)
+		}
+		if tr.Name() != n {
+			t.Errorf("ByName(%q).Name() = %q", n, tr.Name())
+		}
+	}
+	def, err := ByName("")
+	if err != nil || def.Name() != "stagger" {
+		t.Errorf("ByName(\"\") = %v, %v; want the stagger default", def, err)
+	}
+	if _, err := ByName("bogus"); err == nil || !strings.Contains(err.Error(), "stagger") {
+		t.Errorf("ByName(\"bogus\") = %v, want an error listing the known traces", err)
+	}
+
+	leg := Legacy()
+	if !reflect.DeepEqual(leg, []string{"burst", "none", "stagger"}) {
+		t.Fatalf("Legacy() = %v, want [burst none stagger]", leg)
+	}
+	leg[0] = "mutated"
+	if Legacy()[0] != "burst" {
+		t.Errorf("Legacy() must return a copy; caller mutation leaked into the registry")
+	}
+}

@@ -73,6 +73,12 @@ func (h Hasher) Sum() uint64 { return uint64(h) }
 func ReportSig(r *metrics.Report) uint64 {
 	h := NewHasher()
 	h.String(r.Object)
+	// Signatures are keyed by the scheduling policy and arrival trace, so
+	// a sweep under two disciplines never conflates their behaviors. Both
+	// fold nothing when empty (the defaults), keeping every pre-policy
+	// signature — and the golden coverage outputs — unchanged.
+	h.String(r.Policy)
+	h.String(r.Arrival)
 	h.Word(uint64(r.Processors))
 	h.Word(r.Slices)
 	h.Word(uint64(r.ElapsedVT))

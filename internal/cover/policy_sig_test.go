@@ -1,0 +1,39 @@
+package cover
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestReportSigKeyedByPolicyAndArrival: the behavioral signature folds the
+// policy and arrival-trace names, so sweeps under different disciplines (or
+// release shapes) never conflate their coverage — while the empty defaults
+// fold nothing, keeping every pre-policy signature unchanged.
+func TestReportSigKeyedByPolicyAndArrival(t *testing.T) {
+	base := func() *metrics.Report {
+		return &metrics.Report{Object: "uniqueue", Processors: 1, Slices: 40, ElapsedVT: 400}
+	}
+	def := ReportSig(base())
+	if def != ReportSig(base()) {
+		t.Fatalf("ReportSig not deterministic on identical reports")
+	}
+	pol := base()
+	pol.Policy = "fcfs"
+	arr := base()
+	arr.Arrival = "bursty"
+	both := base()
+	both.Policy = "fcfs"
+	both.Arrival = "bursty"
+	sigs := map[uint64]string{def: "default"}
+	for _, c := range []struct {
+		name string
+		r    *metrics.Report
+	}{{"policy", pol}, {"arrival", arr}, {"both", both}} {
+		s := ReportSig(c.r)
+		if prev, dup := sigs[s]; dup {
+			t.Errorf("report variant %q collides with %q (sig %016x)", c.name, prev, s)
+		}
+		sigs[s] = c.name
+	}
+}

@@ -85,6 +85,21 @@ func Count(cfg Config) (int, error) {
 	return Sweep(cfg, func([]int64) error { return nil })
 }
 
+// Vectors materializes the release vectors Sweep would enumerate for cfg,
+// in enumeration order. Drivers that run the same vector under several
+// scheduling policies (divergence tests, parallel harnesses) enumerate
+// once and iterate, instead of re-deriving the recursion per policy.
+func Vectors(cfg Config) ([][]int64, error) {
+	var out [][]int64
+	if _, err := Sweep(cfg, func(rel []int64) error {
+		out = append(out, rel)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Sweep runs the scenario for every release vector permitted by cfg and
 // returns the number of schedules explored. It stops at the first failure
 // unless cfg.KeepGoing is set, in which case it explores the whole space

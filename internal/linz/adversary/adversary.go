@@ -94,6 +94,11 @@ type Config struct {
 	// Horizon bounds the random release points, in executed slices
 	// (default 160 — roughly the span of a few operations).
 	Horizon int64
+	// Policy names the scheduling discipline (sched.PolicyNames());
+	// empty means the paper's strict-priority model. The generated
+	// schedule (releases, priorities, processors) is policy-independent;
+	// only dispatch and preemption order change.
+	Policy string
 	// Trace enables event recording on the simulation (wftrace -linz).
 	Trace bool
 }
@@ -108,6 +113,9 @@ type Run struct {
 	History *linz.History
 	Spec    linz.Spec
 	Desc    *registry.Descriptor
+	// Policy is the scheduling policy name when off the default, ""
+	// otherwise (kept here, not read off Sim, so Sig works after Close).
+	Policy string
 }
 
 // Check hands the recorded history to the engine.
@@ -125,6 +133,10 @@ func (r *Run) Check(opts linz.Options) (linz.Outcome, error) {
 func (r *Run) Sig() uint64 {
 	h := cover.NewHasher()
 	h.String(r.Desc.Name)
+	// Keyed by the (off-default) policy: the same seed under two
+	// disciplines is two different schedules. Empty folds nothing, so
+	// default-policy signatures are unchanged.
+	h.String(r.Policy)
 	h.Word(uint64(r.History.Events))
 	for _, op := range r.History.Ops {
 		h.Word(uint64(op.Proc))
@@ -175,6 +187,10 @@ func Execute(cfg Config) (*Run, error) {
 	if cfg.Horizon <= 0 {
 		cfg.Horizon = 160
 	}
+	pol, err := sched.PolicyByName(cfg.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("adversary: %w", err)
+	}
 	slots := cfg.Workers
 	if cfg.Strategy == PCT {
 		slots += cfg.Boosters
@@ -185,7 +201,7 @@ func Execute(cfg Config) (*Run, error) {
 	}
 	sim := sched.Acquire(sched.Config{
 		Processors: procs, Seed: cfg.Seed, MemWords: 1 << 16,
-		EnableTrace: cfg.Trace, MaxSteps: 4_000_000,
+		EnableTrace: cfg.Trace, MaxSteps: 4_000_000, Policy: pol,
 	})
 	icfg := d.StressConfig(slots)
 	// Black box: the white-box checkers stay off; only the recorded
@@ -224,7 +240,11 @@ func Execute(cfg Config) (*Run, error) {
 		sched.Release(sim)
 		return nil, fmt.Errorf("adversary: %s seed=%d strategy=%s: %w", d.Name, cfg.Seed, cfg.Strategy, err)
 	}
-	return &Run{Sim: sim, History: rec.History(), Spec: linz.SpecFor(d, icfg), Desc: d}, nil
+	run := &Run{Sim: sim, History: rec.History(), Spec: linz.SpecFor(d, icfg), Desc: d}
+	if pol != sched.DefaultPolicy() {
+		run.Policy = pol.Name()
+	}
+	return run, nil
 }
 
 // spawnUniform releases every worker at an independent uniform slice
@@ -244,7 +264,7 @@ func spawnUniform(sim *sched.Sim, d *registry.Descriptor, cfg Config, rng *rand.
 		rel := rng.Int63n(cfg.Horizon)
 		sim.Spawn(sched.JobSpec{
 			Name: fmt.Sprintf("w%d", i), CPU: cpu, Prio: prio, Slot: i,
-			AfterSlices: rel, Body: body(i, cfg.Ops),
+			AfterSlices: rel, Cost: int64(cfg.Ops), Body: body(i, cfg.Ops),
 		})
 	}
 }
@@ -267,7 +287,7 @@ func spawnPCT(sim *sched.Sim, d *registry.Descriptor, cfg Config, rng *rand.Rand
 		}
 		sim.Spawn(sched.JobSpec{
 			Name: fmt.Sprintf("w%d", i), CPU: cpu, Prio: prio, Slot: i,
-			AfterSlices: -1, Body: body(i, cfg.Ops),
+			AfterSlices: -1, Cost: int64(cfg.Ops), Body: body(i, cfg.Ops),
 		})
 	}
 	for j := 0; j < cfg.Boosters; j++ {
@@ -283,7 +303,7 @@ func spawnPCT(sim *sched.Sim, d *registry.Descriptor, cfg Config, rng *rand.Rand
 		slot := cfg.Workers + j
 		sim.Spawn(sched.JobSpec{
 			Name: fmt.Sprintf("b%d", j), CPU: cpu, Prio: prio, Slot: slot,
-			AfterSlices: rel, Body: body(slot, boosterOps),
+			AfterSlices: rel, Cost: boosterOps, Body: body(slot, boosterOps),
 		})
 	}
 }

@@ -268,6 +268,13 @@ type Report struct {
 	Granularity string `json:"granularity"`
 	SyncCost    int64  `json:"sync_cost"`
 
+	// Policy and Arrival name the scheduling discipline and arrival trace
+	// the run used, when they differ from the defaults (strict priority;
+	// the driver's built-in release points). Empty means default and is
+	// omitted from JSON, so the golden report files stay byte-stable.
+	Policy  string `json:"policy,omitempty"`
+	Arrival string `json:"arrival,omitempty"`
+
 	// ElapsedVT is the makespan; Slices the global slice count.
 	ElapsedVT int64  `json:"elapsed_vt"`
 	Slices    uint64 `json:"slices"`

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/arrival"
 	"repro/internal/cover"
 	"repro/internal/explore"
 	"repro/internal/sched"
@@ -26,6 +27,17 @@ type SweepConfig struct {
 	// KeepGoing explores past failures and aggregates every failing
 	// vector into an explore.Failures error.
 	KeepGoing bool
+	// Policy names the scheduling discipline every schedule runs under
+	// (sched.PolicyNames()); empty means the paper's strict-priority
+	// model. The swept release vector is policy-independent — the same
+	// vectors are enumerated, only dispatch order changes.
+	Policy string
+	// Arrival names an arrival trace (arrival.Names()) shaping the BASE
+	// workers' releases — the victim on uniprocessor sweeps, both workers
+	// on multiprocessor ones. The adversaries always keep the swept
+	// release vector (that enumeration is the sweep). Empty keeps the
+	// legacy immediate release.
+	Arrival string
 	// Trace records every run and dumps the first failing schedule's span
 	// model to TracePath.
 	Trace bool
@@ -90,6 +102,20 @@ func (d *Descriptor) Sweep(cfg SweepConfig) (int, error) {
 	if d.Family == FamilyBaseline {
 		return 0, fmt.Errorf("registry: %s is a baseline; sweeps cover the core objects", d.Name)
 	}
+	pol, err := sched.PolicyByName(cfg.Policy)
+	if err != nil {
+		return 0, fmt.Errorf("registry: %w", err)
+	}
+	// The base workers' releases come from the named arrival trace; a nil
+	// trace (no -arrival) keeps the legacy immediate release.
+	var base []arrival.Release
+	if cfg.Arrival != "" {
+		trc, err := arrival.ByName(cfg.Arrival)
+		if err != nil {
+			return 0, fmt.Errorf("registry: %w", err)
+		}
+		base = trc.Releases(2, sweepSeed)
+	}
 	// The generated scripts depend only on the descriptor, the stress
 	// config, and the slot — not on the release vector — so generate them
 	// once for the whole sweep instead of reseeding a generator in every
@@ -104,10 +130,10 @@ func (d *Descriptor) Sweep(cfg SweepConfig) (int, error) {
 		scripts[slot] = d.Ops(icfg, sweepSeed, slot, n)
 	}
 	return explore.Sweep(exploreConfig(cfg),
-		func(rel []int64) error { return d.sweepOne(cfg, icfg, scripts, rel) })
+		func(rel []int64) error { return d.sweepOne(cfg, icfg, pol, base, scripts, rel) })
 }
 
-func (d *Descriptor) sweepOne(cfg SweepConfig, icfg Config, scripts [][]Op, rel []int64) error {
+func (d *Descriptor) sweepOne(cfg SweepConfig, icfg Config, pol sched.Policy, base []arrival.Release, scripts [][]Op, rel []int64) error {
 	procs := 1
 	memWords := 1 << 15
 	if d.Family == FamilyMulti {
@@ -116,7 +142,7 @@ func (d *Descriptor) sweepOne(cfg SweepConfig, icfg Config, scripts [][]Op, rel 
 	}
 	// Sweeps build thousands of short-lived Sims; the pool reuses their
 	// memory words and bookkeeping across schedules.
-	s := sched.Acquire(sched.Config{Processors: procs, Seed: 1, MemWords: memWords, EnableTrace: cfg.Trace})
+	s := sched.Acquire(sched.Config{Processors: procs, Seed: 1, MemWords: memWords, EnableTrace: cfg.Trace, Policy: pol})
 	defer sched.Release(s)
 	inst, err := Build(s, d.Name, icfg)
 	if err != nil {
@@ -130,15 +156,26 @@ func (d *Descriptor) sweepOne(cfg SweepConfig, icfg Config, scripts [][]Op, rel 
 			}
 		}
 	}
+	cost := func(slot int) int64 { return int64(len(scripts[slot])) }
+	// Base workers release immediately unless an arrival trace reshapes
+	// them; the adversaries always carry the swept vector.
+	baseRel := func(i int) arrival.Release {
+		if i < len(base) {
+			return base[i]
+		}
+		return arrival.Release{AfterSlices: -1}
+	}
 	if d.Family == FamilyUni {
-		s.Spawn(sched.JobSpec{Name: "victim", CPU: 0, Prio: 1, Slot: 0, AfterSlices: -1, Body: script(0)})
-		s.Spawn(sched.JobSpec{Name: "adv", CPU: 0, Prio: 5, Slot: 1, AfterSlices: rel[0], Body: script(1)})
-		s.Spawn(sched.JobSpec{Name: "adv2", CPU: 0, Prio: 9, Slot: 2, AfterSlices: rel[1], Body: script(2)})
+		b := baseRel(0)
+		s.Spawn(sched.JobSpec{Name: "victim", CPU: 0, Prio: 1, Slot: 0, AfterSlices: b.AfterSlices, At: b.At, Cost: cost(0), Body: script(0)})
+		s.Spawn(sched.JobSpec{Name: "adv", CPU: 0, Prio: 5, Slot: 1, AfterSlices: rel[0], Cost: cost(1), Body: script(1)})
+		s.Spawn(sched.JobSpec{Name: "adv2", CPU: 0, Prio: 9, Slot: 2, AfterSlices: rel[1], Cost: cost(2), Body: script(2)})
 	} else {
-		s.Spawn(sched.JobSpec{Name: "w0", CPU: 0, Prio: 1, Slot: 0, AfterSlices: -1, Body: script(0)})
-		s.Spawn(sched.JobSpec{Name: "w1", CPU: 1, Prio: 1, Slot: 1, AfterSlices: -1, Body: script(1)})
-		s.Spawn(sched.JobSpec{Name: "adv", CPU: 0, Prio: 9, Slot: 2, AfterSlices: rel[0], Body: script(2)})
-		s.Spawn(sched.JobSpec{Name: "adv2", CPU: 1, Prio: 9, Slot: 3, AfterSlices: rel[1], Body: script(3)})
+		b0, b1 := baseRel(0), baseRel(1)
+		s.Spawn(sched.JobSpec{Name: "w0", CPU: 0, Prio: 1, Slot: 0, AfterSlices: b0.AfterSlices, At: b0.At, Cost: cost(0), Body: script(0)})
+		s.Spawn(sched.JobSpec{Name: "w1", CPU: 1, Prio: 1, Slot: 1, AfterSlices: b1.AfterSlices, At: b1.At, Cost: cost(1), Body: script(1)})
+		s.Spawn(sched.JobSpec{Name: "adv", CPU: 0, Prio: 9, Slot: 2, AfterSlices: rel[0], Cost: cost(2), Body: script(2)})
+		s.Spawn(sched.JobSpec{Name: "adv2", CPU: 1, Prio: 9, Slot: 3, AfterSlices: rel[1], Cost: cost(3), Body: script(3)})
 	}
 	if err := s.Run(); err != nil {
 		return dumpFailure(s, cfg, fmt.Errorf("%s rel=%v: %w", d.Name, rel, err))
@@ -147,7 +184,12 @@ func (d *Descriptor) sweepOne(cfg SweepConfig, icfg Config, scripts [][]Op, rel 
 		return dumpFailure(s, cfg, fmt.Errorf("%s rel=%v: %w", d.Name, rel, err))
 	}
 	if cfg.Observe != nil {
-		cfg.Observe(rel, cover.ReportSig(s.Report(d.Name)))
+		rep := s.Report(d.Name)
+		// Key the signature by the arrival trace (the policy is already
+		// stamped by Report when off-default); empty folds nothing, so
+		// default sweeps keep their historical signatures.
+		rep.Arrival = cfg.Arrival
+		cfg.Observe(rel, cover.ReportSig(rep))
 	}
 	return nil
 }

@@ -1,0 +1,125 @@
+package scenario
+
+// Tests for the policy/arrival seams threaded through the scenario layer.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/registry"
+)
+
+// TestPatternsPin: Patterns() is the legacy trio, verbatim — the wfbench
+// sweep matrix iterates it, so its membership is part of the golden-output
+// contract.
+func TestPatternsPin(t *testing.T) {
+	if got := Patterns(); !reflect.DeepEqual(got, []string{"burst", "none", "stagger"}) {
+		t.Fatalf("Patterns() = %v, want [burst none stagger]", got)
+	}
+}
+
+// TestArrivalAliasesPattern: Config.Arrival and Config.Pattern naming the
+// same trace produce byte-identical runs, and Arrival wins when both are
+// set — so the CLIs can expose both flags without a behavioral fork.
+func TestArrivalAliasesPattern(t *testing.T) {
+	rep := func(cfg Config) string {
+		s, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := s.Report("uniqueue").JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	byPattern := rep(Config{Object: "uniqueue", Seed: 1, Pattern: "stagger"})
+	byArrival := rep(Config{Object: "uniqueue", Seed: 1, Arrival: "stagger"})
+	if byPattern != byArrival {
+		t.Errorf("Pattern:\"stagger\" and Arrival:\"stagger\" runs differ:\n%s\nvs\n%s", byPattern, byArrival)
+	}
+	precedence := rep(Config{Object: "uniqueue", Seed: 1, Pattern: "burst", Arrival: "stagger"})
+	if precedence != byArrival {
+		t.Errorf("Arrival should take precedence over Pattern when both are set")
+	}
+}
+
+// TestPolicyThreadedIntoReport: an off-default policy reaches the Sim and
+// is stamped into the run report; the default run stays unstamped (the
+// omitempty field that keeps historical goldens byte-identical).
+func TestPolicyThreadedIntoReport(t *testing.T) {
+	s, err := Run(Config{Object: "uniqueue", Seed: 1, Policy: "fcfs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Report("uniqueue").Policy; got != "fcfs" {
+		t.Errorf("off-default run report Policy = %q, want \"fcfs\"", got)
+	}
+	s, err = Run(Config{Object: "uniqueue", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Report("uniqueue").Policy; got != "" {
+		t.Errorf("default run report Policy = %q, want \"\" (omitempty keeps goldens stable)", got)
+	}
+	if _, err := Run(Config{Object: "uniqueue", Seed: 1, Policy: "bogus"}); err == nil {
+		t.Errorf("unknown policy should fail fast")
+	}
+	if _, err := Run(Config{Object: "uniqueue", Seed: 1, Arrival: "bogus"}); err == nil {
+		t.Errorf("unknown arrival trace should fail fast")
+	}
+}
+
+// TestNewArrivalTracesRunEverywhere: the time-triggered templates (bursty,
+// rate) drive every registered core object — both families — to a clean
+// completion under every policy template's default. This is the coverage
+// pin that each arrival template is exercised by at least one test.
+func TestNewArrivalTracesRunEverywhere(t *testing.T) {
+	for _, object := range Objects() {
+		for _, arr := range []string{"bursty", "rate"} {
+			t.Run(object+"/"+arr, func(t *testing.T) {
+				s, err := Run(Config{Object: object, Seed: 3, Arrival: arr})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if s.Slices() == 0 {
+					t.Errorf("run executed no slices")
+				}
+			})
+		}
+	}
+}
+
+// TestPoliciesRunEveryFamily: every policy template drives one uni and one
+// multi object to completion through the scenario layer.
+func TestPoliciesRunEveryFamily(t *testing.T) {
+	var uni, multi string
+	for _, object := range Objects() {
+		d, err := registry.Lookup(object)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Family == registry.FamilyUni && uni == "" {
+			uni = object
+		}
+		if d.Family == registry.FamilyMulti && multi == "" {
+			multi = object
+		}
+	}
+	if uni == "" || multi == "" {
+		t.Fatalf("registry lacks a uni or multi object (uni=%q multi=%q)", uni, multi)
+	}
+	for _, pol := range []string{"priority", "fcfs", "priority-fcfs", "sjf", "age-slo", "reverse-priority"} {
+		for _, object := range []string{uni, multi} {
+			t.Run(pol+"/"+object, func(t *testing.T) {
+				s, err := Run(Config{Object: object, Seed: 2, Policy: pol})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if s.Policy().Name() != pol {
+					t.Errorf("Sim policy = %q, want %q", s.Policy().Name(), pol)
+				}
+			})
+		}
+	}
+}

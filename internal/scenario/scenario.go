@@ -8,13 +8,17 @@
 //
 // The object set, instance construction and op scripts all come from
 // internal/registry: every core descriptor carries a ScenarioSpec, so a new
-// object shows up here (and in wftrace) by registering a descriptor.
+// object shows up here (and in wftrace) by registering a descriptor. The
+// preemption patterns are arrival traces (internal/arrival) and the
+// dispatch discipline is a scheduling policy (sched.Policy), both named in
+// the Config — the historical trio of patterns and the strict-priority
+// discipline remain the defaults.
 package scenario
 
 import (
 	"fmt"
-	"sort"
 
+	"repro/internal/arrival"
 	"repro/internal/helping"
 	"repro/internal/prim"
 	"repro/internal/registry"
@@ -27,8 +31,16 @@ type Config struct {
 	Object string
 	// Seed seeds the simulation.
 	Seed int64
-	// Pattern is one of Patterns(); empty means "stagger".
+	// Pattern is the legacy name for Arrival (the scenario tooling's
+	// original trio of preemption patterns); empty means "stagger".
 	Pattern string
+	// Arrival selects the arrival trace shaping the adversary/burst
+	// releases — any of arrival.Names(). When set it takes precedence
+	// over Pattern.
+	Arrival string
+	// Policy names the scheduling discipline (sched.PolicyNames());
+	// empty means the paper's strict-priority model.
+	Policy string
 	// Trace enables event recording; cmd/wftrace always sets it.
 	Trace bool
 	// CC and Mode configure the multiprocessor helping machinery (zero
@@ -38,33 +50,10 @@ type Config struct {
 	Mode helping.Mode
 }
 
-// pattern gives the slice counts after which the two adversaries (or, for
-// multiprocessor objects, the two per-processor preemptors) are released.
-// A negative count releases the job at time zero, which on a uniprocessor
-// serializes the jobs by priority and produces no mid-operation preemption.
-type pattern struct {
-	k1, k2 int64
-}
-
-var patterns = map[string]pattern{
-	// stagger reproduces the Figure 2 shape: the second process arrives
-	// mid-scan of the first, the third mid-help of the second.
-	"stagger": {k1: 15, k2: 28},
-	// burst releases both adversaries almost together, early.
-	"burst": {k1: 6, k2: 8},
-	// none releases everything at time zero: priority order serializes
-	// the operations and no helping occurs (the control case).
-	"none": {k1: -1, k2: -1},
-}
-
-// Patterns returns the known preemption pattern names, sorted.
+// Patterns returns the legacy preemption pattern names, sorted. The full
+// arrival-trace template set is arrival.Names().
 func Patterns() []string {
-	var out []string
-	for name := range patterns {
-		out = append(out, name)
-	}
-	sort.Strings(out)
-	return out
+	return arrival.Legacy()
 }
 
 // Objects returns the object names scenarios exist for: every core object
@@ -76,25 +65,32 @@ func Objects() []string {
 // Run builds and executes the scenario, returning the completed simulation
 // (trace, report and final memory are read off it).
 func Run(cfg Config) (*sched.Sim, error) {
-	pat, ok := patterns[patternName(cfg)]
-	if !ok {
-		return nil, fmt.Errorf("scenario: unknown pattern %q (have %v)", cfg.Pattern, Patterns())
+	trc, err := arrival.ByName(traceName(cfg))
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	pol, err := sched.PolicyByName(cfg.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
 	}
 	d, err := registry.Lookup(cfg.Object)
 	if err != nil || d.Family == registry.FamilyBaseline {
 		return nil, fmt.Errorf("scenario: unknown object %q (have %v)", cfg.Object, Objects())
 	}
-	s, err := build(d, cfg, pat)
+	s, err := build(d, cfg, trc, pol)
 	if err != nil {
 		return nil, err
 	}
 	if err := s.Run(); err != nil {
-		return nil, fmt.Errorf("scenario %s/%s: %w", cfg.Object, patternName(cfg), err)
+		return nil, fmt.Errorf("scenario %s/%s: %w", cfg.Object, trc.Name(), err)
 	}
 	return s, nil
 }
 
-func patternName(cfg Config) string {
+func traceName(cfg Config) string {
+	if cfg.Arrival != "" {
+		return cfg.Arrival
+	}
 	if cfg.Pattern == "" {
 		return "stagger"
 	}
@@ -104,8 +100,8 @@ func patternName(cfg Config) string {
 // build instantiates the descriptor's ScenarioSpec inside a fresh simulation
 // and spawns its cast: uniprocessor objects get the Figure 2 trio (victim
 // plus two adversaries, one script each), multiprocessor objects one worker
-// per processor plus pattern-released compute bursts.
-func build(d *registry.Descriptor, cfg Config, pat pattern) (*sched.Sim, error) {
+// per processor plus trace-released compute bursts.
+func build(d *registry.Descriptor, cfg Config, trc arrival.Trace, pol sched.Policy) (*sched.Sim, error) {
 	spec := d.Scenario
 	// Acquire rather than New: sweep drivers (wfbench -exp sweep) run the
 	// full matrix of scenarios and release each Sim after reading its
@@ -113,9 +109,9 @@ func build(d *registry.Descriptor, cfg Config, pat pattern) (*sched.Sim, error) 
 	// simply never release, which degrades to New.
 	var s *sched.Sim
 	if d.Family == registry.FamilyUni {
-		s = sched.Acquire(sched.Config{Processors: 1, Seed: cfg.Seed, MemWords: 1 << 15, EnableTrace: cfg.Trace})
+		s = sched.Acquire(sched.Config{Processors: 1, Seed: cfg.Seed, MemWords: 1 << 15, EnableTrace: cfg.Trace, Policy: pol})
 	} else {
-		s = sched.Acquire(sched.Config{Processors: 2, Seed: cfg.Seed, MemWords: 1 << 16, EnableTrace: cfg.Trace})
+		s = sched.Acquire(sched.Config{Processors: 2, Seed: cfg.Seed, MemWords: 1 << 16, EnableTrace: cfg.Trace, Policy: pol})
 	}
 	inst, err := registry.Build(s, d.Name, registry.Config{
 		Procs:    len(spec.Scripts),
@@ -139,36 +135,41 @@ func build(d *registry.Descriptor, cfg Config, pat pattern) (*sched.Sim, error) 
 			}
 		}
 	}
+	cost := func(slot int) int64 { return int64(len(spec.Scripts[slot])) }
+	rel := trc.Releases(2, cfg.Seed)
 	if d.Family == registry.FamilyUni {
-		spawnUniTrio(s, pat, body(0), body(1), body(2))
+		spawnUniTrio(s, rel, body, cost)
 	} else {
-		spawnMultiCast(s, pat, body(0), body(1))
+		spawnMultiCast(s, rel, body, cost)
 	}
 	return s, nil
 }
 
-// spawnUniTrio spawns the Figure 2 cast on cpu0: a low-priority victim and
-// two adversaries released after k1 and k2 slices, each performing one
-// script through the given bodies.
-func spawnUniTrio(s *sched.Sim, pat pattern, victim, adv1, adv2 func(*sched.Env)) {
-	s.Spawn(sched.JobSpec{Name: "p", CPU: 0, Prio: 1, Slot: 0, AfterSlices: -1, Body: victim})
-	s.Spawn(sched.JobSpec{Name: "q", CPU: 0, Prio: 5, Slot: 1, AfterSlices: pat.k1, Body: adv1})
-	s.Spawn(sched.JobSpec{Name: "r", CPU: 0, Prio: 9, Slot: 2, AfterSlices: pat.k2, Body: adv2})
+// spawnUniTrio spawns the Figure 2 cast on cpu0: a low-priority victim
+// released at time zero and two adversaries released at the trace's two
+// points, each performing one script through the given bodies.
+func spawnUniTrio(s *sched.Sim, rel []arrival.Release, body func(int) func(*sched.Env), cost func(int) int64) {
+	s.Spawn(sched.JobSpec{Name: "p", CPU: 0, Prio: 1, Slot: 0, AfterSlices: -1, Cost: cost(0), Body: body(0)})
+	s.Spawn(sched.JobSpec{Name: "q", CPU: 0, Prio: 5, Slot: 1, AfterSlices: rel[0].AfterSlices, At: rel[0].At, Cost: cost(1), Body: body(1)})
+	s.Spawn(sched.JobSpec{Name: "r", CPU: 0, Prio: 9, Slot: 2, AfterSlices: rel[1].AfterSlices, At: rel[1].At, Cost: cost(2), Body: body(2)})
 }
 
-// spawnMultiCast spawns one worker per processor plus, for patterns that
+// spawnMultiCast spawns one worker per processor plus, for traces that
 // preempt, a high-priority compute burst per processor (delaying, not
-// touching the object) released after k1/k2 slices. A preempted worker's
-// announced operation is what the other processor's helping ring picks up.
-func spawnMultiCast(s *sched.Sim, pat pattern, w0, w1 func(*sched.Env)) {
-	s.Spawn(sched.JobSpec{Name: "w0", CPU: 0, Prio: 1, Slot: 0, AfterSlices: -1, Body: w0})
-	s.Spawn(sched.JobSpec{Name: "w1", CPU: 1, Prio: 1, Slot: 1, AfterSlices: -1, Body: w1})
-	if pat.k1 >= 0 {
-		s.Spawn(sched.JobSpec{Name: "hi0", CPU: 0, Prio: 9, Slot: -1, AfterSlices: pat.k1,
-			Body: func(e *sched.Env) { e.Delay(60) }})
+// touching the object) released at the trace's two points. A preempted
+// worker's announced operation is what the other processor's helping ring
+// picks up. Immediate releases spawn no burst (the "none" control case:
+// nothing ever preempts the workers).
+func spawnMultiCast(s *sched.Sim, rel []arrival.Release, body func(int) func(*sched.Env), cost func(int) int64) {
+	const burstLen = 60
+	s.Spawn(sched.JobSpec{Name: "w0", CPU: 0, Prio: 1, Slot: 0, AfterSlices: -1, Cost: cost(0), Body: body(0)})
+	s.Spawn(sched.JobSpec{Name: "w1", CPU: 1, Prio: 1, Slot: 1, AfterSlices: -1, Cost: cost(1), Body: body(1)})
+	if !rel[0].Immediate() {
+		s.Spawn(sched.JobSpec{Name: "hi0", CPU: 0, Prio: 9, Slot: -1, AfterSlices: rel[0].AfterSlices, At: rel[0].At, Cost: burstLen,
+			Body: func(e *sched.Env) { e.Delay(burstLen) }})
 	}
-	if pat.k2 >= 0 {
-		s.Spawn(sched.JobSpec{Name: "hi1", CPU: 1, Prio: 9, Slot: -1, AfterSlices: pat.k2,
-			Body: func(e *sched.Env) { e.Delay(60) }})
+	if !rel[1].Immediate() {
+		s.Spawn(sched.JobSpec{Name: "hi1", CPU: 1, Prio: 9, Slot: -1, AfterSlices: rel[1].AfterSlices, At: rel[1].At, Cost: burstLen,
+			Body: func(e *sched.Env) { e.Delay(burstLen) }})
 	}
 }

@@ -1,17 +1,20 @@
 package sched
 
-// readyHeap is a binary max-heap of ready processes ordered by (Prio
-// descending, enqueueNo ascending). enqueueNo is unique per release, so the
-// order is a strict total order and heap pops reproduce exactly the sequence
-// the previous sort.SliceStable-based ready queue produced — at O(log n) per
-// release/preemption instead of a full re-sort. The element at index 0 is
-// the next process the priority rules would dispatch.
+// readyHeap is a binary min-heap of ready processes ordered by (policy key
+// ascending, enqueueNo ascending). The key is computed once at release
+// (Policy.Key), enqueueNo is unique per release, so the order is a strict
+// total order for every policy and heap pops reproduce exactly the sequence
+// a stable sort on the same comparator would produce — at O(log n) per
+// release/preemption instead of a full re-sort. Under the default policy
+// the key is -Prio, making this identical to the original (Prio descending,
+// enqueueNo ascending) strict-priority queue. The element at index 0 is the
+// next process the policy would dispatch.
 type readyHeap []*Proc
 
 // readyBefore reports whether a should be dispatched before b.
 func readyBefore(a, b *Proc) bool {
-	if a.spec.Prio != b.spec.Prio {
-		return a.spec.Prio > b.spec.Prio
+	if a.key != b.key {
+		return a.key < b.key
 	}
 	return a.enqueueNo < b.enqueueNo
 }

@@ -25,6 +25,11 @@ func (s *Sim) Report(object string) *metrics.Report {
 		Slices:      s.slices,
 		Mem:         s.mem.TotalOpCounts(),
 	}
+	if !s.policyDefault {
+		// Stamped only off the default so the golden report JSONs (and
+		// their coverage signatures) stay byte-identical.
+		r.Policy = s.policy.Name()
+	}
 	var allOps []int64
 	for _, p := range s.proc {
 		pr := metrics.ProcReport{

@@ -100,6 +100,12 @@ type Config struct {
 	// identical either way (see DESIGN.md §10); the switch exists for
 	// benchmarking and differential testing, not for correctness.
 	DisableRunAhead bool
+	// Policy is the scheduling discipline; nil means DefaultPolicy (the
+	// paper's strict-priority model). Non-default policies also disable
+	// the run-ahead fast path: its soundness argument leans on the
+	// priority preemption rules, so other disciplines take the serial
+	// scheduler loop (see DESIGN.md §13).
+	Policy Policy
 }
 
 // DefaultMaxSteps is the watchdog limit used when Config.MaxSteps is zero.
@@ -141,6 +147,11 @@ type JobSpec struct {
 	// deterministic handle used by adversarial and exhaustive schedules:
 	// "release q exactly when the victim has executed k steps".
 	AfterSlices int64
+	// Cost is an advance estimate of the job's length for cost-aware
+	// policies (sjf): the registry drivers pass their op counts. It buys
+	// no execution time — the job still runs until its body returns — and
+	// the default policy ignores it.
+	Cost int64
 	// Body is the job's code. It runs on the simulated processor and must
 	// perform all shared-memory access through the provided Env.
 	Body func(*Env)
@@ -157,7 +168,8 @@ type Proc struct {
 	yield  chan yieldMsg
 
 	started   bool
-	enqueueNo int // FIFO tiebreak among equal priorities
+	enqueueNo int   // FIFO tiebreak among equal policy keys
+	key       int64 // policy ordering key, computed once at release
 
 	// Released, Started, Completed are virtual times on the job's CPU.
 	Released  int64
@@ -230,6 +242,12 @@ type Sim struct {
 	aborting  bool
 	failure   error
 
+	// policy is the run's scheduling discipline (never nil after Reset);
+	// policyDefault caches whether it is the strict-priority default, the
+	// only discipline the run-ahead fast path is proven sound for.
+	policy        Policy
+	policyDefault bool
+
 	// busy and idle cache the occupancy partition of cpus (both in cpu-id
 	// order, so min-clock scans preserve the lowest-index tie-break).
 	// occDirty marks the partition stale; it is set whenever a processor
@@ -273,6 +291,11 @@ func (s *Sim) Reset(cfg Config) *Sim {
 		cfg.SyncCost = 1
 	}
 	s.cfg = cfg
+	s.policy = cfg.Policy
+	if s.policy == nil {
+		s.policy = defaultPolicy
+	}
+	_, s.policyDefault = s.policy.(priorityPolicy)
 	if s.mem == nil {
 		s.mem = shmem.New(cfg.MemWords)
 	} else {
@@ -397,6 +420,9 @@ func (s *Sim) Rand() *rand.Rand {
 // Slices returns the number of slices executed so far.
 func (s *Sim) Slices() uint64 { return s.slices }
 
+// Policy returns the run's scheduling discipline (never nil).
+func (s *Sim) Policy() Policy { return s.policy }
+
 // Spawn registers a job. All jobs must be spawned before Run.
 func (s *Sim) Spawn(spec JobSpec) *Proc {
 	if s.ran {
@@ -486,6 +512,10 @@ func (s *Sim) release(p *Proc) {
 	p.Released = c.clock
 	p.enqueueNo = s.enqueueNo
 	s.enqueueNo++
+	p.key = s.policy.Key(JobInfo{
+		ID: p.id, CPU: p.spec.CPU, Slot: p.spec.Slot,
+		Prio: p.spec.Prio, Cost: p.spec.Cost, Released: p.Released,
+	})
 	s.emit(trace.KindArrival, c.id, p, "")
 	c.ready.push(p)
 }
@@ -517,7 +547,7 @@ func (s *Sim) deliverSliceArrivals() {
 	s.pendingSlice = kept
 }
 
-// pick selects the process to run on cpu c under the priority rules, or nil.
+// pick selects the process to run on cpu c under the policy's rules, or nil.
 func (s *Sim) pick(c *cpuState) *Proc {
 	if c.current != nil && c.current.env.noPreempt > 0 {
 		// Preemption disabled (Figure 8(b) lines 3-4): the current
@@ -528,8 +558,10 @@ func (s *Sim) pick(c *cpuState) *Proc {
 		return c.current
 	}
 	top := c.ready[0]
-	if c.current != nil && top.spec.Prio <= c.current.spec.Prio {
-		// Equal priority never preempts (no time slicing).
+	if c.current != nil && !s.policy.Preempts(top.key, c.current.key) {
+		// Equal keys never preempt (no time slicing); under the default
+		// policy this is exactly "equal or lower priority never
+		// preempts".
 		return c.current
 	}
 	// Preempt or dispatch. A preempted process keeps its original
@@ -750,10 +782,14 @@ func (s *Sim) rebuildOccupancy() {
 func (s *Sim) grantRunAhead(c *cpuState, p *Proc) {
 	e := p.env
 	e.budget, e.horizon = 0, 0
-	if s.cfg.DisableRunAhead || !runAheadEnabled {
+	if s.cfg.DisableRunAhead || !runAheadEnabled || !s.policyDefault {
+		// Non-default policies take the serial loop: the grant's
+		// soundness argument below leans on the strict-priority
+		// preemption rules. Both paths are byte-identical for the
+		// default policy, so this only costs speed, never correctness.
 		return
 	}
-	if len(c.ready) > 0 && c.ready[0].spec.Prio > p.spec.Prio {
+	if len(c.ready) > 0 && s.policy.Preempts(c.ready[0].key, p.key) {
 		return
 	}
 	b := int64(s.cfg.MaxSteps) - int64(s.slices)

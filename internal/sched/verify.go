@@ -1,10 +1,19 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/trace"
 )
+
+// ErrNonPriorityPolicy is returned (wrapped) by VerifyPriorityModel when the
+// run was scheduled by a non-default policy: the invariants it replays are
+// the paper's strict-priority model, so checking them against another
+// discipline would be vacuous at best and a false alarm at worst. The
+// explicit error (rather than a silent pass) keeps callers honest about
+// what was and was not verified.
+var ErrNonPriorityPolicy = errors.New("sched: VerifyPriorityModel checks the strict-priority discipline only")
 
 // VerifyPriorityModel replays a run's trace and checks the scheduling
 // invariants of the paper's model:
@@ -21,6 +30,10 @@ import (
 // since it only reads the emitted trace. The trace must have been recorded
 // with Config.EnableTrace.
 func VerifyPriorityModel(s *Sim) error {
+	if !s.policyDefault {
+		return fmt.Errorf("%w: this run was scheduled by %q, whose dispatch and preemption order is not the paper's priority model",
+			ErrNonPriorityPolicy, s.policy.Name())
+	}
 	if s.log == nil {
 		return fmt.Errorf("sched: VerifyPriorityModel requires EnableTrace")
 	}
