@@ -28,6 +28,12 @@ go test -race ./internal/sched/... ./internal/trace/... ./internal/tracex/... ./
 # black-box differential tests against the Wing-Gong engine.
 go test -race -short ./internal/native/...
 
+# Service subsystem: hot-key counter and token-bucket limiter, all four
+# store variants on real goroutines under the race detector, with the
+# conservation oracles (counts never lost or doubled; per-tenant windows
+# never over-admitted).
+go test -race -short ./internal/service/...
+
 # The registry must cover every internal/core/ and internal/baseline/
 # package; this is the gate that keeps "drive everything through the
 # registry" honest.
@@ -78,6 +84,21 @@ go run ./cmd/wfbench -exp native -ops 4000 -outdir artifacts > /dev/null
 test -s artifacts/BENCH_native.json
 grep -q '"op_latency_ns"' artifacts/BENCH_native.json
 grep -q '"go_version"' artifacts/BENCH_native.json
+
+# Service smoke: the traffic subsystem's full matrix — both service
+# objects, all four variants, both backends — into BENCH_service.json.
+# Every variant must appear with a nonzero logical-write rate, and the
+# simulator half is deterministic (pinned byte-for-byte by the
+# internal/service golden test; native timings vary by host).
+go run ./cmd/wfbench -exp service -ops 2000 -procs 4 -outdir artifacts > /dev/null
+test -s artifacts/BENCH_service.json
+for v in waitfree atomic lock sharded; do
+    grep -q "\"variant\": \"$v\"" artifacts/BENCH_service.json
+done
+grep -q '"backend": "sim"' artifacts/BENCH_service.json
+grep -q '"backend": "native"' artifacts/BENCH_service.json
+! grep -q '"writes_per_sec": 0[,}]' artifacts/BENCH_service.json
+grep -q '"policy_table"' artifacts/BENCH_service.json
 
 # Flight recorder: a native run drained into the standard span pipeline
 # must export a non-empty Perfetto trace of real-hardware causality.

@@ -10,6 +10,7 @@
 //	wfbench -exp valois              # the [7]-cited CAS-only comparison
 //	wfbench -exp ablations           # A1-A4 design-choice ablations
 //	wfbench -exp native              # real-hardware ops/sec vs a sync.Mutex
+//	wfbench -exp service             # hot-key counter & rate limiter, both backends
 //
 // All numbers are virtual time units (one unit per memory operation; see
 // internal/sched). The shapes — linearity in W/T/P, wait-free/lock-free
@@ -63,16 +64,23 @@ import (
 // benchArrival are the -policy/-arrival flags: the scheduling discipline
 // and arrival trace for the report and sweep experiments (empty = the
 // paper's strict-priority model with the legacy release shapes, keeping
-// every BENCH_*.json byte-identical).
+// every BENCH_*.json byte-identical). The service* vars are the -exp
+// service knobs: which service object, which variant, and the keyed
+// traffic shape (hot-key count, Zipf skew, tenant count).
 var (
-	withTrace    bool
-	withProgress bool
-	benchPolicy  string
-	benchArrival string
+	withTrace         bool
+	withProgress      bool
+	benchPolicy       string
+	benchArrival      string
+	serviceSel        string
+	serviceVariantSel string
+	serviceKeys       int
+	serviceTenants    int
+	serviceZipf       float64
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig1|ext|mwcas|sec34|retries|valois|ablations|report|sweep|core|native|all")
+	exp := flag.String("exp", "all", "experiment: fig1|ext|mwcas|sec34|retries|valois|ablations|report|sweep|core|native|service|all")
 	ops := flag.Int("ops", 50000, "total operations for the sec34 experiments (the paper used 50000)")
 	procs := flag.Int("procs", 4, "processors for the sec34 experiments (the paper used 4)")
 	seed := flag.Int64("seed", 11, "random seed")
@@ -86,6 +94,11 @@ func main() {
 	flag.BoolVar(&withTrace, "trace", false, "with -exp report: also write TRACE_<object>.trace.json span exports (Perfetto)")
 	flag.StringVar(&benchPolicy, "policy", "", "with -exp report/sweep: scheduling policy (default: the paper's strict-priority model)")
 	flag.StringVar(&benchArrival, "arrival", "", "with -exp report/sweep: arrival trace for the burst releases (default: the legacy shapes)")
+	flag.StringVar(&serviceSel, "service", "both", "with -exp service: service object (counter|limiter|both)")
+	flag.StringVar(&serviceVariantSel, "variant", "all", "with -exp service: store variant (waitfree|atomic|lock|sharded|all)")
+	flag.IntVar(&serviceKeys, "keys", 64, "with -exp service: hot-key space size")
+	flag.IntVar(&serviceTenants, "tenants", 4, "with -exp service: tenant count for the rate limiter")
+	flag.Float64Var(&serviceZipf, "zipf", 1.2, "with -exp service: Zipf skew of the key popularity (>1; <=1 disables skew)")
 	flag.Parse()
 
 	if _, err := sched.PolicyByName(benchPolicy); err != nil {
@@ -137,6 +150,7 @@ func main() {
 	run("sweep", func() error { return sweep(*outdir, *sweepSeeds) })
 	run("core", func() error { return coreBench(*outdir, *coreBaseline) })
 	run("native", func() error { return nativeBench(*outdir, *ops, *procs, *seed) })
+	run("service", func() error { return serviceBench(*outdir, *ops, *procs, *seed) })
 	stopProf()
 }
 
@@ -809,9 +823,11 @@ func reports(outdir string, seed int64) error {
 	}
 
 	// The list kinds run the Section 3.4 workload at report scale. The
-	// workload driver owns its scheduler configuration, so under a
-	// non-default policy or arrival trace these reports are skipped
-	// (loudly) and only the registry objects are measured.
+	// workload suite accepts the disciplines its interference model
+	// covers (priority/fcfs/priority-fcfs); under any other policy, or a
+	// non-default arrival trace (the workload driver owns its release
+	// points), these reports are skipped (loudly) and only the registry
+	// objects are measured.
 	listKinds := []struct {
 		kind  workload.Kind
 		procs int
@@ -820,14 +836,16 @@ func reports(outdir string, seed int64) error {
 		{workload.WaitFreeUni, 1},
 		{workload.LockFreeGC, 4},
 	}
-	if benchPolicy != "" || benchArrival != "" {
+	if benchArrival != "" || !workload.PolicyAccepted(benchPolicy) {
 		listKinds = nil
-		fmt.Fprintf(os.Stderr, "wfbench: skipping workload list reports under -policy/-arrival (registry objects only)\n")
+		fmt.Fprintf(os.Stderr, "wfbench: skipping workload list reports (workload policies: %v, no -arrival override); registry objects only\n",
+			workload.AcceptedPolicies())
 	}
 	for _, lk := range listKinds {
 		res, err := workload.RunList(workload.ListConfig{
 			Kind: lk.kind, Processors: lk.procs, BurstsPerCPU: 2, BurstOps: 10,
 			TotalOps: 400, ListSize: 100, Seed: seed, EnableTrace: withTrace,
+			Policy: benchPolicy,
 		})
 		if err != nil {
 			return err

@@ -33,6 +33,14 @@ type nativeEntry struct {
 	Family string `json:"family"`
 	Model  string `json:"model"`
 
+	// Policy and Arrival record the run configuration the same way the
+	// sweep entries do (empty = default, omitted from JSON so the golden
+	// reports stay byte-identical). The native backend schedules with
+	// real goroutines either way; the stamp keeps BENCH artifacts
+	// self-describing.
+	Policy  string `json:"policy,omitempty"`
+	Arrival string `json:"arrival,omitempty"`
+
 	Procs     int     `json:"procs"`
 	OpsTotal  int     `json:"ops_total"`
 	ElapsedNs int64   `json:"elapsed_ns"`
@@ -133,9 +141,10 @@ func nativeBench(outdir string, totalOps, procs int, seed int64) error {
 		rep.Entries = append(rep.Entries, nativeEntry{
 			Object: d.Name, Kind: kind,
 			Family: d.Family.String(), Model: modelName(d.Model),
+			Policy: benchPolicy, Arrival: benchArrival,
 			Procs: procs, OpsTotal: done,
 			ElapsedNs:  res.Elapsed.Nanoseconds(),
-			OpsPerSec:  opsPerSec(done, res.Elapsed),
+			OpsPerSec:  metrics.Throughput(done, res.Elapsed.Nanoseconds()),
 			Goroutines: procs, Shards: res.World.Processors(),
 			Mem:       res.Counts,
 			HelpGiven: given, HelpReceived: received,
@@ -168,13 +177,6 @@ func nativeBench(outdir string, totalOps, procs int, seed int64) error {
 	}
 	fmt.Printf("\nwrote %s\n", path)
 	return nil
-}
-
-func opsPerSec(ops int, elapsed time.Duration) float64 {
-	if elapsed <= 0 {
-		return 0
-	}
-	return float64(ops) / elapsed.Seconds()
 }
 
 // genFor returns a descriptor whose generator produces the canonical op
@@ -259,9 +261,10 @@ func mutexBench(m registry.ModelKind, totalOps, procs int, seed int64) (*nativeE
 	return &nativeEntry{
 		Object: "mutex-" + modelName(m), Kind: "mutex",
 		Family: "-", Model: modelName(m),
+		Policy: benchPolicy, Arrival: benchArrival,
 		Procs: procs, OpsTotal: done,
 		ElapsedNs:  elapsed.Nanoseconds(),
-		OpsPerSec:  opsPerSec(done, elapsed),
+		OpsPerSec:  metrics.Throughput(done, elapsed.Nanoseconds()),
 		Goroutines: procs,
 	}, nil
 }

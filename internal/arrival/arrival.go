@@ -109,6 +109,28 @@ func (bursty) Releases(n int, seed int64) []Release {
 	return out
 }
 
+// poissonMeanGap is the mean inter-arrival gap of the poisson trace.
+const poissonMeanGap = 35.0
+
+// poisson is an open-loop Poisson process: seeded exponential
+// inter-arrival gaps with mean 35 virtual-time units, the textbook
+// stochastic model of independent request traffic (and the arrival model
+// of the Alistarh/Censor-Hillel/Shavit practically-wait-free analysis).
+// Time-triggered like bursty; a pure function of (n, seed).
+type poisson struct{}
+
+func (poisson) Name() string { return "poisson" }
+func (poisson) Releases(n int, seed int64) []Release {
+	rng := rand.New(rand.NewSource(seed*0x9e3779b9 + 7))
+	out := make([]Release, n)
+	var at float64
+	for i := range out {
+		at += rng.ExpFloat64() * poissonMeanGap
+		out[i] = Release{AfterSlices: -1, At: 1 + int64(at)}
+	}
+	return out
+}
+
 // ratePeriods are the per-tenant inter-arrival periods of the rate trace.
 var ratePeriods = [...]int64{60, 105}
 
@@ -137,7 +159,7 @@ var traces = map[string]Trace{}
 var legacy = []string{"burst", "none", "stagger"}
 
 func init() {
-	for _, t := range []Trace{stagger{}, burst{}, none{}, bursty{}, rate{}} {
+	for _, t := range []Trace{stagger{}, burst{}, none{}, bursty{}, rate{}, poisson{}} {
 		traces[t.Name()] = t
 	}
 }

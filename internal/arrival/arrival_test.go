@@ -68,6 +68,37 @@ func TestBurstyDeterministicAndSeeded(t *testing.T) {
 	}
 }
 
+// TestPoissonTemplate: the Poisson trace is a pure function of (n, seed),
+// seed-sensitive, time-triggered, with strictly increasing arrival times
+// and an empirical mean gap near the documented 35 units.
+func TestPoissonTemplate(t *testing.T) {
+	po, err := ByName("poisson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, a2 := po.Releases(200, 13), po.Releases(200, 13)
+	if !reflect.DeepEqual(a1, a2) {
+		t.Errorf("poisson.Releases not deterministic")
+	}
+	if reflect.DeepEqual(a1, po.Releases(200, 14)) {
+		t.Errorf("poisson.Releases identical across seeds 13 and 14")
+	}
+	prev := int64(0)
+	for i, r := range a1 {
+		if r.AfterSlices >= 0 {
+			t.Fatalf("poisson release %d is slice-triggered (%v); must be time-triggered", i, r)
+		}
+		if r.At < prev {
+			t.Fatalf("poisson release %d At=%d before predecessor %d", i, r.At, prev)
+		}
+		prev = r.At
+	}
+	mean := float64(a1[len(a1)-1].At) / float64(len(a1))
+	if mean < 20 || mean > 55 {
+		t.Errorf("poisson empirical mean gap %.1f far from the documented 35", mean)
+	}
+}
+
 // TestRateTemplate pins the closed-form two-tenant schedule.
 func TestRateTemplate(t *testing.T) {
 	ra, err := ByName("rate")
@@ -94,7 +125,7 @@ func TestRegistry(t *testing.T) {
 	if !sort.StringsAreSorted(names) {
 		t.Errorf("Names() not sorted: %v", names)
 	}
-	want := []string{"burst", "bursty", "none", "rate", "stagger"}
+	want := []string{"burst", "bursty", "none", "poisson", "rate", "stagger"}
 	if !reflect.DeepEqual(names, want) {
 		t.Fatalf("Names() = %v, want %v", names, want)
 	}

@@ -367,6 +367,19 @@ func (r *Report) WriteText(w io.Writer) error {
 	return err
 }
 
+// Throughput converts an operation count over an elapsed duration into
+// ops/sec. The elapsed figure is in nanoseconds for native (wall-clock)
+// runs; simulator callers pass virtual-time units and read the result as
+// ops per 10^9 vt units — the shared scale both backends' BENCH entries
+// report. Non-positive elapsed yields 0 rather than Inf, so a degenerate
+// run stays JSON-encodable.
+func Throughput(ops int, elapsedNs int64) float64 {
+	if elapsedNs <= 0 || ops <= 0 {
+		return 0
+	}
+	return float64(ops) / (float64(elapsedNs) / 1e9)
+}
+
 // AssertWaitFree checks the paper's bound shape on every process: a
 // process's executed memory steps must not exceed maxOwnSteps (the
 // interference-free cost of its whole body) plus perInterferer steps for

@@ -194,14 +194,21 @@ func (d *Descriptor) RunNative(r NativeRun) (*NativeResult, error) {
 // shards). The native-only fields (Latency, OpLatency, MaxPreemptDepth,
 // CAS2GuardRetries) are the omitempty extras the simulator never sets.
 func buildNativeReport(d *Descriptor, w *native.World, procs []*native.Proc, seed int64, res *NativeResult) *metrics.Report {
+	return NativeReport(d.Name, seed, w, procs, res.Elapsed, res.Counts)
+}
+
+// NativeReport is the exported form of the aggregation for drivers that
+// spawn their own goroutines against a native world (internal/service)
+// instead of going through RunNative: same mapping, same report shape.
+func NativeReport(object string, seed int64, w *native.World, procs []*native.Proc, elapsed time.Duration, counts metrics.OpCounts) *metrics.Report {
 	rep := &metrics.Report{
-		Object:      d.Name,
+		Object:      object,
 		Seed:        seed,
 		Processors:  w.Processors(),
 		Granularity: "native",
 		SyncCost:    1,
-		ElapsedVT:   res.Elapsed.Nanoseconds(),
-		Mem:         res.Counts,
+		ElapsedVT:   elapsed.Nanoseconds(),
+		Mem:         counts,
 		OpLatency:   &metrics.Hist{},
 	}
 	for i, p := range procs {

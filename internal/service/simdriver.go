@@ -1,0 +1,260 @@
+package service
+
+import (
+	"fmt"
+
+	"repro/internal/arrival"
+	"repro/internal/metrics"
+	"repro/internal/registry"
+	"repro/internal/sched"
+)
+
+// The simulator driver: the service scenario as a deterministic virtual-
+// time run. P base workers (priority 1, released at time zero) each
+// stream Requests generated requests into the store while P burst
+// workers (priority 9, released by an arrival trace) inject
+// BurstRequests-request spikes — the serving-system shape of steady
+// load plus arriving hot traffic. Every request's response time is
+// recorded via Env.RecordOp, so the report's OpTime percentiles are
+// exact virtual-time hot-path latencies, and the whole run — report
+// included — is a pure function of (config, seed).
+
+// SimConfig parameterizes a simulator-backed service run.
+type SimConfig struct {
+	Kind    Kind
+	Variant Variant
+	// Processors is P; the run has P base workers and P burst workers
+	// (2P store slots). Default 2.
+	Processors int
+	// Requests is each base worker's request count (default 200).
+	Requests int
+	// BurstRequests is each burst worker's request count
+	// (default Requests/4).
+	BurstRequests int
+	// Traffic shapes the generated request stream.
+	Traffic TrafficConfig
+	// Budget and Batch pass through to StoreConfig.
+	Budget int
+	Batch  int
+	Seed   int64
+	// Policy names the scheduling discipline ("" = strict priority).
+	Policy string
+	// Arrival names the burst workers' release trace (default "bursty").
+	Arrival string
+}
+
+func (c *SimConfig) normalize() error {
+	if c.Processors == 0 {
+		c.Processors = 2
+	}
+	if c.Requests == 0 {
+		c.Requests = 200
+	}
+	if c.BurstRequests == 0 {
+		c.BurstRequests = c.Requests / 4
+	}
+	if c.Arrival == "" {
+		c.Arrival = "bursty"
+	}
+	c.Traffic = c.Traffic.Normalized()
+	if c.Processors < 1 || c.Requests < 1 || c.BurstRequests < 0 {
+		return fmt.Errorf("service: sim sizing out of range (P=%d requests=%d burst=%d)",
+			c.Processors, c.Requests, c.BurstRequests)
+	}
+	return nil
+}
+
+// TenantWindow keys the limiter oracle: one admission budget per tenant
+// per refill window.
+type TenantWindow struct {
+	Tenant int
+	Window uint64
+}
+
+// SimResult is the measured outcome of one simulator-backed run.
+type SimResult struct {
+	Cfg    SimConfig
+	Report *metrics.Report
+
+	// Requests is the total requests issued; Applied the subset that
+	// reached a decision (counter increment landed, limiter verdict
+	// returned); Lost the subset dropped at the wait-free retry cap.
+	Requests, Applied, Lost int
+	// Admitted and Denied split the limiter verdicts (zero for counters).
+	Admitted, Denied int
+	// Retries is the total synchronization retries across all requests.
+	Retries int
+	// Steps is the run's total backend memory operations; ElapsedVT its
+	// virtual-time makespan.
+	Steps     uint64
+	ElapsedVT int64
+	// Totals is the store's quiescent aggregate (per-key sums or
+	// per-tenant admitted counts).
+	Totals []uint64
+	// Admits counts admissions per (tenant, window) — the limiter
+	// over-admission oracle checks it against Budget.
+	Admits map[TenantWindow]int
+	// BaseOpTime and BurstOpTime digest per-request response times by
+	// worker class, the starvation story's per-policy comparison axis.
+	BaseOpTime, BurstOpTime metrics.Summary
+}
+
+// AssertWaitFree checks the paper's bound shape on the run's report with
+// allowances calibrated for the service transaction. Own work: each
+// request costs a bounded announce/scan/help transaction, so the
+// interference-free budget is linear in the slot's request count. Per
+// interferer: every unit of interference (a preemption, or a process on
+// another processor) can force at most one extra helping pass plus — for
+// the processes actually sharing the words — the conflict retries the
+// rival's own commits can induce, which the retry cap hard-bounds.
+func (r *SimResult) AssertWaitFree() error {
+	slots := 2 * r.Cfg.Processors
+	perReq := 40 + 28*slots // announce + scan ring + one helping pass
+	reqs := r.Cfg.Requests
+	if r.Cfg.BurstRequests > reqs {
+		reqs = r.Cfg.BurstRequests
+	}
+	own := perReq * (reqs + 1)
+	per := perReq * (wfRetryCap(slots) + 2)
+	return r.Report.AssertWaitFree(own, per)
+}
+
+// RunSim executes one service scenario on the simulator.
+func RunSim(cfg SimConfig) (*SimResult, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	pol, err := sched.PolicyByName(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	trace, err := arrival.ByName(cfg.Arrival)
+	if err != nil {
+		return nil, err
+	}
+	P := cfg.Processors
+	slots := 2 * P
+	totalReqs := P*cfg.Requests + P*cfg.BurstRequests
+
+	s := sched.New(sched.Config{
+		Processors:  P,
+		Seed:        cfg.Seed,
+		MemWords:    1<<16 + slots*(cfg.Traffic.Keys+cfg.Traffic.Tenants+64),
+		Granularity: sched.Coarse,
+		MaxSteps:    uint64(totalReqs)*uint64(512+64*slots) + 1<<22,
+		Policy:      pol,
+	})
+	st, err := NewStore(registry.SimBackend(s), StoreConfig{
+		Kind: cfg.Kind, Variant: cfg.Variant,
+		Keys: cfg.Traffic.Keys, Tenants: cfg.Traffic.Tenants,
+		Slots: slots, Budget: cfg.Budget, Batch: cfg.Batch,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &SimResult{Cfg: cfg, Admits: map[TenantWindow]int{}}
+	// Per-slot outcome tallies and response samples, merged post-run (the
+	// simulator serializes bodies, but keeping rows slot-owned means the
+	// same body code runs under the native driver).
+	applied := make([]int, slots)
+	admitted := make([]int, slots)
+	denied := make([]int, slots)
+	lost := make([]int, slots)
+	retries := make([]int, slots)
+	deltaSum := make([]uint64, slots)
+	admits := make([]map[TenantWindow]int, slots)
+	samples := make([][]int64, slots)
+
+	body := func(slot, n int) func(e *sched.Env) {
+		return func(e *sched.Env) {
+			admits[slot] = make(map[TenantWindow]int, n/4+1)
+			reqs := cfg.Traffic.Requests(cfg.Seed, slot, n)
+			for _, req := range reqs {
+				start := e.Now()
+				resp := st.Apply(e, slot, req)
+				d := e.Now() - start
+				e.RecordOp(d)
+				samples[slot] = append(samples[slot], d)
+				retries[slot] += resp.Retries
+				if !resp.Applied {
+					lost[slot]++
+					continue
+				}
+				applied[slot]++
+				switch {
+				case cfg.Kind == Counter:
+					deltaSum[slot] += req.Delta
+				case resp.Admitted:
+					admitted[slot]++
+					admits[slot][TenantWindow{req.Tenant, req.Window}]++
+				default:
+					denied[slot]++
+				}
+			}
+			st.Flush(e, slot)
+		}
+	}
+
+	for cpu := 0; cpu < P; cpu++ {
+		s.Spawn(sched.JobSpec{
+			Name: fmt.Sprintf("base%d", cpu), CPU: cpu, Prio: 1, Slot: cpu,
+			AfterSlices: -1, Cost: int64(cfg.Requests),
+			Body: body(cpu, cfg.Requests),
+		})
+	}
+	rels := trace.Releases(P, cfg.Seed)
+	for cpu := 0; cpu < P; cpu++ {
+		slot := P + cpu
+		s.Spawn(sched.JobSpec{
+			Name: fmt.Sprintf("burst%d", cpu), CPU: cpu, Prio: 9, Slot: slot,
+			At: rels[cpu].At, AfterSlices: rels[cpu].AfterSlices,
+			Cost: int64(cfg.BurstRequests),
+			Body: body(slot, cfg.BurstRequests),
+		})
+	}
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+
+	rep := s.Report(fmt.Sprintf("service-%s-%s", cfg.Kind, cfg.Variant))
+	rep.Arrival = cfg.Arrival
+	res.Report = rep
+	res.ElapsedVT = rep.ElapsedVT
+	res.Steps = rep.Mem.Steps()
+	res.Requests = totalReqs
+	res.Totals = st.Totals()
+	var baseS, burstS []int64
+	var deltas uint64
+	for slot := 0; slot < slots; slot++ {
+		res.Applied += applied[slot]
+		res.Admitted += admitted[slot]
+		res.Denied += denied[slot]
+		res.Lost += lost[slot]
+		res.Retries += retries[slot]
+		deltas += deltaSum[slot]
+		for tw, n := range admits[slot] {
+			res.Admits[tw] += n
+		}
+		if slot < P {
+			baseS = append(baseS, samples[slot]...)
+		} else {
+			burstS = append(burstS, samples[slot]...)
+		}
+	}
+	res.BaseOpTime = metrics.Summarize(baseS)
+	res.BurstOpTime = metrics.Summarize(burstS)
+	if err := res.verify(deltas); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// verify applies the shared conservation oracles to a finished run.
+func (res *SimResult) verify(deltas uint64) error {
+	budget := res.Cfg.Budget
+	if budget == 0 {
+		budget = 32
+	}
+	return checkConservation(res.Cfg.Kind, budget, res.Totals, deltas, res.Admitted, res.Admits)
+}

@@ -44,6 +44,9 @@ type MWCASConfig struct {
 	Mode helping.Mode
 	// Granularity defaults to Coarse.
 	Granularity sched.Granularity
+	// Policy names the scheduling discipline; the same accept/refuse
+	// gate as ListConfig.Policy applies (see PolicyAccepted).
+	Policy string
 }
 
 // MWCASResult is the measured outcome.
@@ -75,6 +78,10 @@ func RunMWCAS(cfg MWCASConfig) (*MWCASResult, error) {
 		return nil, fmt.Errorf("workload: burst commits %d exceed total %d", burstCommits, cfg.TotalCommits)
 	}
 	slots := cfg.Processors + burstJobs
+	pol, err := resolvePolicy(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
 
 	s := sched.New(sched.Config{
 		Processors:  cfg.Processors,
@@ -82,6 +89,7 @@ func RunMWCAS(cfg MWCASConfig) (*MWCASResult, error) {
 		MemWords:    1 << 16,
 		Granularity: cfg.Granularity,
 		MaxSteps:    uint64(cfg.TotalCommits)*uint64(cfg.Words+64)*64 + 1<<22,
+		Policy:      pol,
 	})
 
 	// Build the object and a transaction function.

@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func policyListCfg(policy string) ListConfig {
+	return ListConfig{
+		Kind: WaitFree, Processors: 2,
+		BurstsPerCPU: 1, BurstOps: 4, TotalOps: 60, ListSize: 16,
+		Seed: 5, Policy: policy,
+	}
+}
+
+// TestRunListPolicyGate: one subtest per shipped policy — the suite runs
+// under the disciplines its interference model covers and refuses the
+// rest with the wrapped typed error naming the policy.
+func TestRunListPolicyGate(t *testing.T) {
+	for _, pol := range append([]string{""}, sched.PolicyNames()...) {
+		pol := pol
+		name := pol
+		if name == "" {
+			name = "default"
+		}
+		t.Run(name, func(t *testing.T) {
+			res, err := RunList(policyListCfg(pol))
+			if PolicyAccepted(pol) {
+				if err != nil {
+					t.Fatalf("accepted policy %q refused: %v", pol, err)
+				}
+				if res.Ops != 60 {
+					t.Fatalf("ran %d ops, want 60", res.Ops)
+				}
+				want := pol
+				if pol == "priority" {
+					// The explicit default resolves to the default
+					// discipline, which reports leave unstamped.
+					want = ""
+				}
+				if res.Report.Policy != want {
+					t.Fatalf("report policy %q, want %q", res.Report.Policy, want)
+				}
+			} else {
+				if !errors.Is(err, sched.ErrNonPriorityPolicy) {
+					t.Fatalf("policy %q: err = %v, want wrapped ErrNonPriorityPolicy", pol, err)
+				}
+				if pol != "" && !strings.Contains(err.Error(), pol) {
+					t.Fatalf("refusal does not name policy %q: %v", pol, err)
+				}
+			}
+		})
+	}
+}
+
+// TestRunListUnknownPolicy: unknown names fail resolution, not the gate.
+func TestRunListUnknownPolicy(t *testing.T) {
+	_, err := RunList(policyListCfg("no-such-policy"))
+	if err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if errors.Is(err, sched.ErrNonPriorityPolicy) {
+		t.Fatalf("unknown policy hit the gate instead of name resolution: %v", err)
+	}
+}
+
+// TestRunMWCASPolicyGate: the MWCAS harness shares the gate.
+func TestRunMWCASPolicyGate(t *testing.T) {
+	cfg := MWCASConfig{
+		Kind: MWCASMulti, Processors: 2, Words: 6, Width: 2,
+		TotalCommits: 40, BurstsPerCPU: 1, BurstCommits: 4, Seed: 3,
+	}
+	for _, pol := range []string{"fcfs", "age-slo"} {
+		cfg.Policy = pol
+		res, err := RunMWCAS(cfg)
+		if PolicyAccepted(pol) {
+			if err != nil {
+				t.Fatalf("accepted policy %q refused: %v", pol, err)
+			}
+			if res.Commits != cfg.TotalCommits {
+				t.Fatalf("policy %q: %d commits, want %d", pol, res.Commits, cfg.TotalCommits)
+			}
+		} else if !errors.Is(err, sched.ErrNonPriorityPolicy) {
+			t.Fatalf("policy %q: err = %v, want wrapped ErrNonPriorityPolicy", pol, err)
+		}
+	}
+}

@@ -89,6 +89,11 @@ type ListConfig struct {
 	// (the remainder splits evenly between inserts and deletes). The
 	// paper's workload used none; real kernels are read-heavy.
 	SearchPercent int
+	// Policy names the scheduling discipline ("" = strict priority). The
+	// suite accepts the disciplines its helping-protocol model is sound
+	// for (see PolicyAccepted) and refuses the rest with a wrapped
+	// sched.ErrNonPriorityPolicy.
+	Policy string
 	// Check attaches the structural linearizability checker (slower).
 	Check bool
 	// EnableTrace records the run's event log (ListResult.TraceLog) for
@@ -130,6 +135,46 @@ type ListResult struct {
 	// TraceLog is the run's event log when Cfg.EnableTrace was set, nil
 	// otherwise; feed it to tracex.Build for the span model.
 	TraceLog *trace.Log
+}
+
+// acceptedPolicies names the scheduling disciplines the suite runs
+// under. The workload's measurement model leans on two properties: a
+// dispatched job keeps its processor until a *higher-priority* release
+// preempts it (so the burst jobs are the only interference source), and
+// the base workers are never starved outright (so every run terminates
+// with its op budget spent). Strict priority is the paper's model;
+// fcfs and priority-fcfs are non-preemptive, which only removes
+// preemption edges — the helping protocol stays sound and the bursts
+// still serialize against the base workers. The remaining disciplines
+// (sjf, age-slo, reverse-priority) reorder or invert dispatch in ways
+// the suite's burst-interference accounting does not model, so they are
+// refused rather than silently mismeasured.
+var acceptedPolicies = map[string]bool{
+	"":              true,
+	"priority":      true,
+	"fcfs":          true,
+	"priority-fcfs": true,
+}
+
+// PolicyAccepted reports whether the suite runs under the named policy
+// ("" = the strict-priority default).
+func PolicyAccepted(name string) bool { return acceptedPolicies[name] }
+
+// AcceptedPolicies lists the non-empty accepted policy names, sorted.
+func AcceptedPolicies() []string { return []string{"fcfs", "priority", "priority-fcfs"} }
+
+// resolvePolicy gate-checks and resolves a ListConfig/MWCASConfig policy
+// name.
+func resolvePolicy(name string) (sched.Policy, error) {
+	pol, err := sched.PolicyByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	if !acceptedPolicies[name] {
+		return nil, fmt.Errorf("workload: %w: the workload suite models burst interference under priority/fcfs/priority-fcfs only, not policy %q",
+			sched.ErrNonPriorityPolicy, pol.Name())
+	}
+	return pol, nil
 }
 
 // kindToObject maps the workload kinds onto registry names.
@@ -181,6 +226,10 @@ func RunList(cfg ListConfig) (*ListResult, error) {
 	if cfg.SearchPercent < 0 || cfg.SearchPercent > 100 {
 		return nil, fmt.Errorf("workload: search percentage %d out of range", cfg.SearchPercent)
 	}
+	pol, err := resolvePolicy(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
 
 	// Job layout: one base worker per processor plus the bursts; each
 	// burst job gets its own slot (slots never execute concurrently
@@ -203,6 +252,7 @@ func RunList(cfg ListConfig) (*ListResult, error) {
 		SyncCost:    cfg.SyncCost,
 		MaxSteps:    uint64(cfg.TotalOps)*uint64(cfg.ListSize+64)*8*uint64(max(cfg.SyncCost, 1)) + 1<<22,
 		EnableTrace: cfg.EnableTrace,
+		Policy:      pol,
 	})
 	l, err := build(cfg, s, slots)
 	if err != nil {
@@ -340,11 +390,16 @@ func measureBaseOp(cfg ListConfig) int64 {
 	if base.Kind == WaitFreeUni {
 		base.Kind = WaitFreeUni
 	}
+	pol, err := resolvePolicy(base.Policy)
+	if err != nil {
+		return 1
+	}
 	s := sched.New(sched.Config{
 		Processors:  1,
 		Seed:        cfg.Seed + 1,
 		MemWords:    3*(base.ListSize+probeOps+32) + 1<<13,
 		Granularity: base.Granularity,
+		Policy:      pol,
 	})
 	l, err := build(base, s, 1)
 	if err != nil {

@@ -1,0 +1,76 @@
+package waitfree
+
+// Service facade. The paper's objects are building blocks; this file
+// surfaces the one subsystem in the repo that *uses* them as a serving
+// stack would: internal/service's hot-key counter and per-tenant
+// token-bucket rate limiter, each available in four store variants
+// (wait-free MWCAS transactions, plain atomic CAS, a spinlock, and
+// sharded write-behind batching) behind a single Store seam that runs
+// unchanged on the simulator and on native hardware.
+//
+//	res, err := waitfree.RunServiceSim(waitfree.ServiceSimConfig{
+//		Kind: waitfree.ServiceLimiter, Variant: waitfree.StoreWaitFree,
+//		Processors: 2, Requests: 200, Seed: 7,
+//	})
+//	// res.Admitted, res.Report.OpTime, res.AssertWaitFree(), ...
+//
+// See DESIGN.md §14 for the variant trade-offs and the conservation
+// oracles both drivers enforce.
+
+import "repro/internal/service"
+
+type (
+	// ServiceStore is the seam all four variants implement: Apply a
+	// request on a slot, Flush write-behind state, read quiescent
+	// Totals.
+	ServiceStore = service.Store
+	// ServiceKind selects the service object (counter or limiter).
+	ServiceKind = service.Kind
+	// StoreVariant selects the store implementation.
+	StoreVariant = service.Variant
+	// ServiceStoreConfig sizes a store (keys, tenants, slots, budget,
+	// batch).
+	ServiceStoreConfig = service.StoreConfig
+	// ServiceReq is one keyed request; ServiceResp its verdict.
+	ServiceReq  = service.Req
+	ServiceResp = service.Resp
+	// ServiceTraffic shapes the generated request stream (key space,
+	// Zipf skew, tenant count, window length).
+	ServiceTraffic = service.TrafficConfig
+	// ServiceSimConfig / ServiceSimResult drive the simulator backend.
+	ServiceSimConfig = service.SimConfig
+	ServiceSimResult = service.SimResult
+	// ServiceNativeConfig / ServiceNativeResult drive real goroutines.
+	ServiceNativeConfig = service.NativeConfig
+	ServiceNativeResult = service.NativeResult
+)
+
+// The service kinds and store variants.
+const (
+	ServiceCounter = service.Counter
+	ServiceLimiter = service.Limiter
+
+	StoreWaitFree = service.WaitFree
+	StoreAtomic   = service.Atomic
+	StoreLock     = service.Lock
+	StoreSharded  = service.Sharded
+)
+
+// NewServiceStore builds a store variant on any Backend (SimBackend or
+// NativeBackend) — the same seam the *On object constructors use.
+func NewServiceStore(b Backend, cfg ServiceStoreConfig) (ServiceStore, error) {
+	return service.NewStore(b, cfg)
+}
+
+// RunServiceSim runs one deterministic simulator-backed service run:
+// base workers at priority 1 plus a priority-9 burst wave, exact step
+// counts, virtual-time percentiles, and the conservation oracle.
+func RunServiceSim(cfg ServiceSimConfig) (*ServiceSimResult, error) {
+	return service.RunSim(cfg)
+}
+
+// RunServiceNative runs the same store code on real goroutines with
+// wall-clock latency histograms and the same conservation oracle.
+func RunServiceNative(cfg ServiceNativeConfig) (*ServiceNativeResult, error) {
+	return service.RunNative(cfg)
+}

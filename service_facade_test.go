@@ -1,0 +1,79 @@
+package waitfree_test
+
+import (
+	"testing"
+
+	waitfree "repro"
+)
+
+// TestServiceFacadeSim: the facade drives a full simulator-backed
+// service run and the result carries the standard report shape.
+func TestServiceFacadeSim(t *testing.T) {
+	res, err := waitfree.RunServiceSim(waitfree.ServiceSimConfig{
+		Kind: waitfree.ServiceLimiter, Variant: waitfree.StoreWaitFree,
+		Processors: 2, Requests: 40, BurstRequests: 10,
+		Traffic: waitfree.ServiceTraffic{Keys: 8, Tenants: 2, WindowLen: 10},
+		Budget:  6, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied+res.Lost != res.Requests {
+		t.Fatalf("applied %d + lost %d != requests %d", res.Applied, res.Lost, res.Requests)
+	}
+	if res.Admitted == 0 {
+		t.Fatal("limiter admitted nothing")
+	}
+	if res.Report == nil || res.Report.OpTime.Count == 0 {
+		t.Fatal("missing op-time report")
+	}
+	if err := res.AssertWaitFree(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServiceFacadeNative: the same seam on real goroutines, plus the
+// store constructor on a native backend directly.
+func TestServiceFacadeNative(t *testing.T) {
+	res, err := waitfree.RunServiceNative(waitfree.ServiceNativeConfig{
+		Kind: waitfree.ServiceCounter, Variant: waitfree.StoreSharded,
+		Procs: 4, Requests: 25, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != res.Requests {
+		t.Fatalf("sharded counter lost requests: applied %d of %d", res.Applied, res.Requests)
+	}
+
+	w := waitfree.NewNativeWorld(1<<12, 2)
+	st, err := waitfree.NewServiceStore(waitfree.NativeBackend(w),
+		waitfree.ServiceStoreConfig{Kind: waitfree.ServiceCounter, Variant: waitfree.StoreAtomic, Keys: 4, Slots: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.NewProc(0, 0, 1)
+	p.Begin()
+	resp := st.Apply(p, 0, waitfree.ServiceReq{Key: 2, Delta: 5})
+	st.Flush(p, 0)
+	p.End()
+	if !resp.Applied {
+		t.Fatal("atomic counter apply failed")
+	}
+	if got := st.Totals()[2]; got != 5 {
+		t.Fatalf("Totals()[2] = %d, want 5", got)
+	}
+}
+
+// TestServiceFacadeValidation covers the constructor's error path.
+func TestServiceFacadeValidation(t *testing.T) {
+	sim := waitfree.NewSim(waitfree.SimConfig{Processors: 1, Seed: 1, MemWords: 1 << 12})
+	if _, err := waitfree.NewServiceStore(waitfree.SimBackend(sim),
+		waitfree.ServiceStoreConfig{Kind: "bogus", Variant: waitfree.StoreAtomic, Slots: 1}); err == nil {
+		t.Error("bogus service kind accepted")
+	}
+	if _, err := waitfree.NewServiceStore(waitfree.SimBackend(sim),
+		waitfree.ServiceStoreConfig{Kind: waitfree.ServiceCounter, Variant: "bogus", Slots: 1}); err == nil {
+		t.Error("bogus store variant accepted")
+	}
+}
