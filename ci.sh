@@ -127,15 +127,36 @@ go run ./cmd/wfcheck -suite uniqueue -max 40 -policy fcfs -arrival bursty -par 0
 cmp artifacts/wfcheck_fcfs_bursty.txt artifacts/wfcheck_fcfs_bursty_par.txt
 cmp testdata/golden/wfcheck_fcfs_bursty.txt artifacts/wfcheck_fcfs_bursty.txt
 
+# Pruned sweep: with -prune off the output is byte-identical to the plain
+# sweep (asserted above via the golden); with it on, the pruned counts
+# must appear and the par-vs-serial identity must still hold.
+go run ./cmd/wfcheck -max 120 -prune -par 1 > artifacts/wfcheck_prune.txt
+go run ./cmd/wfcheck -max 120 -prune -par 0 > artifacts/wfcheck_prune_par.txt
+cmp artifacts/wfcheck_prune.txt artifacts/wfcheck_prune_par.txt
+grep -q "pruned" artifacts/wfcheck_prune.txt
+
+# Swarm smoke: a small-budget stratified sampling campaign must keep the
+# byte-identity contract at any -par and render the coverage block with
+# its saturation curve. (Real campaigns run millions of schedules; see
+# EXPERIMENTS.md "Scaling the sweep to millions of schedules".)
+go run ./cmd/wfcheck -swarm -budget 2000 -cover -par 1 > artifacts/wfcheck_swarm.txt
+go run ./cmd/wfcheck -swarm -budget 2000 -cover -par 0 > artifacts/wfcheck_swarm_par.txt
+cmp artifacts/wfcheck_swarm.txt artifacts/wfcheck_swarm_par.txt
+grep -q "curve" artifacts/wfcheck_swarm.txt
+grep -q "schedules total" artifacts/wfcheck_swarm.txt
+
 # Run-ahead fast-path regression guard: batching must stay armed for the
-# default policy and declined for every other template (which fall back to
-# the serial loop the differential suite pins).
+# default policy and for the non-preemptive templates (fcfs, sjf,
+# priority-fcfs), and declined for the preemptive off-default ones (which
+# fall back to the serial loop the differential suite pins).
 go test ./internal/sched/ -run TestRunAheadPolicyGate -count=1
 
-# Perf gate: -exp core re-measures the serial and run-ahead simulator core
-# (asserting the two modes still agree exactly) and fails if run-ahead
-# ns/slice regresses more than 25% against the committed baseline. Set
-# WF_SKIP_PERF_GATE=1 on hosts too noisy for timing assertions.
+# Perf gates: -exp core re-measures the serial and run-ahead simulator
+# core (asserting the two modes still agree exactly) and fails if
+# run-ahead ns/slice regresses more than 25% against the committed
+# baseline, or if the geomean checked-sweep speedup falls more than 25%
+# below the baseline's. Set WF_SKIP_PERF_GATE=1 on hosts too noisy for
+# timing assertions (it skips both gates).
 if [ -z "${WF_SKIP_PERF_GATE:-}" ]; then
     go run ./cmd/wfbench -exp core -outdir artifacts -corebaseline testdata/BENCH_core.json
 fi

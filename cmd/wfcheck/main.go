@@ -20,7 +20,16 @@
 // from the object but its sequential model. A failing (object, seed,
 // strategy) triple is a perfect reproducer, replayable with wftrace -linz.
 //
-// -cover adds schedule-space coverage to either mode: every executed
+// Two scale levers ride on the sweep mode. -prune turns on quiescence
+// pruning (explore.SweepPruned): schedules provably equivalent to an
+// already-explored one are skipped and reported as a pruned count — the
+// failure set is provably identical to the full sweep's (DESIGN.md §15).
+// -swarm -budget N replaces exhaustion with seeded stratified sampling
+// over the (release-vector × policy × arrival) grid, splitting the budget
+// across one stratum per (object, policy, arrival) triple; a single
+// invocation scales to millions of checked schedules (see swarm.go).
+//
+// -cover adds schedule-space coverage to any mode: every executed
 // schedule is signed (internal/cover) and the suite lines are followed by
 // "cover" lines reporting distinct-behavior counts and the saturation
 // curve. Signatures are collected per suite and folded post-merge in suite
@@ -35,6 +44,8 @@
 //	wfcheck -max 200         # widen the release-point range
 //	wfcheck -par 0           # sweep objects in parallel on all cores
 //	wfcheck -cover -progress # coverage accounting + live progress
+//	wfcheck -prune           # skip provably-equivalent schedules
+//	wfcheck -swarm -budget 1000000 -cover -par 0  # sample a million schedules
 //	wfcheck -linz -rand 200  # 200 randomized schedules per object, black-box checked
 //	wfcheck -policy fcfs -arrival bursty   # sweep under another discipline/arrival shape
 //	wfcheck -linz -policy reverse-priority # randomized schedules under the stressor policy
@@ -62,6 +73,9 @@ func main() {
 	suite := flag.String("suite", "all", "suite: any core registry object, workload, or all")
 	maxSlice := flag.Int64("max", 120, "largest release point swept")
 	keepGoing := flag.Bool("keepgoing", false, "explore past failures and report every failing vector")
+	prune := flag.Bool("prune", false, "skip schedules provably equivalent to an explored one (quiescence pruning)")
+	swarm := flag.Bool("swarm", false, "stratified sampling over the (release × policy × arrival) space instead of the exhaustive sweep")
+	budget := flag.Int("budget", 100_000, "total schedules sampled across all strata in -swarm mode")
 	policy := flag.String("policy", "", "scheduling policy for every schedule (default: the paper's strict-priority model)")
 	arrivalName := flag.String("arrival", "", "arrival trace shaping the base workers' releases (default: immediate)")
 	par := flag.Int("par", 1, "workers for sweeping suites in parallel (0 = all cores); output is identical at any setting")
@@ -107,7 +121,35 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wfcheck: -arrival shapes the sweep cast; -linz generates its own randomized releases\n")
 			exit(1)
 		}
+		if *swarm {
+			fmt.Fprintf(os.Stderr, "wfcheck: -swarm samples the sweep space; -linz generates its own randomized schedules\n")
+			exit(1)
+		}
 		exit(linzMain(*suite, *randN, *par, *coverage, *progress, *policy))
+	}
+
+	if *swarm {
+		// The swarm enumerates the policy and arrival axes itself; a fixed
+		// -policy/-arrival would silently shadow most of its grid.
+		if *policy != "" || *arrivalName != "" {
+			fmt.Fprintf(os.Stderr, "wfcheck: -swarm spans every policy and arrival template; -policy/-arrival apply to the exhaustive sweep\n")
+			exit(1)
+		}
+		objects := registry.CoreNames()
+		if *suite != "all" {
+			ok := false
+			for _, n := range objects {
+				if n == *suite {
+					ok = true
+				}
+			}
+			if !ok {
+				fmt.Fprintf(os.Stderr, "wfcheck: -swarm covers the core objects (have %v), not %q\n", objects, *suite)
+				exit(1)
+			}
+			objects = []string{*suite}
+		}
+		exit(swarmMain(objects, *budget, *par, *maxSlice, *coverage, *progress))
 	}
 
 	offDefault := *policy != "" || *arrivalName != ""
@@ -142,9 +184,10 @@ func main() {
 	}
 
 	type outcome struct {
-		n    int
-		sigs []uint64
-		err  error
+		n      int
+		pruned int
+		sigs   []uint64
+		err    error
 	}
 	observing := *coverage || *progress
 	// Suites are independent simulations; fan them out and report in name
@@ -169,17 +212,18 @@ func main() {
 			return o, nil
 		}
 		cfg := registry.SweepConfig{Max: *maxSlice, KeepGoing: *keepGoing, Trace: *traceFailures,
-			Policy: *policy, Arrival: *arrivalName}
+			Policy: *policy, Arrival: *arrivalName, Prune: *prune}
 		if observing {
 			cfg.Observe = func(rel []int64, sig uint64) { observe(sig) }
 		}
 		d := registry.Lookup0(names[i])
-		o.n, o.err = d.Sweep(cfg)
+		si, err := d.SweepStats(cfg)
+		o.n, o.pruned, o.err = si.Explored, si.Pruned, err
 		return o, nil
 	})
 	meter.Finish()
 
-	total := 0
+	total, totalPruned := 0, 0
 	failed := false
 	acc := cover.NewAccumulator()
 	for i, o := range results {
@@ -195,7 +239,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wfcheck: %s: %v\n", names[i], o.err)
 			exit(1)
 		}
-		fmt.Printf("%-10s %6d schedules explored, 0 violations\n", names[i], o.n)
+		if *prune {
+			// The pruned count rides along only when asked for, so the
+			// default output (and its committed golden) is untouched.
+			fmt.Printf("%-10s %6d schedules explored (%d pruned), 0 violations\n", names[i], o.n, o.pruned)
+		} else {
+			fmt.Printf("%-10s %6d schedules explored, 0 violations\n", names[i], o.n)
+		}
 		if *coverage {
 			suiteAcc := cover.NewAccumulator()
 			for _, sig := range o.sigs {
@@ -205,8 +255,13 @@ func main() {
 			printCover(names[i], suiteAcc, false)
 		}
 		total += o.n
+		totalPruned += o.pruned
 	}
-	fmt.Printf("%-10s %6d schedules total\n", "all", total)
+	if *prune {
+		fmt.Printf("%-10s %6d schedules total (%d pruned)\n", "all", total, totalPruned)
+	} else {
+		fmt.Printf("%-10s %6d schedules total\n", "all", total)
+	}
 	if *coverage {
 		printCover("all", acc, true)
 	}

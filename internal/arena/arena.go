@@ -135,6 +135,16 @@ func (a *Arena) Freeze() {
 	}
 }
 
+// NodeRegion returns the address bounds [lo, hi) of this arena's node
+// storage. Every container snapshot built on the arena is a pure function
+// of the words in this region (key/val/next per node; CCAS Logical depends
+// only on the raw word), so a write outside it can never change a
+// snapshot. Per-write checkers use the bounds to skip snapshot diffs on
+// engine bookkeeping writes.
+func (a *Arena) NodeRegion() (lo, hi shmem.Addr) {
+	return a.nodes, a.nodes + shmem.Addr(a.capacity*wordsPerNode)
+}
+
 // Capacity returns the total node capacity (including reserved nodes).
 func (a *Arena) Capacity() int { return a.capacity }
 

@@ -12,6 +12,41 @@ type FIFOSnapshotter interface {
 	Snapshot() []uint64
 }
 
+// SnapshotAppender is an optional extension implemented by objects whose
+// snapshot can be appended to a caller-provided buffer. Per-write checkers
+// detect it and ping-pong two scratch buffers across the whole run instead
+// of allocating a fresh snapshot slice on every observed write.
+type SnapshotAppender interface {
+	AppendSnapshot(dst []uint64) []uint64
+}
+
+// snapFunc returns a buffer-reusing snapshot function for q, falling back
+// to the allocating Snapshot when q lacks AppendSnapshot.
+func snapFunc(q FIFOSnapshotter) func(dst []uint64) []uint64 {
+	if sa, ok := q.(SnapshotAppender); ok {
+		return sa.AppendSnapshot
+	}
+	return func(dst []uint64) []uint64 { return append(dst, q.Snapshot()...) }
+}
+
+// SnapshotRegioner is an optional extension: objects whose snapshot is a
+// pure function of a fixed address range report the range, and per-write
+// checkers skip the snapshot diff entirely for writes outside it (engine
+// bookkeeping: announcements, help rings, CCAS descriptors, ...).
+type SnapshotRegioner interface {
+	SnapshotRegion() (lo, hi shmem.Addr)
+}
+
+// snapRegion returns q's snapshot-determining address range, or ok=false
+// when q does not report one (every write must then be diffed).
+func snapRegion(q FIFOSnapshotter) (lo, hi shmem.Addr, ok bool) {
+	if sr, o := q.(SnapshotRegioner); o {
+		lo, hi = sr.SnapshotRegion()
+		return lo, hi, true
+	}
+	return 0, 0, false
+}
+
 // FIFOChecker validates a concurrent FIFO queue by structural-event
 // claiming, assuming *unique values* (the test harness enqueues distinct
 // values).
@@ -24,22 +59,53 @@ type FIFOSnapshotter interface {
 // Pop order equals linearization order, so per-producer FIFO follows from
 // event order and is checked by the harness via value construction.
 type FIFOChecker struct {
-	queue FIFOSnapshotter
-	mem   *shmem.Mem
+	queue        FIFOSnapshotter
+	snap         func(dst []uint64) []uint64
+	regLo, regHi shmem.Addr
+	hasReg       bool
+	mem          *shmem.Mem
 
 	last    []uint64
+	buf     []uint64          // spare snapshot buffer, swapped with last each write
 	pushes  map[uint64]uint64 // value -> push step (unclaimed)
 	pops    map[uint64]uint64 // value -> pop step (unclaimed)
 	popSeq  []uint64          // values in pop order
-	ops     map[int]*fifoOp
+	ops     fifoOps
 	errs    []error
 	maxErrs int
+
+	// Emptiness trail, for judging empty dequeues: the queue's state is
+	// piecewise constant between observed writes, so "was the queue empty
+	// at some instant of [begin, end]" reduces to one flag and one step.
+	emptyNow  bool   // the queue is empty right now
+	emptyAsOf uint64 // most recent step instant at which it was empty
 }
 
 type fifoOp struct {
-	enq   bool
-	val   uint64 // the enqueued value (enq only)
-	begin uint64
+	active bool
+	enq    bool
+	val    uint64 // the enqueued value (enq only)
+	begin  uint64
+}
+
+// fifoOps is a dense per-slot table of in-flight operations, indexed by
+// process slot. A map of per-op heap nodes would allocate on every Begin;
+// the table allocates only when a slot index first appears.
+type fifoOps []fifoOp
+
+func (t *fifoOps) set(p int, op fifoOp) {
+	for len(*t) <= p {
+		*t = append(*t, fifoOp{})
+	}
+	(*t)[p] = op
+}
+
+// get returns the in-flight op of slot p, or nil if none is registered.
+func (t fifoOps) get(p int) *fifoOp {
+	if p < 0 || p >= len(t) || !t[p].active {
+		return nil
+	}
+	return &t[p]
 }
 
 // NewFIFOChecker installs a checker; the queue must be empty or seeded with
@@ -47,13 +113,15 @@ type fifoOp struct {
 func NewFIFOChecker(q FIFOSnapshotter, m *shmem.Mem) *FIFOChecker {
 	c := &FIFOChecker{
 		queue:   q,
+		snap:    snapFunc(q),
 		mem:     m,
 		pushes:  make(map[uint64]uint64),
 		pops:    make(map[uint64]uint64),
-		ops:     make(map[int]*fifoOp),
 		maxErrs: 20,
 	}
-	c.last = q.Snapshot()
+	c.regLo, c.regHi, c.hasReg = snapRegion(q)
+	c.last = c.snap(nil)
+	c.emptyNow = len(c.last) == 0
 	m.AddObserver(c)
 	return c
 }
@@ -68,7 +136,10 @@ func (c *FIFOChecker) OnWrite(ev shmem.WriteEvent) {
 	if ev.Kind == shmem.OpStore {
 		return
 	}
-	now := c.queue.Snapshot()
+	if c.hasReg && (ev.Addr < c.regLo || ev.Addr >= c.regHi) {
+		return // outside the snapshot region: the queue cannot have changed
+	}
+	now := c.snap(c.buf[:0])
 	switch {
 	case len(now) == len(c.last):
 		for i := range now {
@@ -102,27 +173,34 @@ func (c *FIFOChecker) OnWrite(ev shmem.WriteEvent) {
 	default:
 		c.fail(fmt.Errorf("check: step %d: one write changed the length by %d: %v -> %v", ev.Step, len(now)-len(c.last), c.last, now))
 	}
-	c.last = now
+	if len(now) == 0 {
+		c.emptyNow, c.emptyAsOf = true, ev.Step
+	} else if c.emptyNow {
+		// An empty run just ended: it extended from emptyAsOf up to this
+		// write's instant (inclusive boundary, erring toward acceptance).
+		c.emptyNow, c.emptyAsOf = false, ev.Step
+	}
+	c.buf, c.last = c.last, now
 }
 
 // BeginEnq registers an enqueue of val by process p.
 func (c *FIFOChecker) BeginEnq(p int, val uint64) {
-	c.ops[p] = &fifoOp{enq: true, val: val, begin: c.mem.Steps()}
+	c.ops.set(p, fifoOp{active: true, enq: true, val: val, begin: c.mem.Steps()})
 }
 
 // BeginDeq registers a dequeue by process p.
 func (c *FIFOChecker) BeginDeq(p int) {
-	c.ops[p] = &fifoOp{begin: c.mem.Steps()}
+	c.ops.set(p, fifoOp{active: true, begin: c.mem.Steps()})
 }
 
 // EndEnq validates the completed enqueue.
 func (c *FIFOChecker) EndEnq(p int) {
-	op := c.ops[p]
+	op := c.ops.get(p)
 	if op == nil || !op.enq {
 		c.fail(fmt.Errorf("check: EndEnq(%d) without a registered enqueue", p))
 		return
 	}
-	delete(c.ops, p)
+	op.active = false
 	end := c.mem.Steps()
 	step, ok := c.pushes[op.val]
 	if !ok || step < op.begin || step > end {
@@ -134,21 +212,22 @@ func (c *FIFOChecker) EndEnq(p int) {
 
 // EndDeq validates the completed dequeue and its returned value.
 func (c *FIFOChecker) EndDeq(p int, val uint64, ok bool) {
-	op := c.ops[p]
+	op := c.ops.get(p)
 	if op == nil || op.enq {
 		c.fail(fmt.Errorf("check: EndDeq(%d) without a registered dequeue", p))
 		return
 	}
-	delete(c.ops, p)
+	op.active = false
 	end := c.mem.Steps()
 	if !ok {
-		// Empty: the queue must have been empty at some instant of the
-		// window. Approximate via the snapshot trail: if the queue was
-		// never observed empty during the window we cannot prove it,
-		// but a nonempty-throughout window with registered pops not
-		// covering it is a strong signal; keep the conservative check:
-		if len(c.last) > 0 && len(c.popSeq) == 0 && len(c.pushes) == 0 && op.begin == 0 {
-			c.fail(fmt.Errorf("check: process %d reported empty dequeue on a queue that was never empty", p))
+		// Empty: linearizable iff the queue was empty at some instant of
+		// [begin, end]. The emptiness trail answers that exactly — the
+		// queue is empty now, or its most recent empty instant lies inside
+		// the window. (An earlier heuristic keyed on begin == 0 flagged
+		// windows that a concurrent enqueue filled mid-flight; the swarm's
+		// off-default op scripts exposed that as a false positive.)
+		if !c.emptyNow && c.emptyAsOf < op.begin {
+			c.fail(fmt.Errorf("check: process %d reported an empty dequeue but the queue was continuously nonempty over [%d,%d]", p, op.begin, end))
 		}
 		return
 	}
@@ -163,7 +242,9 @@ func (c *FIFOChecker) EndDeq(p int, val uint64, ok bool) {
 // Finish verifies every structural event was claimed.
 func (c *FIFOChecker) Finish() {
 	for p := range c.ops {
-		c.fail(fmt.Errorf("check: process %d has an unreported operation", p))
+		if c.ops[p].active {
+			c.fail(fmt.Errorf("check: process %d has an unreported operation", p))
+		}
 	}
 	for v, step := range c.pops {
 		c.fail(fmt.Errorf("check: removal of %d at step %d was never claimed by a dequeue", v, step))

@@ -15,6 +15,7 @@ package check
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -79,6 +80,6 @@ func (h *wordHist) changesIn(addrs []int, from, to uint64) []uint64 {
 			}
 		}
 	}
-	sort.Slice(steps, func(i, j int) bool { return steps[i] < steps[j] })
+	slices.Sort(steps)
 	return steps
 }

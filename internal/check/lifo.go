@@ -11,13 +11,17 @@ import (
 // a pop removes the first value. Each structural event must be claimed by
 // exactly one successful operation within its window.
 type LIFOChecker struct {
-	stack FIFOSnapshotter // Snapshot() returns top-first
-	mem   *shmem.Mem
+	stack        FIFOSnapshotter // Snapshot() returns top-first
+	snap         func(dst []uint64) []uint64
+	regLo, regHi shmem.Addr
+	hasReg       bool
+	mem          *shmem.Mem
 
 	last    []uint64
+	buf     []uint64 // spare snapshot buffer, swapped with last each write
 	pushes  map[uint64]uint64
 	pops    map[uint64]uint64
-	ops     map[int]*fifoOp
+	ops     fifoOps
 	errs    []error
 	maxErrs int
 }
@@ -26,13 +30,14 @@ type LIFOChecker struct {
 func NewLIFOChecker(st FIFOSnapshotter, m *shmem.Mem) *LIFOChecker {
 	c := &LIFOChecker{
 		stack:   st,
+		snap:    snapFunc(st),
 		mem:     m,
 		pushes:  make(map[uint64]uint64),
 		pops:    make(map[uint64]uint64),
-		ops:     make(map[int]*fifoOp),
 		maxErrs: 20,
 	}
-	c.last = st.Snapshot()
+	c.regLo, c.regHi, c.hasReg = snapRegion(st)
+	c.last = c.snap(nil)
 	m.AddObserver(c)
 	return c
 }
@@ -47,7 +52,10 @@ func (c *LIFOChecker) OnWrite(ev shmem.WriteEvent) {
 	if ev.Kind == shmem.OpStore {
 		return
 	}
-	now := c.stack.Snapshot()
+	if c.hasReg && (ev.Addr < c.regLo || ev.Addr >= c.regHi) {
+		return // outside the snapshot region: the stack cannot have changed
+	}
+	now := c.snap(c.buf[:0])
 	switch {
 	case len(now) == len(c.last):
 		for i := range now {
@@ -79,27 +87,27 @@ func (c *LIFOChecker) OnWrite(ev shmem.WriteEvent) {
 	default:
 		c.fail(fmt.Errorf("check: step %d: one write changed the length by %d", ev.Step, len(now)-len(c.last)))
 	}
-	c.last = now
+	c.buf, c.last = c.last, now
 }
 
 // BeginPush registers a push of val by process p.
 func (c *LIFOChecker) BeginPush(p int, val uint64) {
-	c.ops[p] = &fifoOp{enq: true, val: val, begin: c.mem.Steps()}
+	c.ops.set(p, fifoOp{active: true, enq: true, val: val, begin: c.mem.Steps()})
 }
 
 // BeginPop registers a pop by process p.
 func (c *LIFOChecker) BeginPop(p int) {
-	c.ops[p] = &fifoOp{begin: c.mem.Steps()}
+	c.ops.set(p, fifoOp{active: true, begin: c.mem.Steps()})
 }
 
 // EndPush validates the completed push.
 func (c *LIFOChecker) EndPush(p int) {
-	op := c.ops[p]
+	op := c.ops.get(p)
 	if op == nil || !op.enq {
 		c.fail(fmt.Errorf("check: EndPush(%d) without a registered push", p))
 		return
 	}
-	delete(c.ops, p)
+	op.active = false
 	end := c.mem.Steps()
 	step, ok := c.pushes[op.val]
 	if !ok || step < op.begin || step > end {
@@ -111,12 +119,12 @@ func (c *LIFOChecker) EndPush(p int) {
 
 // EndPop validates the completed pop and its returned value.
 func (c *LIFOChecker) EndPop(p int, val uint64, ok bool) {
-	op := c.ops[p]
+	op := c.ops.get(p)
 	if op == nil || op.enq {
 		c.fail(fmt.Errorf("check: EndPop(%d) without a registered pop", p))
 		return
 	}
-	delete(c.ops, p)
+	op.active = false
 	end := c.mem.Steps()
 	if !ok {
 		return // emptiness validated by event conservation in Finish
@@ -132,7 +140,9 @@ func (c *LIFOChecker) EndPop(p int, val uint64, ok bool) {
 // Finish verifies every structural event was claimed.
 func (c *LIFOChecker) Finish() {
 	for p := range c.ops {
-		c.fail(fmt.Errorf("check: process %d has an unreported operation", p))
+		if c.ops[p].active {
+			c.fail(fmt.Errorf("check: process %d has an unreported operation", p))
+		}
 	}
 	for v, step := range c.pops {
 		c.fail(fmt.Errorf("check: pop of %d at step %d was never claimed", v, step))

@@ -25,7 +25,7 @@ type MultiMWCASChecker struct {
 	mem     *shmem.Mem
 	tracked []shmem.Addr
 	shadow  map[shmem.Addr]uint64
-	ops     map[int]*multiOp
+	ops     []multiOp // dense per-slot in-flight ops; buffers reused across ops
 	rvIndex map[shmem.Addr]int
 	vAddr   shmem.Addr
 	errs    []error
@@ -35,10 +35,19 @@ type MultiMWCASChecker struct {
 }
 
 type multiOp struct {
+	active    bool
 	addrs     []shmem.Addr
 	old, new  []uint64
 	committed bool
 	failed    bool
+}
+
+// multiOpAt returns slot p's in-flight op, or nil if none is registered.
+func (c *MultiMWCASChecker) multiOpAt(p int) *multiOp {
+	if p < 0 || p >= len(c.ops) || !c.ops[p].active {
+		return nil
+	}
+	return &c.ops[p]
 }
 
 // NewMultiMWCASChecker creates a checker for obj over n process slots,
@@ -50,7 +59,6 @@ func NewMultiMWCASChecker(obj *multimwcas.Object, m *shmem.Mem, n int, tracked [
 		mem:     m,
 		tracked: tracked,
 		shadow:  make(map[shmem.Addr]uint64),
-		ops:     make(map[int]*multiOp),
 		rvIndex: make(map[shmem.Addr]int),
 		vAddr:   obj.Engine().VAddr(),
 		maxErrs: 20,
@@ -101,7 +109,7 @@ func (c *MultiMWCASChecker) OnWrite(ev shmem.WriteEvent) {
 func rvLogical(raw uint64) uint64 { return raw & ((uint64(1) << 56) - 1) }
 
 func (c *MultiMWCASChecker) commit(p int, step uint64) {
-	op := c.ops[p]
+	op := c.multiOpAt(p)
 	if op == nil {
 		c.fail(fmt.Errorf("check: step %d: commit for process %d with no registered op", step, p))
 		return
@@ -122,7 +130,7 @@ func (c *MultiMWCASChecker) commit(p int, step uint64) {
 }
 
 func (c *MultiMWCASChecker) failOp(p int, step uint64) {
-	op := c.ops[p]
+	op := c.multiOpAt(p)
 	if op == nil {
 		c.fail(fmt.Errorf("check: step %d: failure for process %d with no registered op", step, p))
 		return
@@ -147,21 +155,24 @@ func (c *MultiMWCASChecker) failOp(p int, step uint64) {
 
 // BeginOp registers process p's next MWCAS.
 func (c *MultiMWCASChecker) BeginOp(p int, addrs []shmem.Addr, old, new []uint64) {
-	c.ops[p] = &multiOp{
-		addrs: append([]shmem.Addr(nil), addrs...),
-		old:   append([]uint64(nil), old...),
-		new:   append([]uint64(nil), new...),
+	for len(c.ops) <= p {
+		c.ops = append(c.ops, multiOp{})
 	}
+	op := &c.ops[p]
+	op.addrs = append(op.addrs[:0], addrs...)
+	op.old = append(op.old[:0], old...)
+	op.new = append(op.new[:0], new...)
+	op.active, op.committed, op.failed = true, false, false
 }
 
 // EndOp validates the reported result of process p's completed MWCAS.
 func (c *MultiMWCASChecker) EndOp(p int, ok bool) {
-	op := c.ops[p]
+	op := c.multiOpAt(p)
 	if op == nil {
 		c.fail(fmt.Errorf("check: EndOp(%d) with no registered op", p))
 		return
 	}
-	delete(c.ops, p)
+	op.active = false
 	if ok && !op.committed {
 		c.fail(fmt.Errorf("check: process %d returned true but never committed", p))
 	}
@@ -212,14 +223,18 @@ type Snapshotter interface {
 // structural events. Two concurrent same-key inserts can therefore not both
 // return true unless two distinct add events occurred.
 type MultiListChecker struct {
-	list Snapshotter
-	mem  *shmem.Mem
+	list         Snapshotter
+	snap         func(dst []uint64) []uint64
+	regLo, regHi shmem.Addr
+	hasReg       bool
+	mem          *shmem.Mem
 
 	lastKeys []uint64
+	buf      []uint64 // spare snapshot buffer, swapped with lastKeys each write
 	presence map[uint64][]presenceSpan
 	adds     map[uint64][]uint64 // unclaimed add-event steps per key
 	removes  map[uint64][]uint64 // unclaimed remove-event steps per key
-	ops      map[int]*listOp
+	ops      []listOp            // dense per-slot in-flight ops
 	errs     []error
 	maxErrs  int
 	events   int
@@ -231,23 +246,25 @@ type presenceSpan struct {
 }
 
 type listOp struct {
-	kind  uint64 // 1 ins, 2 del, 3 sch (multilist's op codes)
-	key   uint64
-	begin uint64
+	active bool
+	kind   uint64 // 1 ins, 2 del, 3 sch (multilist's op codes)
+	key    uint64
+	begin  uint64
 }
 
 // NewMultiListChecker creates a checker; the list must already be seeded.
 func NewMultiListChecker(l Snapshotter, m *shmem.Mem) *MultiListChecker {
 	c := &MultiListChecker{
 		list:     l,
+		snap:     snapFunc(l),
 		mem:      m,
 		presence: make(map[uint64][]presenceSpan),
 		adds:     make(map[uint64][]uint64),
 		removes:  make(map[uint64][]uint64),
-		ops:      make(map[int]*listOp),
 		maxErrs:  20,
 	}
-	c.lastKeys = l.Snapshot()
+	c.regLo, c.regHi, c.hasReg = snapRegion(l)
+	c.lastKeys = c.snap(nil)
 	for _, k := range c.lastKeys {
 		c.presence[k] = []presenceSpan{{step: 0, present: true}}
 	}
@@ -265,9 +282,12 @@ func (c *MultiListChecker) OnWrite(ev shmem.WriteEvent) {
 	if ev.Kind == shmem.OpStore {
 		return // protocol stores never change the key set
 	}
-	now := c.list.Snapshot()
+	if c.hasReg && (ev.Addr < c.regLo || ev.Addr >= c.regHi) {
+		return // outside the snapshot region: the key set cannot have changed
+	}
+	now := c.snap(c.buf[:0])
 	added, removed := diffKeys(c.lastKeys, now)
-	c.lastKeys = now
+	c.buf, c.lastKeys = c.lastKeys, now
 	if len(added)+len(removed) == 0 {
 		return
 	}
@@ -320,17 +340,20 @@ const (
 
 // BeginOp registers the start of process p's operation.
 func (c *MultiListChecker) BeginOp(p int, kind, key uint64) {
-	c.ops[p] = &listOp{kind: kind, key: key, begin: c.mem.Steps()}
+	for len(c.ops) <= p {
+		c.ops = append(c.ops, listOp{})
+	}
+	c.ops[p] = listOp{active: true, kind: kind, key: key, begin: c.mem.Steps()}
 }
 
 // EndOp validates process p's reported result.
 func (c *MultiListChecker) EndOp(p int, got bool) {
-	op := c.ops[p]
-	if op == nil {
+	if p < 0 || p >= len(c.ops) || !c.ops[p].active {
 		c.fail(fmt.Errorf("check: EndOp(%d) with no registered op", p))
 		return
 	}
-	delete(c.ops, p)
+	op := c.ops[p]
+	c.ops[p].active = false
 	end := c.mem.Steps()
 	switch {
 	case op.kind == ListIns && got:
@@ -388,7 +411,9 @@ func (c *MultiListChecker) everPresent(key uint64, begin, end uint64, want bool)
 // Finish verifies the final snapshot is consistent and all ops reported.
 func (c *MultiListChecker) Finish() {
 	for p := range c.ops {
-		c.fail(fmt.Errorf("check: process %d has an unreported operation", p))
+		if c.ops[p].active {
+			c.fail(fmt.Errorf("check: process %d has an unreported operation", p))
+		}
 	}
 }
 

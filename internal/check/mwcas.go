@@ -9,10 +9,19 @@ import (
 
 // mwcasOp is one in-flight MWCAS operation.
 type mwcasOp struct {
+	active    bool
 	addrs     []shmem.Addr
 	old, new  []uint32
 	beginStep uint64
 	committed bool
+}
+
+// mwcasOpAt returns slot p's in-flight op, or nil if none is registered.
+func (c *MWCASChecker) mwcasOpAt(p int) *mwcasOp {
+	if p < 0 || p >= len(c.ops) || !c.ops[p].active {
+		return nil
+	}
+	return &c.ops[p]
 }
 
 // MWCASChecker validates a unimwcas.Object against the atomic multi-word
@@ -37,7 +46,7 @@ type MWCASChecker struct {
 	mem     *shmem.Mem
 	tracked []shmem.Addr
 	hist    *wordHist
-	ops     map[int]*mwcasOp
+	ops     []mwcasOp // dense per-slot in-flight ops; buffers reused across ops
 	errs    []error
 	maxErrs int
 }
@@ -51,7 +60,6 @@ func NewMWCASChecker(obj *unimwcas.Object, m *shmem.Mem, tracked []shmem.Addr) *
 		mem:     m,
 		tracked: tracked,
 		hist:    newWordHist(),
-		ops:     make(map[int]*mwcasOp),
 		maxErrs: 20,
 	}
 	for _, a := range tracked {
@@ -101,7 +109,7 @@ func (c *MWCASChecker) statusIndex(a shmem.Addr) (int, bool) {
 
 // commit applies process p's registered operation to the shadow.
 func (c *MWCASChecker) commit(p int, step uint64) {
-	op := c.ops[p]
+	op := c.mwcasOpAt(p)
 	if op == nil {
 		c.fail(fmt.Errorf("check: step %d: commit by process %d with no registered operation", step, p))
 		return
@@ -129,23 +137,26 @@ func (c *MWCASChecker) commit(p int, step uint64) {
 // BeginOp registers process p's next MWCAS. Call it immediately before
 // invoking MWCAS from inside the process body.
 func (c *MWCASChecker) BeginOp(p int, addrs []shmem.Addr, old, new []uint32) {
-	c.ops[p] = &mwcasOp{
-		addrs:     append([]shmem.Addr(nil), addrs...),
-		old:       append([]uint32(nil), old...),
-		new:       append([]uint32(nil), new...),
-		beginStep: c.mem.Steps(),
+	for len(c.ops) <= p {
+		c.ops = append(c.ops, mwcasOp{})
 	}
+	op := &c.ops[p]
+	op.addrs = append(op.addrs[:0], addrs...)
+	op.old = append(op.old[:0], old...)
+	op.new = append(op.new[:0], new...)
+	op.beginStep = c.mem.Steps()
+	op.active, op.committed = true, false
 }
 
 // EndOp validates process p's completed MWCAS against its reported result.
 // Call it immediately after MWCAS returns, passing its return value.
 func (c *MWCASChecker) EndOp(p int, ok bool) {
-	op := c.ops[p]
+	op := c.mwcasOpAt(p)
 	if op == nil {
 		c.fail(fmt.Errorf("check: EndOp(%d) with no registered operation", p))
 		return
 	}
-	delete(c.ops, p)
+	op.active = false
 	end := c.mem.Steps()
 	if ok {
 		if !op.committed {

@@ -2,7 +2,7 @@ package check
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/core/unilist"
 	"repro/internal/shmem"
@@ -32,6 +32,8 @@ type UniListChecker struct {
 
 	model     map[uint64]bool
 	expected  map[int][]bool // queued expected results per process
+	gotBuf    []uint64       // scratch for the concrete snapshot
+	wantBuf   []uint64       // scratch for the sorted model keys
 	errs      []error
 	maxErrs   int
 	announces int
@@ -106,12 +108,14 @@ func (c *UniListChecker) OnWrite(ev shmem.WriteEvent) {
 }
 
 func (c *UniListChecker) compareSnapshot(step uint64) {
-	got := c.list.Snapshot()
-	want := make([]uint64, 0, len(c.model))
+	got := c.list.AppendSnapshot(c.gotBuf[:0])
+	c.gotBuf = got
+	want := c.wantBuf[:0]
 	for k := range c.model {
 		want = append(want, k)
 	}
-	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	c.wantBuf = want
+	slices.Sort(want)
 	if len(got) != len(want) {
 		c.fail(fmt.Errorf("check: step %d: list has %d keys %v, model has %d keys %v", step, len(got), got, len(want), want))
 		return

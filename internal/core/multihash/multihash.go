@@ -25,7 +25,7 @@ package multihash
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/arena"
 	"repro/internal/helping"
@@ -229,7 +229,9 @@ func (t *Table) help(e shmem.Ctx, ver helping.Version) {
 		if nextkey != key {
 			t.cc.Exec(e, t.eng.VAddr(), vw, t.ar.NextAddr(newNode), uint64(arena.NIL), uint64(nextp))
 			if t.cc.Exec(e, t.eng.VAddr(), vw, t.ar.NextAddr(curr), uint64(nextp), uint64(newNode)) {
-				e.Note("hsplice", trace.I("p", int64(pid)), trace.I("key", int64(key)))
+				if e.Traced() {
+					e.Note("hsplice", trace.I("p", int64(pid)), trace.I("key", int64(key)))
+				}
 			}
 		} else if arena.Ref(t.cc.Read(e, t.ar.NextAddr(newNode))) == arena.NIL {
 			t.cc.Exec(e, t.eng.VAddr(), vw, t.eng.RvAddr(pid), RvPending, RvFalse)
@@ -239,7 +241,9 @@ func (t *Table) help(e shmem.Ctx, ver helping.Version) {
 		if nextkey == key {
 			t.cc.Exec(e, t.eng.VAddr(), vw, t.parAddr(pid, parNode), uint64(arena.NIL), uint64(nextp))
 			if t.cc.Exec(e, t.eng.VAddr(), vw, t.ar.NextAddr(curr), uint64(nextp), uint64(nextnextp)) {
-				e.Note("hunsplice", trace.I("p", int64(pid)), trace.I("key", int64(key)))
+				if e.Traced() {
+					e.Note("hunsplice", trace.I("p", int64(pid)), trace.I("key", int64(key)))
+				}
 			}
 		} else if arena.Ref(t.cc.Read(e, t.parAddr(pid, parNode))) == arena.NIL {
 			t.cc.Exec(e, t.eng.VAddr(), vw, t.eng.RvAddr(pid), RvPending, RvFalse)
@@ -292,7 +296,7 @@ func (t *Table) SeedKeys(keys []uint64) error {
 		perBucket[b] = append(perBucket[b], k)
 	}
 	for b, bk := range perBucket {
-		sort.Slice(bk, func(i, j int) bool { return bk[i] < bk[j] })
+		slices.Sort(bk)
 		prev := t.heads[b]
 		for i, k := range bk {
 			if i > 0 && bk[i-1] == k {
@@ -310,8 +314,18 @@ func (t *Table) SeedKeys(keys []uint64) error {
 }
 
 // Snapshot returns all keys in the table, sorted ascending (quiescent use).
-func (t *Table) Snapshot() []uint64 {
-	var keys []uint64
+// SnapshotRegion reports the address range whose words fully determine
+// Snapshot, so per-write checkers can skip writes that cannot change it.
+func (t *Table) SnapshotRegion() (lo, hi shmem.Addr) { return t.ar.NodeRegion() }
+
+func (t *Table) Snapshot() []uint64 { return t.AppendSnapshot(nil) }
+
+// AppendSnapshot appends the snapshot to dst and returns the extended
+// slice, letting per-write checkers reuse one scratch buffer across a
+// sweep instead of allocating a fresh slice per observed write.
+func (t *Table) AppendSnapshot(dst []uint64) []uint64 {
+	keys := dst
+	base := len(dst)
 	for _, h := range t.heads {
 		r := arena.Ref(t.cc.Logical(t.mem.Peek(t.ar.NextAddr(h))))
 		hops := 0
@@ -323,7 +337,7 @@ func (t *Table) Snapshot() []uint64 {
 			r = arena.Ref(t.cc.Logical(t.mem.Peek(t.ar.NextAddr(r))))
 		}
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	slices.Sort(keys[base:])
 	return keys
 }
 

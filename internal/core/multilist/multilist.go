@@ -272,7 +272,9 @@ func (l *List) help(e shmem.Ctx, ver helping.Version) {
 		if nextkey != key {                                         // line 48
 			l.cc.Exec(e, l.eng.VAddr(), vw, l.ar.NextAddr(newNode), uint64(arena.NIL), uint64(nextp)) // line 50
 			if l.cc.Exec(e, l.eng.VAddr(), vw, l.ar.NextAddr(curr), uint64(nextp), uint64(newNode)) { // line 51
-				e.Note("splice", trace.I("p", int64(pid)), trace.I("key", int64(key)))
+				if e.Traced() {
+					e.Note("splice", trace.I("p", int64(pid)), trace.I("key", int64(key)))
+				}
 			}
 		} else if arena.Ref(l.cc.Read(e, l.ar.NextAddr(newNode))) == arena.NIL {
 			// True duplicate. Distinguishing it from "our own node
@@ -293,7 +295,9 @@ func (l *List) help(e shmem.Ctx, ver helping.Version) {
 		if nextkey == key { // line 52
 			l.cc.Exec(e, l.eng.VAddr(), vw, l.parAddr(pid, parNode), uint64(arena.NIL), uint64(nextp))  // line 53
 			if l.cc.Exec(e, l.eng.VAddr(), vw, l.ar.NextAddr(curr), uint64(nextp), uint64(nextnextp)) { // line 54
-				e.Note("unsplice", trace.I("p", int64(pid)), trace.I("key", int64(key)))
+				if e.Traced() {
+					e.Note("unsplice", trace.I("p", int64(pid)), trace.I("key", int64(key)))
+				}
 			}
 		} else if arena.Ref(l.cc.Read(e, l.parAddr(pid, parNode))) == arena.NIL {
 			// True absence, distinguished from "we just unspliced
@@ -377,12 +381,22 @@ func (l *List) SeedAscending(keys []uint64) error {
 
 // Snapshot returns the keys currently in the list, in order (tests and
 // checkers; no simulated time).
-func (l *List) Snapshot() []uint64 {
-	var keys []uint64
+// SnapshotRegion reports the address range whose words fully determine
+// Snapshot, so per-write checkers can skip writes that cannot change it.
+func (l *List) SnapshotRegion() (lo, hi shmem.Addr) { return l.ar.NodeRegion() }
+
+func (l *List) Snapshot() []uint64 { return l.AppendSnapshot(nil) }
+
+// AppendSnapshot appends the snapshot to dst and returns the extended
+// slice, letting per-write checkers reuse one scratch buffer across a
+// sweep instead of allocating a fresh slice per observed write.
+func (l *List) AppendSnapshot(dst []uint64) []uint64 {
+	keys := dst
+	base := len(dst)
 	r := arena.Ref(l.cc.Logical(l.mem.Peek(l.ar.NextAddr(l.first))))
 	for r != l.last && r != arena.NIL {
 		keys = append(keys, l.mem.Peek(l.ar.KeyAddr(r)))
-		if len(keys) > l.ar.Capacity() {
+		if len(keys)-base > l.ar.Capacity() {
 			panic("multilist: list cycle detected")
 		}
 		r = arena.Ref(l.cc.Logical(l.mem.Peek(l.ar.NextAddr(r))))

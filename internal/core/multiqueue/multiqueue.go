@@ -190,7 +190,9 @@ func (q *Queue) helpEnq(e shmem.Ctx, vw uint64, ver helping.Version, pid int) {
 		q.cc.Exec(e, q.eng.VAddr(), vw, q.ar.NextAddr(newNode), uint64(arena.NIL), uint64(q.last))
 		if nextp == q.last {
 			if q.cc.Exec(e, q.eng.VAddr(), vw, q.ar.NextAddr(curr), uint64(q.last), uint64(newNode)) {
-				e.Note("enqueue", trace.I("p", int64(pid)), trace.I("node", int64(newNode)))
+				if e.Traced() {
+					e.Note("enqueue", trace.I("p", int64(pid)), trace.I("node", int64(newNode)))
+				}
 			}
 		}
 	}
@@ -222,7 +224,9 @@ func (q *Queue) helpDeq(e shmem.Ctx, vw uint64, pid int) {
 		return
 	}
 	if q.cc.Exec(e, q.eng.VAddr(), vw, q.ar.NextAddr(q.first), uint64(victim), uint64(succ)) {
-		e.Note("dequeue", trace.I("p", int64(pid)), trace.I("node", int64(victim)))
+		if e.Traced() {
+			e.Note("dequeue", trace.I("p", int64(pid)), trace.I("node", int64(victim)))
+		}
 	}
 	q.cc.Exec(e, q.eng.VAddr(), vw, q.eng.RvAddr(pid), RvPending, RvTrue)
 }
@@ -245,12 +249,22 @@ func (q *Queue) findtail(e shmem.Ctx, ver helping.Version, pid int) arena.Ref {
 }
 
 // Snapshot returns the queued values in FIFO order (quiescent use only).
-func (q *Queue) Snapshot() []uint64 {
-	var vals []uint64
+// SnapshotRegion reports the address range whose words fully determine
+// Snapshot, so per-write checkers can skip writes that cannot change it.
+func (q *Queue) SnapshotRegion() (lo, hi shmem.Addr) { return q.ar.NodeRegion() }
+
+func (q *Queue) Snapshot() []uint64 { return q.AppendSnapshot(nil) }
+
+// AppendSnapshot appends the snapshot to dst and returns the extended
+// slice, letting per-write checkers reuse one scratch buffer across a
+// sweep instead of allocating a fresh slice per observed write.
+func (q *Queue) AppendSnapshot(dst []uint64) []uint64 {
+	vals := dst
+	base := len(dst)
 	r := arena.Ref(q.cc.Logical(q.mem.Peek(q.ar.NextAddr(q.first))))
 	for r != q.last && r != arena.NIL {
 		vals = append(vals, q.mem.Peek(q.ar.ValAddr(r)))
-		if len(vals) > q.ar.Capacity() {
+		if len(vals)-base > q.ar.Capacity() {
 			panic("multiqueue: queue cycle detected")
 		}
 		r = arena.Ref(q.cc.Logical(q.mem.Peek(q.ar.NextAddr(r))))

@@ -173,7 +173,9 @@ func (s *Stack) helpPush(e shmem.Ctx, vw uint64, pid int) {
 		succ := arena.Ref(s.cc.Read(e, s.ar.NextAddr(newNode)))
 		if succ == head {
 			if s.cc.Exec(e, s.eng.VAddr(), vw, s.ar.NextAddr(s.first), uint64(head), uint64(newNode)) {
-				e.Note("mpush", trace.I("p", int64(pid)), trace.I("node", int64(newNode)))
+				if e.Traced() {
+					e.Note("mpush", trace.I("p", int64(pid)), trace.I("node", int64(newNode)))
+				}
 			}
 		}
 	}
@@ -203,18 +205,30 @@ func (s *Stack) helpPop(e shmem.Ctx, vw uint64, pid int) {
 		return
 	}
 	if s.cc.Exec(e, s.eng.VAddr(), vw, s.ar.NextAddr(s.first), uint64(victim), uint64(succ)) {
-		e.Note("mpop", trace.I("p", int64(pid)), trace.I("node", int64(victim)))
+		if e.Traced() {
+			e.Note("mpop", trace.I("p", int64(pid)), trace.I("node", int64(victim)))
+		}
 	}
 	s.cc.Exec(e, s.eng.VAddr(), vw, s.eng.RvAddr(pid), RvPending, RvTrue)
 }
 
 // Snapshot returns the stacked values, top first (quiescent use only).
-func (s *Stack) Snapshot() []uint64 {
-	var vals []uint64
+// SnapshotRegion reports the address range whose words fully determine
+// Snapshot, so per-write checkers can skip writes that cannot change it.
+func (s *Stack) SnapshotRegion() (lo, hi shmem.Addr) { return s.ar.NodeRegion() }
+
+func (s *Stack) Snapshot() []uint64 { return s.AppendSnapshot(nil) }
+
+// AppendSnapshot appends the snapshot to dst and returns the extended
+// slice, letting per-write checkers reuse one scratch buffer across a
+// sweep instead of allocating a fresh slice per observed write.
+func (s *Stack) AppendSnapshot(dst []uint64) []uint64 {
+	vals := dst
+	base := len(dst)
 	r := arena.Ref(s.cc.Logical(s.mem.Peek(s.ar.NextAddr(s.first))))
 	for r != s.last && r != arena.NIL {
 		vals = append(vals, s.mem.Peek(s.ar.ValAddr(r)))
-		if len(vals) > s.ar.Capacity() {
+		if len(vals)-base > s.ar.Capacity() {
 			panic("multistack: stack cycle detected")
 		}
 		r = arena.Ref(s.cc.Logical(s.mem.Peek(s.ar.NextAddr(r))))

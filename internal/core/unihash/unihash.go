@@ -17,7 +17,7 @@ package unihash
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/arena"
 	"repro/internal/inchelp"
@@ -183,7 +183,9 @@ func (t *Table) help(e shmem.Ctx, pid int) {
 		nextp = packPtr(nextRef, 1)
 		if t.eng.Rv(e, pid) == inchelp.RvPending {
 			if e.CAS(t.ar.NextAddr(curr), nextp, packPtr(newNode, 0)) {
-				e.Note("hsplice", trace.I("p", int64(pid)), trace.I("key", int64(key)))
+				if e.Traced() {
+					e.Note("hsplice", trace.I("p", int64(pid)), trace.I("key", int64(key)))
+				}
 			}
 		} else {
 			e.CAS(t.ar.NextAddr(curr), nextp, packPtr(nextRef, 0))
@@ -194,7 +196,9 @@ func (t *Table) help(e shmem.Ctx, pid int) {
 			return
 		}
 		if e.CAS(t.ar.NextAddr(curr), nextp, packPtr(nextnextRef, 0)) {
-			e.Note("hunsplice", trace.I("p", int64(pid)), trace.I("key", int64(key)))
+			if e.Traced() {
+				e.Note("hunsplice", trace.I("p", int64(pid)), trace.I("key", int64(key)))
+			}
 		}
 		e.Store(t.parAddr(pid, parNode), uint64(nextRef))
 	case opSch:
@@ -236,7 +240,7 @@ func (t *Table) SeedKeys(keys []uint64) error {
 		perBucket[b] = append(perBucket[b], k)
 	}
 	for b, bk := range perBucket {
-		sort.Slice(bk, func(i, j int) bool { return bk[i] < bk[j] })
+		slices.Sort(bk)
 		prev := t.heads[b]
 		for i, k := range bk {
 			if i > 0 && bk[i-1] == k {
@@ -254,8 +258,18 @@ func (t *Table) SeedKeys(keys []uint64) error {
 }
 
 // Snapshot returns all keys, sorted ascending (quiescent use only).
-func (t *Table) Snapshot() []uint64 {
-	var keys []uint64
+// SnapshotRegion reports the address range whose words fully determine
+// Snapshot, so per-write checkers can skip writes that cannot change it.
+func (t *Table) SnapshotRegion() (lo, hi shmem.Addr) { return t.ar.NodeRegion() }
+
+func (t *Table) Snapshot() []uint64 { return t.AppendSnapshot(nil) }
+
+// AppendSnapshot appends the snapshot to dst and returns the extended
+// slice, letting per-write checkers reuse one scratch buffer across a
+// sweep instead of allocating a fresh slice per observed write.
+func (t *Table) AppendSnapshot(dst []uint64) []uint64 {
+	keys := dst
+	base := len(dst)
 	for _, h := range t.heads {
 		r, _ := unpackPtr(t.mem.Peek(t.ar.NextAddr(h)))
 		hops := 0
@@ -267,7 +281,7 @@ func (t *Table) Snapshot() []uint64 {
 			r, _ = unpackPtr(t.mem.Peek(t.ar.NextAddr(r)))
 		}
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	slices.Sort(keys[base:])
 	return keys
 }
 

@@ -210,7 +210,9 @@ func (l *List) Search(e shmem.Ctx, key uint64) bool {
 // operation, announce ours, execute it, and clear the announcement.
 func (l *List) doOp(e shmem.Ctx) {
 	p := e.Slot()
-	e.Note("invoke", trace.I("p", int64(p)))
+	if e.Traced() {
+		e.Note("invoke", trace.I("p", int64(p)))
+	}
 	pid := int(e.Load(l.annPid()))                       // line 15
 	if pid < l.n && e.Load(l.RvAddr(pid)) == RvPending { // line 16
 		l.help(e, pid) // line 17
@@ -218,11 +220,15 @@ func (l *List) doOp(e shmem.Ctx) {
 	e.Store(l.RvAddr(p), RvPending)      // line 18
 	e.Store(l.annPtr(), uint64(l.first)) // line 19
 	e.Store(l.annPid(), uint64(p))       // line 20
-	e.Note("announce", trace.I("p", int64(p)))
+	if e.Traced() {
+		e.Note("announce", trace.I("p", int64(p)))
+	}
 	l.help(e, p)                         // line 21
 	e.Store(l.annPtr(), uint64(l.first)) // line 22
 	e.Store(l.annPid(), uint64(l.n))     // line 23
-	e.Note("response", trace.I("p", int64(p)))
+	if e.Traced() {
+		e.Note("response", trace.I("p", int64(p)))
+	}
 }
 
 // help executes (or helps) process pid's announced operation (the Help
@@ -260,7 +266,9 @@ func (l *List) help(e shmem.Ctx, pid int) {
 		nextp = packPtr(nextRef, 1)
 		if e.Load(l.RvAddr(pid)) == RvPending { // line 44
 			if e.CAS(l.ar.NextAddr(curr), nextp, packPtr(newNode, 0)) { // line 45
-				e.Note("splice", trace.I("p", int64(pid)), trace.I("key", int64(key)))
+				if e.Traced() {
+					e.Note("splice", trace.I("p", int64(pid)), trace.I("key", int64(key)))
+				}
 			}
 		} else {
 			e.CAS(l.ar.NextAddr(curr), nextp, packPtr(nextRef, 0)) // line 46
@@ -268,7 +276,9 @@ func (l *List) help(e shmem.Ctx, pid int) {
 	case opDel:
 		if nextkey == key { // line 47
 			if e.CAS(l.ar.NextAddr(curr), nextp, packPtr(nextnextRef, 0)) { // line 48
-				e.Note("unsplice", trace.I("p", int64(pid)), trace.I("key", int64(key)))
+				if e.Traced() {
+					e.Note("unsplice", trace.I("p", int64(pid)), trace.I("key", int64(key)))
+				}
 			}
 			e.Store(l.parAddr(pid, parNode), uint64(nextRef)) // line 49
 		} else {
@@ -329,12 +339,22 @@ func (l *List) SeedAscending(keys []uint64) error {
 // Snapshot returns the keys currently in the list, in order. It reads
 // memory directly (no simulated time) and is meaningful only at quiescence;
 // it is for tests and checkers.
-func (l *List) Snapshot() []uint64 {
-	var keys []uint64
+// SnapshotRegion reports the address range whose words fully determine
+// Snapshot, so per-write checkers can skip writes that cannot change it.
+func (l *List) SnapshotRegion() (lo, hi shmem.Addr) { return l.ar.NodeRegion() }
+
+func (l *List) Snapshot() []uint64 { return l.AppendSnapshot(nil) }
+
+// AppendSnapshot appends the snapshot to dst and returns the extended
+// slice, letting per-write checkers reuse one scratch buffer across a
+// sweep instead of allocating a fresh slice per observed write.
+func (l *List) AppendSnapshot(dst []uint64) []uint64 {
+	keys := dst
+	base := len(dst)
 	r, _ := unpackPtr(l.mem.Peek(l.ar.NextAddr(l.first)))
 	for r != l.last && r != arena.NIL {
 		keys = append(keys, l.mem.Peek(l.ar.KeyAddr(r)))
-		if len(keys) > l.ar.Capacity() {
+		if len(keys)-base > l.ar.Capacity() {
 			panic("unilist: list cycle detected")
 		}
 		r, _ = unpackPtr(l.mem.Peek(l.ar.NextAddr(r)))

@@ -171,7 +171,9 @@ func (q *Queue) helpEnq(e shmem.Ctx, pid int) {
 	nextp = packPtr(nextRef, 1)
 	if q.eng.Rv(e, pid) == inchelp.RvPending {
 		if e.CAS(q.ar.NextAddr(curr), nextp, packPtr(newNode, 0)) {
-			e.Note("enqueue", trace.I("p", int64(pid)), trace.I("node", int64(newNode)))
+			if e.Traced() {
+				e.Note("enqueue", trace.I("p", int64(pid)), trace.I("node", int64(newNode)))
+			}
 		}
 	} else {
 		e.CAS(q.ar.NextAddr(curr), nextp, packPtr(nextRef, 0))
@@ -213,7 +215,9 @@ func (q *Queue) helpDeq(e shmem.Ctx, pid int) {
 	}
 	if ptr == victim {
 		if e.CAS(q.ar.NextAddr(q.first), raw, packPtr(succ, 0)) {
-			e.Note("dequeue", trace.I("p", int64(pid)), trace.I("node", int64(victim)))
+			if e.Traced() {
+				e.Note("dequeue", trace.I("p", int64(pid)), trace.I("node", int64(victim)))
+			}
 		}
 	}
 	q.eng.SetRv(e, pid, inchelp.RvTrue)
@@ -235,12 +239,22 @@ func (q *Queue) findtail(e shmem.Ctx, pid int) arena.Ref {
 }
 
 // Snapshot returns the queued values in FIFO order (quiescent use only).
-func (q *Queue) Snapshot() []uint64 {
-	var vals []uint64
+// SnapshotRegion reports the address range whose words fully determine
+// Snapshot, so per-write checkers can skip writes that cannot change it.
+func (q *Queue) SnapshotRegion() (lo, hi shmem.Addr) { return q.ar.NodeRegion() }
+
+func (q *Queue) Snapshot() []uint64 { return q.AppendSnapshot(nil) }
+
+// AppendSnapshot appends the snapshot to dst and returns the extended
+// slice, letting per-write checkers reuse one scratch buffer across a
+// sweep instead of allocating a fresh slice per observed write.
+func (q *Queue) AppendSnapshot(dst []uint64) []uint64 {
+	vals := dst
+	base := len(dst)
 	r, _ := unpackPtr(q.mem.Peek(q.ar.NextAddr(q.first)))
 	for r != q.last && r != arena.NIL {
 		vals = append(vals, q.mem.Peek(q.ar.ValAddr(r)))
-		if len(vals) > q.ar.Capacity() {
+		if len(vals)-base > q.ar.Capacity() {
 			panic("uniqueue: queue cycle detected")
 		}
 		r, _ = unpackPtr(q.mem.Peek(q.ar.NextAddr(r)))

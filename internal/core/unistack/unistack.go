@@ -139,7 +139,9 @@ func (s *Stack) helpPush(e shmem.Ctx, pid int) {
 	nextp = packPtr(nextRef, 1)
 	if s.eng.Rv(e, pid) == inchelp.RvPending {
 		if e.CAS(s.ar.NextAddr(s.first), nextp, packPtr(newNode, 0)) {
-			e.Note("push", trace.I("p", int64(pid)), trace.I("node", int64(newNode)))
+			if e.Traced() {
+				e.Note("push", trace.I("p", int64(pid)), trace.I("node", int64(newNode)))
+			}
 		}
 	} else {
 		e.CAS(s.ar.NextAddr(s.first), nextp, packPtr(nextRef, 0))
@@ -172,19 +174,31 @@ func (s *Stack) helpPop(e shmem.Ctx, pid int) {
 	}
 	if ptr == victim {
 		if e.CAS(s.ar.NextAddr(s.first), raw, packPtr(succ, 0)) {
-			e.Note("pop", trace.I("p", int64(pid)), trace.I("node", int64(victim)))
+			if e.Traced() {
+				e.Note("pop", trace.I("p", int64(pid)), trace.I("node", int64(victim)))
+			}
 		}
 	}
 	s.eng.SetRv(e, pid, inchelp.RvTrue)
 }
 
 // Snapshot returns the stacked values, top first (quiescent use only).
-func (s *Stack) Snapshot() []uint64 {
-	var vals []uint64
+// SnapshotRegion reports the address range whose words fully determine
+// Snapshot, so per-write checkers can skip writes that cannot change it.
+func (s *Stack) SnapshotRegion() (lo, hi shmem.Addr) { return s.ar.NodeRegion() }
+
+func (s *Stack) Snapshot() []uint64 { return s.AppendSnapshot(nil) }
+
+// AppendSnapshot appends the snapshot to dst and returns the extended
+// slice, letting per-write checkers reuse one scratch buffer across a
+// sweep instead of allocating a fresh slice per observed write.
+func (s *Stack) AppendSnapshot(dst []uint64) []uint64 {
+	vals := dst
+	base := len(dst)
 	r, _ := unpackPtr(s.mem.Peek(s.ar.NextAddr(s.first)))
 	for r != s.last && r != arena.NIL {
 		vals = append(vals, s.mem.Peek(s.ar.ValAddr(r)))
-		if len(vals) > s.ar.Capacity() {
+		if len(vals)-base > s.ar.Capacity() {
 			panic("unistack: stack cycle detected")
 		}
 		r, _ = unpackPtr(s.mem.Peek(s.ar.NextAddr(r)))

@@ -1,0 +1,36 @@
+package cover
+
+import "repro/internal/sched"
+
+// SimSig computes a completed run's behavioral signature directly from the
+// simulator, folding exactly the fields ReportSig folds and in the same
+// order, so SimSig(s, object, arrival) == ReportSig(r) for the report r =
+// s.Report(object) with r.Arrival = arrival. Sweeps call it instead of
+// building a full metrics.Report per schedule: the report's histograms,
+// interference scan and summary finalization are pure allocation overhead
+// when all the caller wants is the 64-bit signature.
+//
+// ReportSigMatchesSimSig (the cover tests) pins the field-for-field
+// agreement; a field added to one without the other fails there.
+func SimSig(s *sched.Sim, object, arrival string) uint64 {
+	h := NewHasher()
+	h.String(object)
+	h.String(s.PolicyLabel()) // empty on the default policy, like Report
+	h.String(arrival)
+	h.Word(uint64(s.Processors()))
+	h.Word(s.Slices())
+	h.Word(uint64(s.Elapsed()))
+	mem := s.Mem()
+	for _, p := range s.Procs() {
+		c := mem.ProcOpCounts(p.ID())
+		h.Word(uint64(p.Slot()))
+		h.Word(c.Steps())
+		h.Word(c.Fails())
+		h.Word(p.Slices)
+		h.Word(uint64(p.Dispatches))
+		h.Word(uint64(p.Preemptions))
+		h.Word(uint64(p.HelpGiven()))
+		h.Word(uint64(s.HelpReceived(p.Slot())))
+	}
+	return h.Sum()
+}

@@ -1,0 +1,68 @@
+package cover
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/shmem"
+)
+
+// simSigRun executes one small two-process run (loads, stores, a CAS, a
+// failing CAS, and a help note, so every per-proc counter SimSig folds is
+// nonzero somewhere) under the named policy and returns the finished sim.
+func simSigRun(t *testing.T, policy string) *sched.Sim {
+	t.Helper()
+	pol, err := sched.PolicyByName(policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sched.New(sched.Config{Processors: 1, Seed: 1, MemWords: 1 << 10, Policy: pol})
+	a, b := shmem.Addr(1), shmem.Addr(2)
+	s.Spawn(sched.JobSpec{Name: "w0", Prio: 1, Slot: 0, AfterSlices: -1, Cost: 4, Body: func(e *sched.Env) {
+		for i := 0; i < 6; i++ {
+			v := e.Load(a)
+			e.Store(b, v+1)
+		}
+		e.NoteHelp(1)
+	}})
+	s.Spawn(sched.JobSpec{Name: "w1", Prio: 5, Slot: 1, AfterSlices: 3, Cost: 2, Body: func(e *sched.Env) {
+		e.CAS(a, 0, 7)
+		e.CAS(a, 0, 9) // fails: a is now 7
+		e.Store(b, 42)
+	}})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestReportSigMatchesSimSig pins the field-for-field agreement the SimSig
+// doc comment promises: the incremental signature computed straight off the
+// simulator equals ReportSig over the fully built metrics.Report, for the
+// default and a non-default policy and with and without an arrival label.
+// A field added to one fold but not the other fails here.
+func TestReportSigMatchesSimSig(t *testing.T) {
+	for _, tc := range []struct{ policy, arrival string }{
+		{"", ""},
+		{"", "bursty"},
+		{"fcfs", ""},
+		{"reverse-priority", "poisson"},
+	} {
+		s := simSigRun(t, tc.policy)
+		r := s.Report("sigcheck")
+		r.Arrival = tc.arrival
+		got := SimSig(s, "sigcheck", tc.arrival)
+		want := ReportSig(r)
+		if got != want {
+			t.Errorf("policy=%q arrival=%q: SimSig %016x != ReportSig %016x", tc.policy, tc.arrival, got, want)
+		}
+	}
+	// Sanity: the signature must react to the inputs it is keyed by.
+	s := simSigRun(t, "")
+	if SimSig(s, "sigcheck", "") == SimSig(s, "other", "") {
+		t.Error("SimSig ignores the object name")
+	}
+	if SimSig(s, "sigcheck", "") == SimSig(s, "sigcheck", "bursty") {
+		t.Error("SimSig ignores the arrival label")
+	}
+}

@@ -19,7 +19,35 @@ import (
 // Scenario builds and runs one schedule for the given adversary release
 // points (in executed slices). It returns an error if the run or its
 // checkers detect a violation; the error is wrapped with the vector.
+//
+// The releases slice is reused across calls: a scenario that retains it
+// past its own return must copy it.
 type Scenario func(releases []int64) error
+
+// RunInfo is what a completed schedule reports back to the pruner.
+type RunInfo struct {
+	// QuiescentFrom is the smallest adversary index whose release fired at
+	// a quiescent flush (the scheduler releasing every slice-pending
+	// process because all CPUs went idle) rather than by reaching its
+	// slice threshold; len(releases) when every adversary hit its
+	// threshold. Because release thresholds are strictly increasing across
+	// adversaries under Gap ordering, quiescence is monotone in the index:
+	// if adversary i quiesced, so did every adversary after it.
+	QuiescentFrom int
+}
+
+// InfoScenario is a Scenario that also reports RunInfo for pruning. The
+// releases slice is reused across calls, as with Scenario.
+type InfoScenario func(releases []int64) (RunInfo, error)
+
+// SweepInfo aggregates what a pruned sweep did.
+type SweepInfo struct {
+	// Explored counts schedules actually run.
+	Explored int
+	// Pruned counts schedules skipped as provably equivalent to an
+	// explored one. Explored+Pruned equals the full enumeration size.
+	Pruned int
+}
 
 // Config bounds a sweep.
 type Config struct {
@@ -39,6 +67,14 @@ type Config struct {
 	// each a complete reproducer — so one sweep maps out the whole
 	// failure region of the release-point space.
 	KeepGoing bool
+	// Prune enables quiescence-equivalence pruning (SweepPruned only): a
+	// passing schedule whose adversaries from index q onward were all
+	// released by the quiescent flush proves every not-yet-enumerated
+	// vector that only raises those thresholds equivalent, and the sweep
+	// skips them. Off by default; a disabled pruner enumerates exactly
+	// what Sweep does, in the same order. See DESIGN.md §15 for the
+	// soundness argument.
+	Prune bool
 	// MaxFailures bounds the failures collected under KeepGoing; once
 	// reached, the sweep stops early. Zero means a default of 100 (a
 	// completely broken scenario fails on every vector; collecting
@@ -92,7 +128,7 @@ func Count(cfg Config) (int, error) {
 func Vectors(cfg Config) ([][]int64, error) {
 	var out [][]int64
 	if _, err := Sweep(cfg, func(rel []int64) error {
-		out = append(out, rel)
+		out = append(out, append([]int64(nil), rel...))
 		return nil
 	}); err != nil {
 		return nil, err
@@ -103,13 +139,23 @@ func Vectors(cfg Config) ([][]int64, error) {
 // Sweep runs the scenario for every release vector permitted by cfg and
 // returns the number of schedules explored. It stops at the first failure
 // unless cfg.KeepGoing is set, in which case it explores the whole space
-// and reports every failing vector as a Failures error.
+// and reports every failing vector as a Failures error. Sweep never prunes
+// (Config.Prune is ignored); use SweepPruned for that.
 func Sweep(cfg Config, s Scenario) (int, error) {
+	cfg.Prune = false
+	info, err := SweepPruned(cfg, func(rel []int64) (RunInfo, error) {
+		return RunInfo{QuiescentFrom: cfg.Adversaries}, s(rel)
+	})
+	return info.Explored, err
+}
+
+// checkSpace validates cfg and bounds the unconstrained space.
+func checkSpace(cfg *Config) error {
 	if cfg.Adversaries < 1 {
-		return 0, fmt.Errorf("explore: need at least one adversary")
+		return fmt.Errorf("explore: need at least one adversary")
 	}
 	if cfg.Max < 1 {
-		return 0, fmt.Errorf("explore: Max must be positive")
+		return fmt.Errorf("explore: Max must be positive")
 	}
 	if cfg.Stride < 1 {
 		cfg.Stride = 1
@@ -125,31 +171,72 @@ func Sweep(cfg Config, s Scenario) (int, error) {
 		total := int64(1)
 		for i := 0; i < cfg.Adversaries; i++ {
 			if total > UnconstrainedSpaceCap/per {
-				return 0, fmt.Errorf(
+				return fmt.Errorf(
 					"explore: Gap=0 spans (Max %d / Stride %d)^%d adversaries > the %d-schedule cap; set Gap, raise Stride, or lower Max",
 					cfg.Max, cfg.Stride, cfg.Adversaries, int64(UnconstrainedSpaceCap))
 			}
 			total *= per
 		}
 	}
+	return nil
+}
+
+// SweepPruned is Sweep with quiescence-equivalence pruning. The scenario
+// additionally reports, per run, the smallest adversary index released at a
+// quiescent flush (RunInfo.QuiescentFrom). When cfg.Prune is set and a run
+// PASSES with QuiescentFrom = q, the sweep breaks out of every enumeration
+// loop at level >= q: the skipped vectors raise only thresholds that were
+// already past the quiescent instant, so each of their schedules is the one
+// just run, replayed. A failing representative never prunes — every failing
+// vector the full enumeration would find is still enumerated, so pruned and
+// unpruned sweeps return identical Failures lists. With cfg.Prune unset the
+// enumeration is exactly Sweep's, in the same order.
+func SweepPruned(cfg Config, s InfoScenario) (SweepInfo, error) {
+	var si SweepInfo
+	if err := checkSpace(&cfg); err != nil {
+		return si, err
+	}
+	// leafProduct[i] is the number of leaves under one subtree rooted at
+	// level i: the per-level loop trip counts are constants of the
+	// recursion shape (level 0 spans [0,Max); deeper levels span a
+	// Gap-wide window, or [0,Max) again when Gap is 0), so skipped
+	// subtrees are counted analytically instead of walked.
+	leafProduct := make([]int64, cfg.Adversaries+1)
+	leafProduct[cfg.Adversaries] = 1
+	for i := cfg.Adversaries - 1; i >= 0; i-- {
+		span := cfg.Max
+		if cfg.Gap > 0 && i > 0 {
+			span = cfg.Gap
+		}
+		leafProduct[i] = (span + cfg.Stride - 1) / cfg.Stride * leafProduct[i+1]
+	}
 	vec := make([]int64, cfg.Adversaries)
-	n := 0
 	var failures Failures
-	var rec func(i int, lo int64) error
-	rec = func(i int, lo int64) error {
+	noPrune := cfg.Adversaries // sentinel: nothing to prune
+	var rec func(i int, lo int64) (int, error)
+	rec = func(i int, lo int64) (int, error) {
 		if i == cfg.Adversaries {
-			n++
-			v := append([]int64(nil), vec...)
-			if err := s(v); err != nil {
+			si.Explored++
+			info, err := s(vec)
+			if err != nil {
 				if !cfg.KeepGoing {
-					return fmt.Errorf("explore: vector %v: %w", v, err)
+					return noPrune, fmt.Errorf("explore: vector %v: %w", vec, err)
 				}
-				failures = append(failures, Failure{Vector: v, Err: err})
+				failures = append(failures, Failure{
+					Vector: append([]int64(nil), vec...), Err: err,
+				})
 				if len(failures) >= cfg.MaxFailures {
-					return failures
+					return noPrune, failures
 				}
+				// Never prune off a failing representative: equivalence
+				// would be sound, but enumerating every failing vector
+				// keeps pruned and full failure sets identical.
+				return noPrune, nil
 			}
-			return nil
+			if cfg.Prune && info.QuiescentFrom < noPrune {
+				return info.QuiescentFrom, nil
+			}
+			return noPrune, nil
 		}
 		hi := cfg.Max
 		if cfg.Gap > 0 && i > 0 {
@@ -161,17 +248,27 @@ func Sweep(cfg Config, s Scenario) (int, error) {
 			if cfg.Gap > 0 {
 				next = k + 1
 			}
-			if err := rec(i+1, next); err != nil {
-				return err
+			q, err := rec(i+1, next)
+			if err != nil {
+				return noPrune, err
+			}
+			if q <= i {
+				// Every remaining value of this loop only raises a
+				// threshold that the representative run proved
+				// quiescent; their subtrees replay its schedule.
+				if rem := (hi - k - 1) / cfg.Stride; rem > 0 {
+					si.Pruned += int(rem * leafProduct[i+1])
+				}
+				return q, nil
 			}
 		}
-		return nil
+		return noPrune, nil
 	}
-	if err := rec(0, 0); err != nil {
-		return n, err
+	if _, err := rec(0, 0); err != nil {
+		return si, err
 	}
 	if len(failures) > 0 {
-		return n, failures
+		return si, failures
 	}
-	return n, nil
+	return si, nil
 }

@@ -17,7 +17,7 @@ func TestSweepEnumerates(t *testing.T) {
 	var seen [][]int64
 	n, err := explore.Sweep(explore.Config{Adversaries: 2, Max: 3, Stride: 1},
 		func(rel []int64) error {
-			seen = append(seen, rel)
+			seen = append(seen, append([]int64(nil), rel...)) // rel is reused across calls
 			return nil
 		})
 	if err != nil {

@@ -229,7 +229,9 @@ func (g *Engine) DoOp(e shmem.Ctx) {
 	if p >= g.cfg.Procs {
 		panic(fmt.Sprintf("helping: slot %d out of range [0,%d)", p, g.cfg.Procs))
 	}
-	e.Note("invoke", trace.I("p", int64(p)))
+	if e.Traced() {
+		e.Note("invoke", trace.I("p", int64(p)))
+	}
 	for i := 0; i < 2; i++ { // line 3
 		if i == 0 && g.cfg.OneRound {
 			g.announce(e, mypr, p)
@@ -251,7 +253,9 @@ func (g *Engine) DoOp(e shmem.Ctx) {
 					break
 				}
 				if ver.Needhelp { // line 9
-					e.Note("help ring", trace.I("target", int64(ver.Target)), trace.I("ver", int64(ver.Cnt)))
+					if e.Traced() {
+						e.Note("help ring", trace.I("target", int64(ver.Target)), trace.I("ver", int64(ver.Cnt)))
+					}
 					// Observability only (Peek: no simulated time):
 					// the helped operation is whatever is announced
 					// on the target processor right now. NoteHelp
@@ -267,7 +271,9 @@ func (g *Engine) DoOp(e shmem.Ctx) {
 		g.announce(e, mypr, p) // line 14
 	}
 	e.Store(g.annPidAddr(mypr), uint64(g.cfg.Procs)) // line 15
-	e.Note("response", trace.I("p", int64(p)))
+	if e.Traced() {
+		e.Note("response", trace.I("p", int64(p)))
+	}
 }
 
 // announce publishes process p as the pending operation on processor mypr.
@@ -277,7 +283,9 @@ func (g *Engine) announce(e shmem.Ctx, mypr, p int) {
 		e.Store(g.annPrioAddr(mypr), prioWord(e.Prio()))
 	}
 	e.Store(g.annPidAddr(mypr), uint64(p))
-	e.Note("announce", trace.I("p", int64(p)))
+	if e.Traced() {
+		e.Note("announce", trace.I("p", int64(p)))
+	}
 }
 
 // Advance moves the help counter one step (lines 10-13 of Figure 6). Under
@@ -317,10 +325,12 @@ func (g *Engine) Advance(e shmem.Ctx, ver Version) {
 	}
 	next := Version{Cnt: (ver.Cnt + 1) & cntMask, Target: nextTarget, Needhelp: needhelp}
 	if e.CAS(g.v, PackVersion(ver), PackVersion(next)) { // lines 11-13
-		e.Note("advance ring",
-			trace.I("ver", int64(next.Cnt)),
-			trace.I("target", int64(next.Target)),
-			trace.B("needhelp", next.Needhelp))
+		if e.Traced() {
+			e.Note("advance ring",
+				trace.I("ver", int64(next.Cnt)),
+				trace.I("target", int64(next.Target)),
+				trace.B("needhelp", next.Needhelp))
+		}
 	}
 	prim.AfterAdvance(g.cfg.CC, e)
 }

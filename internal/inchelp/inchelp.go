@@ -91,7 +91,9 @@ func (g *Engine) DoOp(e shmem.Ctx) {
 	if p < 0 || p >= g.cfg.Procs {
 		panic(fmt.Sprintf("inchelp: slot %d out of range [0,%d)", p, g.cfg.Procs))
 	}
-	e.Note("invoke", trace.I("p", int64(p)))
+	if e.Traced() {
+		e.Note("invoke", trace.I("p", int64(p)))
+	}
 	pid := int(e.Load(g.annPid))                        // line 15
 	if pid < g.cfg.Procs && g.Rv(e, pid) == RvPending { // line 16
 		e.NoteHelp(pid)
@@ -102,11 +104,15 @@ func (g *Engine) DoOp(e shmem.Ctx) {
 		g.cfg.OnAnnounce(e) // line 19 (object scan-state reset)
 	}
 	e.Store(g.annPid, uint64(p)) // line 20
-	e.Note("announce", trace.I("p", int64(p)))
+	if e.Traced() {
+		e.Note("announce", trace.I("p", int64(p)))
+	}
 	g.cfg.Help(e, p) // line 21
 	if g.cfg.OnAnnounce != nil {
 		g.cfg.OnAnnounce(e) // line 22
 	}
 	e.Store(g.annPid, uint64(g.cfg.Procs)) // line 23
-	e.Note("response", trace.I("p", int64(p)))
+	if e.Traced() {
+		e.Note("response", trace.I("p", int64(p)))
+	}
 }

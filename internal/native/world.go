@@ -443,6 +443,10 @@ func (p *Proc) Prio() shmem.Priority { return p.prio }
 // to attach structured events to.
 func (p *Proc) Note(key string, args ...trace.Field) {}
 
+// Traced reports false: Note always drops, so algorithms skip building its
+// arguments entirely.
+func (p *Proc) Traced() bool { return false }
+
 // NoteHelp records one help invocation on the operation announced under
 // slot pid (bookkeeping only, as on the simulator).
 func (p *Proc) NoteHelp(pid int) {

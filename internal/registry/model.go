@@ -1,6 +1,6 @@
 package registry
 
-import "sort"
+import "slices"
 
 // Model is an object's sequential specification: the golden in-memory
 // implementation an execution's operation sequence is replayed against.
@@ -103,13 +103,17 @@ func (m *sortedModel) Apply(op Op) Result {
 	panic("registry: sorted model got " + op.Code.String())
 }
 
-func (m *sortedModel) Snapshot() []uint64 {
-	out := make([]uint64, 0, len(m.present))
+func (m *sortedModel) Snapshot() []uint64 { return m.AppendSnapshot(nil) }
+
+// AppendSnapshot appends the sorted key set to dst, letting per-announce
+// invariant checks reuse one scratch buffer across a sweep.
+func (m *sortedModel) AppendSnapshot(dst []uint64) []uint64 {
+	base := len(dst)
 	for k := range m.present {
-		out = append(out, k)
+		dst = append(dst, k)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	slices.Sort(dst[base:])
+	return dst
 }
 
 type fifoModel struct{ q []uint64 }
@@ -135,7 +139,9 @@ func (m *fifoModel) Apply(op Op) Result {
 	panic("registry: fifo model got " + op.Code.String())
 }
 
-func (m *fifoModel) Snapshot() []uint64 { return append([]uint64(nil), m.q...) }
+func (m *fifoModel) Snapshot() []uint64 { return m.AppendSnapshot(nil) }
+
+func (m *fifoModel) AppendSnapshot(dst []uint64) []uint64 { return append(dst, m.q...) }
 
 type lifoModel struct{ st []uint64 } // st[0] = top
 
@@ -160,7 +166,9 @@ func (m *lifoModel) Apply(op Op) Result {
 	panic("registry: lifo model got " + op.Code.String())
 }
 
-func (m *lifoModel) Snapshot() []uint64 { return append([]uint64(nil), m.st...) }
+func (m *lifoModel) Snapshot() []uint64 { return m.AppendSnapshot(nil) }
+
+func (m *lifoModel) AppendSnapshot(dst []uint64) []uint64 { return append(dst, m.st...) }
 
 // wordsModel: sequentially, a read-modify-write transaction always
 // succeeds.
@@ -185,4 +193,18 @@ func (m *wordsModel) Apply(op Op) Result {
 	return Result{OK: true, Val: first}
 }
 
-func (m *wordsModel) Snapshot() []uint64 { return append([]uint64(nil), m.words...) }
+func (m *wordsModel) Snapshot() []uint64 { return m.AppendSnapshot(nil) }
+
+func (m *wordsModel) AppendSnapshot(dst []uint64) []uint64 { return append(dst, m.words...) }
+
+// appendSnap returns a buffer-reusing snapshot function for any object or
+// model, falling back to the allocating Snapshot when AppendSnapshot is
+// not implemented.
+func appendSnap(s interface{ Snapshot() []uint64 }) func(dst []uint64) []uint64 {
+	if sa, ok := s.(interface {
+		AppendSnapshot(dst []uint64) []uint64
+	}); ok {
+		return sa.AppendSnapshot
+	}
+	return func(dst []uint64) []uint64 { return append(dst, s.Snapshot()...) }
+}

@@ -177,6 +177,7 @@ func init() {
 				// Incremental helping totally orders operations by
 				// announce; replay them against the FIFO model.
 				model := &fifoModel{}
+				var objBuf, modBuf []uint64 // reused across invariant checks
 				chk := check.NewSerialChecker(simMem(b), q.Engine().AnnPidAddr(), cfg.Procs,
 					func(p int) bool {
 						node, opc := q.PeekPar(p)
@@ -186,7 +187,11 @@ func init() {
 						}
 						return model.Apply(Op{Code: OpDequeue}).OK
 					},
-					func() error { return check.SliceEqual(q.Snapshot(), model.Snapshot()) })
+					func() error {
+						objBuf = appendSnap(q)(objBuf[:0])
+						modBuf = appendSnap(model)(modBuf[:0])
+						return check.SliceEqual(objBuf, modBuf)
+					})
 				in.apply = func(e shmem.Ctx, slot int, op Op) Result {
 					r := apply(e, slot, op)
 					chk.EndOp(slot, r.OK)
@@ -232,6 +237,7 @@ func init() {
 			in := &instance{under: st, snapshot: st.Snapshot, apply: apply}
 			if cfg.Check {
 				model := &lifoModel{}
+				var objBuf, modBuf []uint64 // reused across invariant checks
 				chk := check.NewSerialChecker(simMem(b), st.Engine().AnnPidAddr(), cfg.Procs,
 					func(p int) bool {
 						node, opc := st.PeekPar(p)
@@ -241,7 +247,11 @@ func init() {
 						}
 						return model.Apply(Op{Code: OpPop}).OK
 					},
-					func() error { return check.SliceEqual(st.Snapshot(), model.Snapshot()) })
+					func() error {
+						objBuf = appendSnap(st)(objBuf[:0])
+						modBuf = appendSnap(model)(modBuf[:0])
+						return check.SliceEqual(objBuf, modBuf)
+					})
 				in.apply = func(e shmem.Ctx, slot int, op Op) Result {
 					r := apply(e, slot, op)
 					chk.EndOp(slot, r.OK)
@@ -281,6 +291,7 @@ func init() {
 			in := &instance{under: tb, snapshot: tb.Snapshot, apply: listApply(tb)}
 			if cfg.Check {
 				model := Lookup0("unihash").NewModel(cfg)
+				var objBuf, modBuf []uint64 // reused across invariant checks
 				chk := check.NewSerialChecker(simMem(b), tb.Engine().AnnPidAddr(), cfg.Procs,
 					func(p int) bool {
 						_, key, opc := tb.PeekPar(p)
@@ -293,7 +304,11 @@ func init() {
 							return model.Apply(Op{Code: OpSearch, Key: key}).OK
 						}
 					},
-					func() error { return check.SliceEqual(tb.Snapshot(), model.Snapshot()) })
+					func() error {
+						objBuf = appendSnap(tb)(objBuf[:0])
+						modBuf = appendSnap(model)(modBuf[:0])
+						return check.SliceEqual(objBuf, modBuf)
+					})
 				base := listApply(tb)
 				in.apply = func(e shmem.Ctx, slot int, op Op) Result {
 					r := base(e, slot, op)
@@ -347,13 +362,27 @@ func init() {
 				}
 				return out
 			}
+			// Per-slot scratch, reused across applies: procs yield inside
+			// MWCAS, so another slot's apply may interleave mid-operation —
+			// the buffers must not be shared across slots.
+			type mwcasScratch struct {
+				addrs      []shmem.Addr
+				olds, news []uint32
+			}
+			scratch := make([]mwcasScratch, cfg.Procs)
 			in.apply = func(e shmem.Ctx, slot int, op Op) Result {
 				if op.Code != OpMWCAS {
 					panic("registry: unimwcas got " + op.Code.String())
 				}
-				addrs := make([]shmem.Addr, len(op.Words))
-				olds := make([]uint32, len(op.Words))
-				news := make([]uint32, len(op.Words))
+				sc := &scratch[slot]
+				if cap(sc.addrs) < len(op.Words) {
+					sc.addrs = make([]shmem.Addr, len(op.Words))
+					sc.olds = make([]uint32, len(op.Words))
+					sc.news = make([]uint32, len(op.Words))
+				}
+				addrs := sc.addrs[:len(op.Words)]
+				olds := sc.olds[:len(op.Words)]
+				news := sc.news[:len(op.Words)]
 				for i, wi := range op.Words {
 					addrs[i] = words[wi]
 					if chk != nil {
@@ -614,13 +643,27 @@ func init() {
 				}
 				return out
 			}
+			// Per-slot scratch, reused across applies: procs yield inside
+			// MWCAS, so another slot's apply may interleave mid-operation —
+			// the buffers must not be shared across slots.
+			type mwcasScratch struct {
+				addrs      []shmem.Addr
+				olds, news []uint64
+			}
+			scratch := make([]mwcasScratch, cfg.Procs)
 			in.apply = func(e shmem.Ctx, slot int, op Op) Result {
 				if op.Code != OpMWCAS {
 					panic("registry: multimwcas got " + op.Code.String())
 				}
-				addrs := make([]shmem.Addr, len(op.Words))
-				olds := make([]uint64, len(op.Words))
-				news := make([]uint64, len(op.Words))
+				sc := &scratch[slot]
+				if cap(sc.addrs) < len(op.Words) {
+					sc.addrs = make([]shmem.Addr, len(op.Words))
+					sc.olds = make([]uint64, len(op.Words))
+					sc.news = make([]uint64, len(op.Words))
+				}
+				addrs := sc.addrs[:len(op.Words)]
+				olds := sc.olds[:len(op.Words)]
+				news := sc.news[:len(op.Words)]
 				for i, wi := range op.Words {
 					addrs[i] = words[wi]
 					olds[i] = obj.ReadWord(e, addrs[i])

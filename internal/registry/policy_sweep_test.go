@@ -83,27 +83,10 @@ func fcfsBurstySweepLines(t *testing.T, workers int) []string {
 		}
 		return lines
 	}
-	// Parallel path: reproduce Sweep's per-sweep setup, then fan the cells
-	// out across workers. harness.Map returns results in input order, so
-	// the line stream must be byte-identical to the serial loop's.
-	pol, err := sched.PolicyByName(cfg.Policy)
-	if err != nil {
-		t.Fatal(err)
-	}
-	trc, err := arrival.ByName(cfg.Arrival)
-	if err != nil {
-		t.Fatal(err)
-	}
-	base := trc.Releases(2, sweepSeed)
-	icfg := d.StressConfig(4)
-	scripts := make([][]Op, 4)
-	for slot := range scripts {
-		n := sweepVictimOps
-		if slot >= 1 {
-			n = sweepAdvOps
-		}
-		scripts[slot] = d.Ops(icfg, sweepSeed, slot, n)
-	}
+	// Parallel path: enumerate the vectors once, then fan the cells out
+	// across workers, each cell running one schedule on its own sweeper.
+	// harness.Map returns results in input order, so the line stream must
+	// be byte-identical to the serial loop's.
 	vecs, err := explore.Vectors(exploreConfig(cfg))
 	if err != nil {
 		t.Fatal(err)
@@ -114,7 +97,12 @@ func fcfsBurstySweepLines(t *testing.T, workers int) []string {
 		cell.Observe = func(rel []int64, sig uint64) {
 			line = fmt.Sprintf("rel=%v sig=%016x", rel, sig)
 		}
-		if err := d.sweepOne(cell, icfg, pol, base, scripts, vecs[i]); err != nil {
+		sw, err := d.newSweeper(cell)
+		if err != nil {
+			return "", err
+		}
+		defer sw.close()
+		if _, err := sw.runOne(vecs[i]); err != nil {
 			return "", err
 		}
 		return line, nil

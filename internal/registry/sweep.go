@@ -8,9 +8,17 @@ package registry
 // swept high-priority adversaries. Operations come from the descriptor's
 // deterministic generator and every run is linearizability-checked
 // (Config.Check).
+//
+// The driver is built to amortize: everything a schedule does not depend on
+// — op scripts, the policy and arrival trace, the job-spec cast, the body
+// closures, and the pooled simulation itself — is constructed once per sweep
+// and reused across every schedule (see sweeper). Per schedule only the
+// object instance is rebuilt and the release vector patched in, which is
+// what lets sweeps run at the simulator core's run-ahead speed.
 
 import (
 	"fmt"
+	"math/rand"
 	"os"
 
 	"repro/internal/arrival"
@@ -38,16 +46,27 @@ type SweepConfig struct {
 	// release vector (that enumeration is the sweep). Empty keeps the
 	// legacy immediate release.
 	Arrival string
+	// Seed seeds the deterministic op-script generator and the base
+	// arrival trace. Zero means 1, the historical value, so default
+	// sweeps (and their committed coverage goldens) are unchanged.
+	Seed int64
+	// Prune enables quiescence-equivalence pruning (explore.Config.Prune):
+	// schedules provably identical to an already-checked one are skipped.
+	// Off by default; disabled pruning enumerates exactly the same
+	// schedules in the same order.
+	Prune bool
 	// Trace records every run and dumps the first failing schedule's span
 	// model to TracePath.
 	Trace bool
 	// TracePath defaults to "wfcheck_fail.trace.json".
 	TracePath string
 	// Observe, when set, receives every successfully checked schedule's
-	// release vector and behavioral signature (cover.ReportSig of the
-	// run's report), in enumeration order — the coverage-accumulation
-	// hook. Signing a schedule builds its report, so leave Observe nil
-	// when coverage is not wanted.
+	// release vector and behavioral signature, in enumeration order — the
+	// coverage-accumulation hook. The signature is computed incrementally
+	// from the simulator's own counters (cover.SimSig), not by building a
+	// metrics.Report per schedule, so Observe is cheap enough to leave on
+	// for full sweeps. The rel slice is reused across calls; copy it if
+	// retained.
 	Observe func(rel []int64, sig uint64)
 }
 
@@ -57,6 +76,9 @@ const (
 	sweepVictimOps = 3
 	sweepAdvOps    = 2
 	sweepSeed      = 1
+	// sweepGap is the Gap of the swept release enumeration and the window
+	// swarm sampling draws the second release offset from.
+	sweepGap = 8
 )
 
 // StressConfig sizes a checked instance for schedule stressing: the
@@ -84,27 +106,60 @@ func (d *Descriptor) StressConfig(slots int) Config {
 // exploreConfig is the release-point enumeration Sweep drives, shared
 // with SweepSpace so the progress meter's denominator matches exactly.
 func exploreConfig(cfg SweepConfig) explore.Config {
-	return explore.Config{Adversaries: 2, Max: cfg.Max, Stride: 2, Gap: 8, KeepGoing: cfg.KeepGoing}
+	return explore.Config{
+		Adversaries: 2, Max: cfg.Max, Stride: 2, Gap: sweepGap,
+		KeepGoing: cfg.KeepGoing, Prune: cfg.Prune,
+	}
 }
 
 // SweepSpace returns the number of schedules Sweep would run for cfg
-// without executing any (explore.Count over the same enumeration).
+// without executing any (explore.Count over the same enumeration, pruning
+// not deducted).
 func (d *Descriptor) SweepSpace(cfg SweepConfig) (int, error) {
 	if d.Family == FamilyBaseline {
 		return 0, fmt.Errorf("registry: %s is a baseline; sweeps cover the core objects", d.Name)
 	}
+	cfg.Prune = false
 	return explore.Count(exploreConfig(cfg))
 }
 
-// Sweep explores release-point schedules of the object and checks every one,
-// returning the number of schedules explored.
-func (d *Descriptor) Sweep(cfg SweepConfig) (int, error) {
+// sweeper carries the per-sweep state shared by every schedule: the pooled
+// simulation, the hoisted op scripts, the job-spec cast and the body
+// closures. A schedule only rebuilds the object instance and patches the
+// adversaries' release points, so per-schedule allocation stays near the
+// instance's own footprint (pinned by TestSweepAllocsPerSchedule).
+type sweeper struct {
+	d    *Descriptor
+	cfg  SweepConfig
+	icfg Config
+	scfg sched.Config
+	sim  *sched.Sim
+	// inst is the current schedule's instance; the body closures read it
+	// through the sweeper so they are built once for the whole sweep.
+	inst Instance
+	// specs is the cast in spawn order; adv[i] indexes the two specs
+	// whose AfterSlices carries the swept vector.
+	specs []sched.JobSpec
+	adv   [2]int
+	// advProc holds the adversaries' procs for the current schedule, for
+	// the pruner's quiescent-release question.
+	advProc [2]*sched.Proc
+}
+
+// newSweeper resolves the policy and arrival trace, generates the op
+// scripts, and precomputes the cast. It acquires a pooled simulation; the
+// caller must call sw.close.
+func (d *Descriptor) newSweeper(cfg SweepConfig) (*sweeper, error) {
 	if d.Family == FamilyBaseline {
-		return 0, fmt.Errorf("registry: %s is a baseline; sweeps cover the core objects", d.Name)
+		return nil, fmt.Errorf("registry: %s is a baseline; sweeps cover the core objects", d.Name)
 	}
 	pol, err := sched.PolicyByName(cfg.Policy)
 	if err != nil {
-		return 0, fmt.Errorf("registry: %w", err)
+		return nil, fmt.Errorf("registry: %w", err)
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = sweepSeed
 	}
 	// The base workers' releases come from the named arrival trace; a nil
 	// trace (no -arrival) keeps the legacy immediate release.
@@ -112,9 +167,9 @@ func (d *Descriptor) Sweep(cfg SweepConfig) (int, error) {
 	if cfg.Arrival != "" {
 		trc, err := arrival.ByName(cfg.Arrival)
 		if err != nil {
-			return 0, fmt.Errorf("registry: %w", err)
+			return nil, fmt.Errorf("registry: %w", err)
 		}
-		base = trc.Releases(2, sweepSeed)
+		base = trc.Releases(2, seed)
 	}
 	// The generated scripts depend only on the descriptor, the stress
 	// config, and the slot — not on the release vector — so generate them
@@ -127,32 +182,14 @@ func (d *Descriptor) Sweep(cfg SweepConfig) (int, error) {
 		if (d.Family == FamilyUni && slot >= 1) || (d.Family == FamilyMulti && slot >= 2) {
 			n = sweepAdvOps
 		}
-		scripts[slot] = d.Ops(icfg, sweepSeed, slot, n)
+		scripts[slot] = d.Ops(icfg, seed, slot, n)
 	}
-	return explore.Sweep(exploreConfig(cfg),
-		func(rel []int64) error { return d.sweepOne(cfg, icfg, pol, base, scripts, rel) })
-}
-
-func (d *Descriptor) sweepOne(cfg SweepConfig, icfg Config, pol sched.Policy, base []arrival.Release, scripts [][]Op, rel []int64) error {
-	procs := 1
-	memWords := 1 << 15
-	if d.Family == FamilyMulti {
-		procs = 2
-		memWords = 1 << 16
-	}
-	// Sweeps build thousands of short-lived Sims; the pool reuses their
-	// memory words and bookkeeping across schedules.
-	s := sched.Acquire(sched.Config{Processors: procs, Seed: 1, MemWords: memWords, EnableTrace: cfg.Trace, Policy: pol})
-	defer sched.Release(s)
-	inst, err := Build(s, d.Name, icfg)
-	if err != nil {
-		return err
-	}
-	script := func(slot int) func(e *sched.Env) {
+	sw := &sweeper{d: d, cfg: cfg, icfg: icfg}
+	body := func(slot int) func(e *sched.Env) {
 		ops := scripts[slot]
 		return func(e *sched.Env) {
 			for _, op := range ops {
-				inst.Apply(e, slot, op)
+				sw.inst.Apply(e, slot, op)
 			}
 		}
 	}
@@ -165,33 +202,166 @@ func (d *Descriptor) sweepOne(cfg SweepConfig, icfg Config, pol sched.Policy, ba
 		}
 		return arrival.Release{AfterSlices: -1}
 	}
+	procs, memWords := 1, 1<<15
 	if d.Family == FamilyUni {
 		b := baseRel(0)
-		s.Spawn(sched.JobSpec{Name: "victim", CPU: 0, Prio: 1, Slot: 0, AfterSlices: b.AfterSlices, At: b.At, Cost: cost(0), Body: script(0)})
-		s.Spawn(sched.JobSpec{Name: "adv", CPU: 0, Prio: 5, Slot: 1, AfterSlices: rel[0], Cost: cost(1), Body: script(1)})
-		s.Spawn(sched.JobSpec{Name: "adv2", CPU: 0, Prio: 9, Slot: 2, AfterSlices: rel[1], Cost: cost(2), Body: script(2)})
+		sw.specs = []sched.JobSpec{
+			{Name: "victim", CPU: 0, Prio: 1, Slot: 0, AfterSlices: b.AfterSlices, At: b.At, Cost: cost(0), Body: body(0)},
+			{Name: "adv", CPU: 0, Prio: 5, Slot: 1, Cost: cost(1), Body: body(1)},
+			{Name: "adv2", CPU: 0, Prio: 9, Slot: 2, Cost: cost(2), Body: body(2)},
+		}
+		sw.adv = [2]int{1, 2}
 	} else {
+		procs, memWords = 2, 1<<16
 		b0, b1 := baseRel(0), baseRel(1)
-		s.Spawn(sched.JobSpec{Name: "w0", CPU: 0, Prio: 1, Slot: 0, AfterSlices: b0.AfterSlices, At: b0.At, Cost: cost(0), Body: script(0)})
-		s.Spawn(sched.JobSpec{Name: "w1", CPU: 1, Prio: 1, Slot: 1, AfterSlices: b1.AfterSlices, At: b1.At, Cost: cost(1), Body: script(1)})
-		s.Spawn(sched.JobSpec{Name: "adv", CPU: 0, Prio: 9, Slot: 2, AfterSlices: rel[0], Cost: cost(2), Body: script(2)})
-		s.Spawn(sched.JobSpec{Name: "adv2", CPU: 1, Prio: 9, Slot: 3, AfterSlices: rel[1], Cost: cost(3), Body: script(3)})
+		sw.specs = []sched.JobSpec{
+			{Name: "w0", CPU: 0, Prio: 1, Slot: 0, AfterSlices: b0.AfterSlices, At: b0.At, Cost: cost(0), Body: body(0)},
+			{Name: "w1", CPU: 1, Prio: 1, Slot: 1, AfterSlices: b1.AfterSlices, At: b1.At, Cost: cost(1), Body: body(1)},
+			{Name: "adv", CPU: 0, Prio: 9, Slot: 2, Cost: cost(2), Body: body(2)},
+			{Name: "adv2", CPU: 1, Prio: 9, Slot: 3, Cost: cost(3), Body: body(3)},
+		}
+		sw.adv = [2]int{2, 3}
+	}
+	sw.scfg = sched.Config{
+		Processors: procs, Seed: seed, MemWords: memWords,
+		EnableTrace: cfg.Trace, Policy: pol,
+	}
+	// One pooled simulation serves the whole sweep; runOne resets it per
+	// schedule, reusing its memory words, procs and bookkeeping.
+	sw.sim = sched.Acquire(sw.scfg)
+	return sw, nil
+}
+
+// close returns the sweeper's simulation to the pool.
+func (sw *sweeper) close() { sched.Release(sw.sim) }
+
+// runOne executes and checks one schedule for the given release vector,
+// reporting the quiescent-release info the pruner needs.
+func (sw *sweeper) runOne(rel []int64) (explore.RunInfo, error) {
+	info := explore.RunInfo{QuiescentFrom: len(rel)}
+	s := sw.sim.Reset(sw.scfg)
+	inst, err := Build(s, sw.d.Name, sw.icfg)
+	if err != nil {
+		return info, err
+	}
+	sw.inst = inst
+	sw.specs[sw.adv[0]].AfterSlices = rel[0]
+	sw.specs[sw.adv[1]].AfterSlices = rel[1]
+	for i := range sw.specs {
+		p := s.Spawn(sw.specs[i])
+		if i == sw.adv[0] {
+			sw.advProc[0] = p
+		} else if i == sw.adv[1] {
+			sw.advProc[1] = p
+		}
 	}
 	if err := s.Run(); err != nil {
-		return dumpFailure(s, cfg, fmt.Errorf("%s rel=%v: %w", d.Name, rel, err))
+		return info, dumpFailure(s, sw.cfg, fmt.Errorf("%s rel=%v: %w", sw.d.Name, rel, err))
 	}
 	if err := inst.CheckErr(); err != nil {
-		return dumpFailure(s, cfg, fmt.Errorf("%s rel=%v: %w", d.Name, rel, err))
+		return info, dumpFailure(s, sw.cfg, fmt.Errorf("%s rel=%v: %w", sw.d.Name, rel, err))
 	}
-	if cfg.Observe != nil {
-		rep := s.Report(d.Name)
-		// Key the signature by the arrival trace (the policy is already
-		// stamped by Report when off-default); empty folds nothing, so
-		// default sweeps keep their historical signatures.
-		rep.Arrival = cfg.Arrival
-		cfg.Observe(rel, cover.ReportSig(rep))
+	for i, p := range sw.advProc {
+		if p.QuiescentRelease() {
+			info.QuiescentFrom = i
+			break
+		}
 	}
-	return nil
+	if sw.cfg.Observe != nil {
+		// Keyed by the arrival trace; the policy is folded by SimSig
+		// itself (empty on the default, preserving historical
+		// signatures), exactly as ReportSig does on a report.
+		sw.cfg.Observe(rel, cover.SimSig(s, sw.d.Name, sw.cfg.Arrival))
+	}
+	return info, nil
+}
+
+// Sweep explores release-point schedules of the object and checks every one,
+// returning the number of schedules executed.
+func (d *Descriptor) Sweep(cfg SweepConfig) (int, error) {
+	info, err := d.SweepStats(cfg)
+	return info.Explored, err
+}
+
+// SweepStats is Sweep reporting both executed and pruned schedule counts
+// (the latter nonzero only under cfg.Prune).
+func (d *Descriptor) SweepStats(cfg SweepConfig) (explore.SweepInfo, error) {
+	sw, err := d.newSweeper(cfg)
+	if err != nil {
+		return explore.SweepInfo{}, err
+	}
+	defer sw.close()
+	return explore.SweepPruned(exploreConfig(cfg), sw.runOne)
+}
+
+// SwarmConfig configures one object's stratum of a swarm run: Schedules
+// release vectors sampled uniformly from the sweep's (release, gap) space
+// under one (policy, arrival) pair. Everything is derived deterministically
+// from Seed, so a stratum's outcome — failures, coverage signatures, counts
+// — is a pure function of its config; the swarm driver (cmd/wfcheck
+// -swarm) exploits that to merge per-stratum outputs byte-identically at
+// any parallelism.
+type SwarmConfig struct {
+	// Schedules is the number of sampled schedules to run.
+	Schedules int
+	// Seed drives the release-vector sampler and the op generator.
+	Seed int64
+	// Max bounds the first release point, as SweepConfig.Max.
+	Max int64
+	// Policy and Arrival name the stratum's discipline and arrival trace.
+	Policy  string
+	Arrival string
+	// MaxFailures bounds collected failures (default
+	// explore.DefaultMaxFailures); the stratum keeps sampling past
+	// failures regardless, so counts stay budget-exact.
+	MaxFailures int
+	// Observe is the coverage hook, as SweepConfig.Observe.
+	Observe func(rel []int64, sig uint64)
+}
+
+// Swarm runs one swarm stratum: cfg.Schedules release vectors sampled from
+// the sweep space, each checked. It returns the number of schedules run and
+// an explore.Failures error when any failed.
+func (d *Descriptor) Swarm(cfg SwarmConfig) (int, error) {
+	if cfg.Schedules < 1 {
+		return 0, nil
+	}
+	if cfg.Max < 2 {
+		return 0, fmt.Errorf("registry: swarm Max must be at least 2")
+	}
+	maxFail := cfg.MaxFailures
+	if maxFail < 1 {
+		maxFail = explore.DefaultMaxFailures
+	}
+	sw, err := d.newSweeper(SweepConfig{
+		Max: cfg.Max, Policy: cfg.Policy, Arrival: cfg.Arrival,
+		Seed: cfg.Seed, Observe: cfg.Observe,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer sw.close()
+	// The sampler must not share state with anything schedule-dependent:
+	// vector i is the same for a given (object, policy, arrival, seed)
+	// no matter what the schedules before it did.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rel := make([]int64, 2)
+	var failures explore.Failures
+	for i := 0; i < cfg.Schedules; i++ {
+		rel[0] = rng.Int63n(cfg.Max)
+		rel[1] = rel[0] + 1 + rng.Int63n(sweepGap)
+		if _, err := sw.runOne(rel); err != nil {
+			if len(failures) < maxFail {
+				failures = append(failures, explore.Failure{
+					Vector: append([]int64(nil), rel...), Err: err,
+				})
+			}
+		}
+	}
+	if len(failures) > 0 {
+		return cfg.Schedules, failures
+	}
+	return cfg.Schedules, nil
 }
 
 // dumpFailure, under Trace, writes the failing run's span model and points

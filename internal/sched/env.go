@@ -26,6 +26,12 @@ type Env struct {
 
 	// pending is the virtual-time cost accumulated since the last yield.
 	pending int64
+	// yieldFast, when non-nil, is the pull-mode slow yield: a direct
+	// goroutine switch back to the scheduler (iter.Pull — see
+	// Sim.startIfNeeded). nil selects the channel rendezvous. Both
+	// transports serialize the scheduler and the coroutine strictly, so
+	// the shared-state exclusivity argument is the same.
+	yieldFast func(yieldMsg) bool
 	// budget and horizon arm the run-ahead fast path (Sim.grantRunAhead):
 	// while budget > 0, yieldNow may conclude a slice locally — advancing
 	// the processor clock and the slice counters without the two-channel
@@ -94,8 +100,14 @@ func (e *Env) yieldNow() {
 	}
 	cost := e.pending
 	e.pending = 0
-	e.p.yield <- yieldMsg{kind: yieldPoint, cost: cost}
-	<-e.p.resume
+	if e.yieldFast != nil {
+		if !e.yieldFast(yieldMsg{kind: yieldPoint, cost: cost}) {
+			panic(errAborted)
+		}
+	} else {
+		e.p.yield <- yieldMsg{kind: yieldPoint, cost: cost}
+		<-e.p.resume
+	}
 	if e.sim.aborting {
 		panic(errAborted)
 	}
@@ -207,6 +219,12 @@ func (e *Env) Note(key string, args ...trace.Field) {
 	}
 	e.sim.emitNote(e.p.spec.CPU, e.p, key, args)
 }
+
+// Traced reports whether this run records a trace. Algorithms use it to
+// skip building Note's variadic field arguments on untraced runs: through
+// the shmem.Ctx interface those arguments always escape to the heap, and on
+// sweep-sized runs they dominated the per-schedule allocation profile.
+func (e *Env) Traced() bool { return e.sim.log != nil }
 
 // NoteHelp records that this process performed one help invocation on the
 // operation announced under slot pid. It is observability bookkeeping only —

@@ -210,8 +210,10 @@ func TestVerifyPriorityModelPolicyGate(t *testing.T) {
 }
 
 // TestRunAheadPolicyGate probes grantRunAhead directly: on a freshly
-// dispatched, uncontended processor the default policy must arm a batching
-// grant, and every non-default policy must decline one (falling back to
+// dispatched, uncontended processor the default policy and every
+// NonPreemptive template (fcfs, priority-fcfs, sjf — run-to-completion
+// dispatch makes batching trivially sound) must arm a batching grant, and
+// every preemptive non-default policy must decline one (falling back to
 // the serial loop, whose behavior the differential suite pins).
 func TestRunAheadPolicyGate(t *testing.T) {
 	for _, name := range append([]string{""}, PolicyNames()...) {
@@ -242,7 +244,11 @@ func TestRunAheadPolicyGate(t *testing.T) {
 			s.startIfNeeded(p)
 			s.grantRunAhead(c, p)
 			granted := p.env.budget > 0
-			wantGrant := pol == DefaultPolicy()
+			_, nonPreemptive := pol.(NonPreemptive)
+			wantGrant := pol == DefaultPolicy() || nonPreemptive
+			if wantNP := map[string]bool{"fcfs": true, "priority-fcfs": true, "sjf": true}[name]; nonPreemptive != wantNP {
+				t.Errorf("policy %s: NonPreemptive marker = %v, want %v", label, nonPreemptive, wantNP)
+			}
 			if granted != wantGrant {
 				t.Errorf("policy %s: run-ahead granted = %v (budget %d, horizon %d), want %v",
 					label, granted, p.env.budget, p.env.horizon, wantGrant)

@@ -30,6 +30,7 @@ package sched
 import (
 	"errors"
 	"fmt"
+	"iter"
 	"math"
 	"math/rand"
 	"runtime/debug"
@@ -101,10 +102,11 @@ type Config struct {
 	// benchmarking and differential testing, not for correctness.
 	DisableRunAhead bool
 	// Policy is the scheduling discipline; nil means DefaultPolicy (the
-	// paper's strict-priority model). Non-default policies also disable
-	// the run-ahead fast path: its soundness argument leans on the
-	// priority preemption rules, so other disciplines take the serial
-	// scheduler loop (see DESIGN.md §13).
+	// paper's strict-priority model). The run-ahead fast path is armed for
+	// the default policy and for every NonPreemptive template
+	// (fcfs/priority-fcfs/sjf — run-to-completion dispatch makes batching
+	// trivially sound); preemptive non-default policies (age-slo,
+	// reverse-priority) take the serial scheduler loop (see DESIGN.md §13).
 	Policy Policy
 }
 
@@ -166,10 +168,25 @@ type Proc struct {
 
 	resume chan struct{}
 	yield  chan yieldMsg
+	// next, when non-nil, resumes the coroutine through iter.Pull's direct
+	// goroutine switch instead of the channel rendezvous — the run-ahead
+	// fast core's handoff (see startIfNeeded). The coroutine is a
+	// persistent loop (coloop): it parks at the final yield of one job
+	// body and picks up the next body on resume, so a pooled Proc reuses
+	// one coroutine (and its stack) across every schedule of a sweep.
+	// stop unwinds the parked loop (stopCoro); the serial mode keeps the
+	// channel pair as the reference implementation.
+	next func() (yieldMsg, bool)
+	stop func()
 
 	started   bool
 	enqueueNo int   // FIFO tiebreak among equal policy keys
 	key       int64 // policy ordering key, computed once at release
+	// quiescent marks a slice-triggered release that fired at system
+	// quiescence: its AfterSlices threshold lay beyond the work that
+	// actually ran, so any larger threshold produces the identical
+	// schedule. The equivalence pruner (internal/explore) keys on it.
+	quiescent bool
 
 	// Released, Started, Completed are virtual times on the job's CPU.
 	Released  int64
@@ -194,6 +211,19 @@ func (p *Proc) ID() int { return p.id }
 
 // Name returns the job's display name.
 func (p *Proc) Name() string { return p.spec.Name }
+
+// Slot returns the algorithm-level process identifier (JobSpec.Slot).
+func (p *Proc) Slot() int { return p.spec.Slot }
+
+// HelpGiven returns the number of help invocations this process performed
+// on other processes' operations (Env.NoteHelp).
+func (p *Proc) HelpGiven() int { return p.helpGiven }
+
+// QuiescentRelease reports whether the process's slice-triggered release
+// fired at system quiescence rather than at its AfterSlices threshold —
+// i.e. the threshold was aimed past the work that actually ran, so every
+// larger threshold yields the identical schedule.
+func (p *Proc) QuiescentRelease() bool { return p.quiescent }
 
 type yieldKind int
 
@@ -243,10 +273,19 @@ type Sim struct {
 	failure   error
 
 	// policy is the run's scheduling discipline (never nil after Reset);
-	// policyDefault caches whether it is the strict-priority default, the
-	// only discipline the run-ahead fast path is proven sound for.
-	policy        Policy
-	policyDefault bool
+	// policyDefault caches whether it is the strict-priority default (the
+	// reports' and signatures' "no policy stamp" case), and policyRunAhead
+	// whether the run-ahead fast path is sound for it: the default or any
+	// NonPreemptive template.
+	policy         Policy
+	policyDefault  bool
+	policyRunAhead bool
+
+	// procFree recycles Proc/Env pairs (and their coroutine channels)
+	// across Reset: sweeps spawn the same small cast thousands of times,
+	// and the Proc+Env+2-channel allocation per job was a top line in the
+	// per-schedule profile.
+	procFree []*Proc
 
 	// busy and idle cache the occupancy partition of cpus (both in cpu-id
 	// order, so min-clock scans preserve the lowest-index tie-break).
@@ -270,10 +309,11 @@ func New(cfg Config) *Sim { return new(Sim).Reset(cfg) }
 // Reset reinitializes s to a freshly-constructed simulation for cfg,
 // reusing its memory words, processor states, and slice capacity. A Sim
 // reset from cfg is observably identical to New(cfg): same schedules, same
-// reports, same traces. Procs handed out by a previous run are abandoned
-// (run reports may keep referencing them); the trace log is always freshly
-// allocated so logs returned by Trace stay valid after the Sim is reused.
-// Reset returns s for chaining.
+// reports, same traces. Procs handed out by a previous run are recycled by
+// the next run's Spawns — do not retain a *Proc (or its Env) across Reset;
+// run reports (Sim.Report) copy everything they need. The trace log is
+// always freshly allocated so logs returned by Trace stay valid after the
+// Sim is reused. Reset returns s for chaining.
 func (s *Sim) Reset(cfg Config) *Sim {
 	if cfg.Processors <= 0 {
 		cfg.Processors = 1
@@ -296,6 +336,10 @@ func (s *Sim) Reset(cfg Config) *Sim {
 		s.policy = defaultPolicy
 	}
 	_, s.policyDefault = s.policy.(priorityPolicy)
+	s.policyRunAhead = s.policyDefault
+	if !s.policyRunAhead {
+		_, s.policyRunAhead = s.policy.(NonPreemptive)
+	}
 	if s.mem == nil {
 		s.mem = shmem.New(cfg.MemWords)
 	} else {
@@ -315,6 +359,19 @@ func (s *Sim) Reset(cfg Config) *Sim {
 			clear(c.ready)
 			c.ready = c.ready[:0]
 		}
+	}
+	for _, p := range s.proc {
+		if p.started && p.state != stateDone {
+			// Live coroutine (Reset without Run/shutdown): a parked
+			// pull-mode loop can be unwound and recycled; a channel-mode
+			// goroutine is blocked in a send we cannot drain here, so
+			// abandon it rather than hand it a recycled Proc.
+			if p.next == nil {
+				continue
+			}
+			p.stopCoro()
+		}
+		s.procFree = append(s.procFree, p)
 	}
 	clear(s.proc)
 	s.proc = s.proc[:0]
@@ -370,13 +427,22 @@ var simPool = sync.Pool{New: func() any { return new(Sim) }}
 func Acquire(cfg Config) *Sim { return simPool.Get().(*Sim).Reset(cfg) }
 
 // Release returns a Sim to the pool for reuse. Only call it after Run has
-// returned (all coroutine goroutines have unwound by then) — or on a Sim
-// that was never Run — and do not touch s, its Procs' Envs, or its Mem
-// afterwards. Trace logs obtained from Trace remain valid: Reset never
-// reuses them.
+// returned — or on a Sim that was never Run — and do not touch s, its
+// Procs' Envs, or its Mem afterwards. Trace logs obtained from Trace
+// remain valid: Reset never reuses them.
+//
+// Release unwinds every parked pull-mode coroutine (coloop) first: those
+// persist across Reset to serve Proc recycling within a sweep, but a Sim
+// sitting in (or dropped from) the pool must not hold goroutines.
 func Release(s *Sim) {
 	if s == nil {
 		return
+	}
+	for _, p := range s.proc {
+		p.stopCoro()
+	}
+	for _, p := range s.procFree {
+		p.stopCoro()
 	}
 	simPool.Put(s)
 }
@@ -423,6 +489,20 @@ func (s *Sim) Slices() uint64 { return s.slices }
 // Policy returns the run's scheduling discipline (never nil).
 func (s *Sim) Policy() Policy { return s.policy }
 
+// PolicyLabel returns the policy name as run reports stamp it: empty for
+// the default strict-priority discipline (keeping pre-policy reports,
+// goldens, and coverage signatures unchanged), the template name otherwise.
+func (s *Sim) PolicyLabel() string {
+	if s.policyDefault {
+		return ""
+	}
+	return s.policy.Name()
+}
+
+// HelpReceived returns the number of help invocations other processes
+// performed on operations announced under the given algorithm-level slot.
+func (s *Sim) HelpReceived(slot int) int { return s.helpReceived[slot] }
+
 // Spawn registers a job. All jobs must be spawned before Run.
 func (s *Sim) Spawn(spec JobSpec) *Proc {
 	if s.ran {
@@ -434,20 +514,17 @@ func (s *Sim) Spawn(spec JobSpec) *Proc {
 	if spec.Body == nil {
 		panic("sched: job with nil body")
 	}
-	p := &Proc{
-		id:     len(s.proc),
-		spec:   spec,
-		state:  stateUnreleased,
-		resume: make(chan struct{}),
-		yield:  make(chan yieldMsg),
-	}
+	p := s.takeProc()
+	p.id = len(s.proc)
+	p.spec = spec
+	p.state = stateUnreleased
 	if p.spec.Name == "" {
 		p.spec.Name = fmt.Sprintf("p%d", p.id)
 	}
 	if p.spec.Slot < 0 {
 		p.spec.Slot = p.id
 	}
-	p.env = &Env{sim: s, p: p, cpu: s.cpus[spec.CPU]}
+	*p.env = Env{sim: s, p: p, cpu: s.cpus[spec.CPU]}
 	s.proc = append(s.proc, p)
 	if spec.AfterSlices >= 0 && spec.At == 0 {
 		// Slice-triggered release. (AfterSlices==0 with At==0 releases
@@ -457,6 +534,24 @@ func (s *Sim) Spawn(spec JobSpec) *Proc {
 		s.pendingTime = append(s.pendingTime, p)
 	}
 	return p
+}
+
+// takeProc returns a recycled Proc from the free list — all fields zeroed,
+// Env, channel pair, parked coroutine, and opSamples backing kept — or a
+// fresh one. The coroutine channels are created lazily by startIfNeeded:
+// the pull-mode fast core never needs them.
+func (s *Sim) takeProc() *Proc {
+	if n := len(s.procFree); n > 0 {
+		p := s.procFree[n-1]
+		s.procFree[n-1] = nil
+		s.procFree = s.procFree[:n-1]
+		e, resume, yield, samples := p.env, p.resume, p.yield, p.opSamples[:0]
+		next, stop := p.next, p.stop
+		*p = Proc{resume: resume, yield: yield, next: next, stop: stop, opSamples: samples}
+		p.env = e
+		return p
+	}
+	return &Proc{env: &Env{}}
 }
 
 // SpawnAt is shorthand for a time-released job.
@@ -580,13 +675,38 @@ func (s *Sim) pick(c *cpuState) *Proc {
 	return top
 }
 
-// startIfNeeded launches the coroutine goroutine on first dispatch.
+// startIfNeeded launches the coroutine on first dispatch: through
+// iter.Pull's direct goroutine switch when the run-ahead fast core is
+// armed, or through the reference channel rendezvous otherwise. The mode is
+// fixed per process at first dispatch; runSlice and shutdown key on p.next.
 func (s *Sim) startIfNeeded(p *Proc) {
 	if p.started {
 		return
 	}
 	p.started = true
 	p.Started = s.cpus[p.spec.CPU].clock
+	if !s.cfg.DisableRunAhead && runAheadEnabled && s.policyRunAhead {
+		// Fast core: iter.Pull hands control scheduler ↔ coroutine with a
+		// direct goroutine switch instead of parking both sides on a
+		// channel — the dominant per-slice cost on contended
+		// multiprocessor runs, where the clock-crossing horizon forbids
+		// any batching grant. A recycled Proc's coroutine is still parked
+		// in its coloop from the previous schedule and resumes into the
+		// new body directly. Serial mode keeps the channel pair below as
+		// the reference implementation the differential suite pins
+		// byte-identical.
+		if p.next == nil {
+			p.next, p.stop = iter.Pull(p.coloop)
+		}
+		return
+	}
+	// Switching a recycled pull-mode Proc to the serial path: unwind its
+	// parked coroutine first so it cannot leak behind the channel pair.
+	p.stopCoro()
+	if p.resume == nil {
+		p.resume = make(chan struct{})
+		p.yield = make(chan yieldMsg)
+	}
 	go func() {
 		<-p.resume
 		defer func() {
@@ -604,13 +724,77 @@ func (s *Sim) startIfNeeded(p *Proc) {
 	}()
 }
 
+// coloop is the persistent pull-mode coroutine: one job body per resume,
+// parking at the body's final yield until the scheduler installs the next
+// body (Proc recycling across Reset — see takeProc) or unwinds the loop
+// (stopCoro makes the parked yield return false). iter.Pull guarantees the
+// coroutine is suspended whenever the scheduler runs (next() and yield()
+// form a strict rendezvous), so the exclusivity argument of the channel
+// pair carries over unchanged. Persisting the coroutine across schedules
+// removes the per-run iter.Pull construction — coroutine, stack and
+// closure — that dominated the sweep-mode allocation profile.
+func (p *Proc) coloop(yield func(yieldMsg) bool) {
+	for yield(p.runBody(yield)) {
+	}
+}
+
+// runBody executes the current job body, translating completion, panic and
+// abort into the final yield message. An aborted body (errAborted — the
+// scheduler shutting down, or stopCoro unwinding the loop) finishes like a
+// completed one; coloop's closing yield then reports it or returns false.
+func (p *Proc) runBody(yield func(yieldMsg) bool) (msg yieldMsg) {
+	e := p.env
+	e.yieldFast = yield
+	defer func() {
+		e.yieldFast = nil
+		if r := recover(); r != nil {
+			if r == errAborted { //nolint:errorlint // sentinel identity is intended
+				msg = yieldMsg{kind: yieldFinished, cost: e.pending}
+				return
+			}
+			msg = yieldMsg{kind: yieldPanicked, pval: r, stack: debug.Stack()}
+			return
+		}
+		msg = yieldMsg{kind: yieldFinished, cost: e.pending}
+	}()
+	p.spec.Body(e)
+	return
+}
+
+// stopCoro unwinds a parked pull-mode coroutine: iter.Pull's stop makes
+// the pending yield return false, which ends coloop (a mid-body park
+// unwinds through the errAborted sentinel first). No-op without one. Only
+// call while the coroutine is suspended — after Run has returned, or on a
+// recycled Proc before its first dispatch.
+func (p *Proc) stopCoro() {
+	if p.stop == nil {
+		return
+	}
+	p.stop()
+	p.next, p.stop = nil, nil
+}
+
 // runSlice resumes p until its next preemption point and applies the cost.
 func (s *Sim) runSlice(c *cpuState, p *Proc) {
 	s.startIfNeeded(p)
 	p.Slices++
 	s.mem.SetCurrentProc(p.id)
-	p.resume <- struct{}{}
-	msg := <-p.yield
+	var msg yieldMsg
+	if p.next != nil {
+		m, ok := p.next()
+		if !ok {
+			// Defensive: a pull coroutine only finishes without a message
+			// when stopped; treat it as completed.
+			m = yieldMsg{kind: yieldFinished}
+		}
+		// On a final message the coroutine stays parked inside coloop's
+		// closing yield, ready for the Proc's next body (takeProc) —
+		// Release unwinds it before pooling the Sim.
+		msg = m
+	} else {
+		p.resume <- struct{}{}
+		msg = <-p.yield
+	}
 	s.mem.SetCurrentProc(-1)
 	if p.env.horizon > 0 {
 		// The slice ran with a run-ahead grant, so the coroutine may have
@@ -712,6 +896,7 @@ func (s *Sim) Run() error {
 			// last).
 			if len(s.pendingSlice) > 0 {
 				for _, p := range s.pendingSlice {
+					p.quiescent = true
 					s.release(p)
 				}
 				s.pendingSlice = s.pendingSlice[:0]
@@ -782,11 +967,15 @@ func (s *Sim) rebuildOccupancy() {
 func (s *Sim) grantRunAhead(c *cpuState, p *Proc) {
 	e := p.env
 	e.budget, e.horizon = 0, 0
-	if s.cfg.DisableRunAhead || !runAheadEnabled || !s.policyDefault {
-		// Non-default policies take the serial loop: the grant's
-		// soundness argument below leans on the strict-priority
-		// preemption rules. Both paths are byte-identical for the
-		// default policy, so this only costs speed, never correctness.
+	if s.cfg.DisableRunAhead || !runAheadEnabled || !s.policyRunAhead {
+		// Preemptive non-default policies take the serial loop: the
+		// grant's soundness argument below leans on preemption being
+		// either the strict-priority rule or absent. NonPreemptive
+		// templates batch too — their Preempts is constantly false, so
+		// the waiting-process refusal below is vacuous and the ready set
+		// still cannot change inside a grant. Both paths are
+		// byte-identical whenever the grant is armed, so this gate only
+		// costs speed, never correctness.
 		return
 	}
 	if len(c.ready) > 0 && s.policy.Preempts(c.ready[0].key, p.key) {
@@ -853,11 +1042,23 @@ func (s *Sim) shutdown() {
 		}
 		// Resume; the coroutine observes aborting at its next
 		// preemption point and unwinds via the errAborted sentinel.
-		p.resume <- struct{}{}
-		msg := <-p.yield
-		for msg.kind == yieldPoint {
+		if p.next != nil {
+			// Resume until the body unwinds (errAborted at the next
+			// preemption point surfaces as its final yield); the loop
+			// then parks for reuse, like a normal completion.
+			for {
+				m, ok := p.next()
+				if !ok || m.kind != yieldPoint {
+					break
+				}
+			}
+		} else {
 			p.resume <- struct{}{}
-			msg = <-p.yield
+			msg := <-p.yield
+			for msg.kind == yieldPoint {
+				p.resume <- struct{}{}
+				msg = <-p.yield
+			}
 		}
 		p.state = stateDone
 	}

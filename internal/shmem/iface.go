@@ -101,6 +101,10 @@ type Ctx interface {
 	// The native backend drops notes (there is no deterministic trace to
 	// attach them to).
 	Note(key string, args ...trace.Field)
+	// Traced reports whether notes are being recorded. Note's variadic
+	// fields escape to the heap through this interface even when the
+	// backend drops them, so hot paths wrap Note calls in a Traced check.
+	Traced() bool
 	// NoteHelp records one help invocation on the operation announced
 	// under slot pid (observability bookkeeping only).
 	NoteHelp(pid int)

@@ -150,6 +150,13 @@ type Mem struct {
 	// attributed; -1 means "outside any simulated process".
 	curProc int
 
+	// dirty is the high-water mark of mutated words: every word at or above
+	// this index is still zero. Runs touch a small prefix of the arena-heavy
+	// address space, so Reset zeroes m.words[:dirty] instead of the whole
+	// array — on sweep-sized memories (2^15-2^16 words) the full memclr was
+	// a measurable slice of per-schedule cost.
+	dirty Addr
+
 	// failHook, when set, receives every failed synchronization attempt
 	// with its winning-writer attribution. lastWriter/lastStep track the
 	// most recent successful writer per word; they are allocated only when
@@ -179,8 +186,9 @@ func (m *Mem) Reset(capacity int) {
 	if len(m.words) != capacity {
 		m.words = make([]uint64, capacity)
 	} else {
-		clear(m.words)
+		clear(m.words[:m.dirty])
 	}
+	m.dirty = 0
 	m.next = 1        // word 0 is reserved
 	clear(m.segments) // drop references held by the spare capacity
 	m.segments = m.segments[:0]
@@ -334,6 +342,9 @@ func (m *Mem) notify(a Addr, old, val uint64, kind OpKind) {
 		// A degenerate store still "happened" for observers: checkers
 		// may key on it (e.g. re-arming Status). Report it.
 	}
+	if a >= m.dirty {
+		m.dirty = a + 1
+	}
 	if m.lastWriter != nil {
 		m.lastWriter[a] = int32(m.curProc)
 		m.lastStep[a] = m.steps
@@ -444,5 +455,8 @@ func (m *Mem) Peek(a Addr) uint64 {
 // run starts.
 func (m *Mem) Poke(a Addr, v uint64) {
 	m.check(a)
+	if a >= m.dirty {
+		m.dirty = a + 1
+	}
 	m.words[a] = v
 }
